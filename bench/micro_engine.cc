@@ -1,0 +1,114 @@
+// Microbenchmarks for the engine substrate: data generation, scan and join
+// throughput, decimal arithmetic, and buffer-pool access.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/database.h"
+#include "exec/driver.h"
+#include "optimizer/optimizer.h"
+#include "tpch/dbgen.h"
+
+namespace qpp {
+namespace {
+
+std::unique_ptr<Database>& SharedDb() {
+  static std::unique_ptr<Database> db = [] {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.005;
+    auto d = std::make_unique<Database>();
+    auto tables = tpch::Dbgen(cfg).Generate();
+    (void)d->AdoptTables(std::move(*tables));
+    (void)d->AnalyzeAll();
+    return d;
+  }();
+  return db;
+}
+
+void BM_Dbgen(benchmark::State& state) {
+  tpch::DbgenConfig cfg;
+  cfg.scale_factor = 0.002;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpch::Dbgen(cfg).Generate());
+  }
+}
+BENCHMARK(BM_Dbgen);
+
+void BM_SeqScanLineitem(benchmark::State& state) {
+  Database* db = SharedDb().get();
+  Optimizer opt(db);
+  auto plan = opt.MakeScan("lineitem", "", nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutePlan(plan->get(), db, {}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          db->GetTable("lineitem")->num_rows());
+}
+BENCHMARK(BM_SeqScanLineitem);
+
+void BM_HashJoinOrdersLineitem(benchmark::State& state) {
+  Database* db = SharedDb().get();
+  Optimizer opt(db);
+  auto l = opt.MakeScan("lineitem", "", nullptr);
+  auto o = opt.MakeScan("orders", "", nullptr);
+  auto join = opt.MakeJoin(PlanOp::kHashJoin, JoinType::kInner, std::move(*l),
+                           std::move(*o), {{"l_orderkey", "o_orderkey"}},
+                           nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutePlan(join->get(), db, {}));
+  }
+}
+BENCHMARK(BM_HashJoinOrdersLineitem);
+
+void BM_DecimalMul(benchmark::State& state) {
+  const Decimal a(123456, 2);
+  const Decimal b(98765, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Mul(b));
+  }
+}
+BENCHMARK(BM_DecimalMul);
+
+void BM_DecimalAdd(benchmark::State& state) {
+  const Decimal a(123456, 2);
+  const Decimal b(98765, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Add(b));
+  }
+}
+BENCHMARK(BM_DecimalAdd);
+
+void BM_BufferPoolColdRead(benchmark::State& state) {
+  BufferPool pool;
+  int64_t page = 0;
+  for (auto _ : state) {
+    pool.FlushAll();
+    pool.AccessSequential(1, page++);
+  }
+}
+BENCHMARK(BM_BufferPoolColdRead);
+
+void BM_OptimizeSixWayJoin(benchmark::State& state) {
+  Database* db = SharedDb().get();
+  Optimizer opt(db);
+  for (auto _ : state) {
+    JoinBlock block;
+    block.AddRelation("customer");
+    block.AddRelation("orders");
+    block.AddRelation("lineitem");
+    block.AddRelation("supplier");
+    block.AddRelation("nation");
+    block.AddRelation("region");
+    block.AddJoin("c_custkey", "o_custkey");
+    block.AddJoin("l_orderkey", "o_orderkey");
+    block.AddJoin("l_suppkey", "s_suppkey");
+    block.AddJoin("s_nationkey", "n_nationkey");
+    block.AddJoin("n_regionkey", "r_regionkey");
+    benchmark::DoNotOptimize(opt.OptimizeJoinBlock(std::move(block)));
+  }
+}
+BENCHMARK(BM_OptimizeSixWayJoin);
+
+}  // namespace
+}  // namespace qpp
+
+BENCHMARK_MAIN();

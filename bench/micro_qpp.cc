@@ -1,0 +1,95 @@
+// Microbenchmarks for the QPP layer: feature extraction and prediction
+// latency — the costs a DBMS would pay per incoming query when using the
+// predictor for admission control or plan selection.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/database.h"
+#include "qpp/predictor.h"
+#include "tpch/dbgen.h"
+#include "workload/runner.h"
+#include "workload/templates.h"
+
+namespace qpp {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Database> db;
+  QueryLog log;
+  QueryPerformancePredictor hybrid;
+  QueryPerformancePredictor plan_level;
+};
+
+Fixture& SharedFixture() {
+  static Fixture f = [] {
+    Fixture fx;
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.005;
+    fx.db = std::make_unique<Database>();
+    auto tables = tpch::Dbgen(cfg).Generate();
+    (void)fx.db->AdoptTables(std::move(*tables));
+    (void)fx.db->AnalyzeAll();
+    WorkloadConfig wc;
+    wc.templates = {1, 3, 4, 6, 10, 12, 14};
+    wc.queries_per_template = 10;
+    auto log = RunWorkload(fx.db.get(), wc);
+    fx.log = std::move(*log);
+    PredictorConfig hc;
+    hc.method = PredictionMethod::kHybrid;
+    hc.hybrid.max_iterations = 6;
+    hc.hybrid.min_occurrences = 6;
+    fx.hybrid = QueryPerformancePredictor(hc);
+    (void)fx.hybrid.Train(fx.log);
+    PredictorConfig pc;
+    pc.method = PredictionMethod::kPlanLevel;
+    fx.plan_level = QueryPerformancePredictor(pc);
+    (void)fx.plan_level.Train(fx.log);
+    return fx;
+  }();
+  return f;
+}
+
+void BM_ExtractPlanFeatures(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const QueryRecord& q = f.log.queries.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractPlanFeatures(q, 0, FeatureMode::kEstimate));
+  }
+}
+BENCHMARK(BM_ExtractPlanFeatures);
+
+void BM_PlanLevelPredict(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const QueryRecord& q = f.log.queries.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.plan_level.PredictLatencyMs(q));
+  }
+}
+BENCHMARK(BM_PlanLevelPredict);
+
+void BM_HybridPredict(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const QueryRecord& q = f.log.queries.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.hybrid.PredictLatencyMs(q));
+  }
+}
+BENCHMARK(BM_HybridPredict);
+
+void BM_HybridTraining(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  PredictorConfig cfg;
+  cfg.method = PredictionMethod::kHybrid;
+  cfg.hybrid.max_iterations = static_cast<int>(state.range(0));
+  cfg.hybrid.min_occurrences = 6;
+  for (auto _ : state) {
+    QueryPerformancePredictor predictor(cfg);
+    benchmark::DoNotOptimize(predictor.Train(f.log));
+  }
+}
+BENCHMARK(BM_HybridTraining)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qpp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Admission control / workload management — the paper's motivating use case
+// (Section 1): a resource manager that routes incoming queries to an
+// interactive or a batch queue based on *predicted* latency, so that
+// interactive QoS targets are met without executing anything first.
+//
+// The example trains a predictor, then simulates an arrival stream and
+// reports routing quality: how often the predicted class (fast/slow)
+// matches the true class, and what the interactive queue's latencies look
+// like with and without prediction-based routing.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/stats.h"
+#include "exec/driver.h"
+#include "qpp/predictor.h"
+#include "tpch/dbgen.h"
+#include "workload/runner.h"
+#include "workload/templates.h"
+
+using namespace qpp;
+
+int main() {
+  std::printf("Setting up database and training workload...\n");
+  tpch::DbgenConfig gen_cfg;
+  gen_cfg.scale_factor = 0.01;
+  Database db;
+  auto tables = tpch::Dbgen(gen_cfg).Generate();
+  (void)db.AdoptTables(std::move(*tables));
+  (void)db.AnalyzeAll();
+
+  WorkloadConfig wc;
+  wc.templates = {1, 3, 4, 5, 6, 10, 12, 14, 19};
+  wc.queries_per_template = 15;
+  auto log = RunWorkload(&db, wc);
+  if (!log.ok()) return 1;
+
+  PredictorConfig cfg;
+  cfg.method = PredictionMethod::kHybrid;
+  cfg.hybrid.max_iterations = 8;
+  QueryPerformancePredictor predictor(cfg);
+  if (!predictor.Train(*log).ok()) return 1;
+
+  // Route queries whose predicted latency exceeds the SLO to the batch
+  // queue; everything else goes to the interactive queue.
+  const double slo_ms = 60.0;
+  std::printf("Interactive SLO: %.0f ms. Simulating 45 arrivals...\n\n",
+              slo_ms);
+
+  Optimizer opt(&db);
+  Rng rng(77);
+  int correct = 0, total = 0;
+  int violations_with_routing = 0, violations_without = 0;
+  std::vector<double> interactive_latencies;
+  for (int i = 0; i < 45; ++i) {
+    const auto& templates = wc.templates;
+    const int tid = templates[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(templates.size()) - 1))];
+    tpch::TemplateContext ctx{&opt, &db, &rng};
+    auto plan = tpch::GenerateTemplateQuery(tid, &ctx);
+    if (!plan.ok()) continue;
+    QueryRecord record = RecordFromPlan(*plan, 0.0);
+    auto predicted = predictor.PredictLatencyMs(record);
+    if (!predicted.ok()) continue;
+    auto result = ExecutePlan(plan->root.get(), &db, {});
+    if (!result.ok()) continue;
+
+    const bool predicted_slow = *predicted > slo_ms;
+    const bool actually_slow = result->latency_ms > slo_ms;
+    correct += predicted_slow == actually_slow;
+    ++total;
+    // Without routing every query hits the interactive queue.
+    violations_without += actually_slow;
+    if (!predicted_slow) {
+      interactive_latencies.push_back(result->latency_ms);
+      violations_with_routing += actually_slow;
+    }
+  }
+
+  std::printf("Routing accuracy (fast/slow classification): %d/%d (%.0f%%)\n",
+              correct, total, 100.0 * correct / std::max(1, total));
+  std::printf("SLO violations in interactive queue:\n");
+  std::printf("  without prediction-based routing: %d\n", violations_without);
+  std::printf("  with prediction-based routing:    %d\n",
+              violations_with_routing);
+  if (!interactive_latencies.empty()) {
+    std::printf("Interactive queue p95 latency with routing: %.1f ms\n",
+                Percentile(interactive_latencies, 95));
+  }
+  return 0;
+}

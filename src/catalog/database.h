@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/stats.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/table.h"
+
+namespace qpp {
+
+/// ANALYZE parameters (PostgreSQL defaults: 100 histogram bins as in the
+/// paper's setup, bounded row sample).
+struct AnalyzeConfig {
+  int histogram_bins = 100;
+  int mcv_count = 20;
+  /// Max rows sampled per table; sampling (rather than full scans) is what
+  /// gives the planner realistically imperfect statistics.
+  int64_t sample_size = 30000;
+  uint64_t seed = 0xA11A1;
+};
+
+/// \brief The database instance: tables, the buffer pool they are paged
+/// through, and optimizer statistics.
+class Database {
+ public:
+  Database() : Database(BufferPool::Config{}) {}
+  explicit Database(BufferPool::Config pool_config)
+      : buffer_pool_(pool_config) {}
+
+  /// Adds a table; its Table::id() must be unique within the database.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Adds a batch of tables (e.g. the Dbgen output).
+  Status AdoptTables(std::vector<std::unique_ptr<Table>> tables);
+
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  Table* GetTableById(int id);
+  const Table* GetTableById(int id) const;
+  std::vector<const Table*> tables() const;
+
+  BufferPool* buffer_pool() { return &buffer_pool_; }
+
+  /// Computes statistics for every table.
+  Status AnalyzeAll(const AnalyzeConfig& config = AnalyzeConfig());
+
+  /// Computes statistics for one table.
+  Status Analyze(const std::string& table_name, const AnalyzeConfig& config);
+
+  /// Statistics for a table id, or nullptr if not analyzed.
+  const TableStats* GetStats(int table_id) const;
+
+ private:
+  Status AnalyzeTable(const Table& table, const AnalyzeConfig& config,
+                      Rng* rng);
+
+  BufferPool buffer_pool_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, Table*> by_name_;
+  std::unordered_map<int, Table*> by_id_;
+  std::unordered_map<int, TableStats> stats_;
+};
+
+}  // namespace qpp

@@ -1,0 +1,98 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace qpp {
+namespace {
+
+// Howard Hinnant's days-from-civil / civil-from-days algorithms.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(year + (month <= 2));
+  *m = static_cast<int>(month);
+  *d = static_cast<int>(day);
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+Date Date::FromYmd(int year, int month, int day) {
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+Result<Date> Date::FromString(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  if (s.size() != 10 || std::sscanf(s.c_str(), "%4d-%2d-%2d", &y, &m, &d) != 3) {
+    return Status::InvalidArgument("malformed date: " + s);
+  }
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("date out of range: " + s);
+  }
+  return FromYmd(y, m, d);
+}
+
+void Date::ToCivil(int* y, int* m, int* d) const { CivilFromDays(days_, y, m, d); }
+
+int Date::year() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  return d;
+}
+
+Date Date::AddMonths(int n) const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  const int total = y * 12 + (m - 1) + n;
+  const int ny = total >= 0 ? total / 12 : (total - 11) / 12;
+  const int nm = total - ny * 12 + 1;
+  const int nd = d <= DaysInMonth(ny, nm) ? d : DaysInMonth(ny, nm);
+  return FromYmd(ny, nm, nd);
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  ToCivil(&y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace qpp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace qpp {
+
+/// \brief Calendar date stored as days since 1970-01-01 (can be negative).
+///
+/// TPC-H date columns span 1992-01-01 .. 1998-12-31; workload parameters do
+/// date +/- interval arithmetic, which this type supports exactly.
+class Date {
+ public:
+  Date() : days_(0) {}
+  explicit Date(int32_t days_since_epoch) : days_(days_since_epoch) {}
+
+  /// Builds a date from a civil (proleptic Gregorian) y/m/d.
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Validates ranges (month 1-12, day within month).
+  static Result<Date> FromString(const std::string& s);
+
+  int32_t days_since_epoch() const { return days_; }
+
+  int year() const;
+  int month() const;
+  int day() const;
+
+  Date AddDays(int n) const { return Date(days_ + n); }
+
+  /// Adds calendar months, clamping the day to the target month's length
+  /// (e.g. Jan 31 + 1 month = Feb 28/29), matching SQL interval semantics.
+  Date AddMonths(int n) const;
+
+  Date AddYears(int n) const { return AddMonths(12 * n); }
+
+  /// "YYYY-MM-DD".
+  std::string ToString() const;
+
+  bool operator==(const Date& o) const { return days_ == o.days_; }
+  bool operator!=(const Date& o) const { return days_ != o.days_; }
+  bool operator<(const Date& o) const { return days_ < o.days_; }
+  bool operator<=(const Date& o) const { return days_ <= o.days_; }
+  bool operator>(const Date& o) const { return days_ > o.days_; }
+  bool operator>=(const Date& o) const { return days_ >= o.days_; }
+
+ private:
+  void ToCivil(int* y, int* m, int* d) const;
+  int32_t days_;
+};
+
+}  // namespace qpp

@@ -1,0 +1,301 @@
+#include "common/decimal.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace qpp {
+namespace {
+
+constexpr int kLimbBase = 10000;  // base 10^4 limbs
+constexpr int kNumLimbs = 12;     // up to 48 decimal digits of headroom
+
+struct Limbs {
+  int32_t d[kNumLimbs];  // little-endian limbs
+  bool negative;
+};
+
+Limbs ToLimbs(int64_t v) {
+  Limbs l;
+  std::memset(l.d, 0, sizeof(l.d));
+  l.negative = v < 0;
+  uint64_t u = l.negative ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  int i = 0;
+  while (u > 0 && i < kNumLimbs) {
+    l.d[i++] = static_cast<int32_t>(u % kLimbBase);
+    u /= kLimbBase;
+  }
+  return l;
+}
+
+int64_t FromLimbs(const Limbs& l) {
+  // Saturates on overflow; TPC-H values stay far below this.
+  uint64_t u = 0;
+  for (int i = kNumLimbs - 1; i >= 0; --i) {
+    u = u * kLimbBase + static_cast<uint64_t>(l.d[i]);
+  }
+  int64_t v = static_cast<int64_t>(u);
+  return l.negative ? -v : v;
+}
+
+// Schoolbook multiply of limb arrays; result truncated to kNumLimbs.
+Limbs MulLimbs(const Limbs& a, const Limbs& b) {
+  int64_t acc[2 * kNumLimbs] = {0};
+  for (int i = 0; i < kNumLimbs; ++i) {
+    if (a.d[i] == 0) continue;
+    for (int j = 0; j < kNumLimbs - i; ++j) {
+      acc[i + j] += static_cast<int64_t>(a.d[i]) * b.d[j];
+    }
+  }
+  Limbs r;
+  r.negative = a.negative != b.negative;
+  int64_t carry = 0;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    int64_t t = acc[i] + carry;
+    r.d[i] = static_cast<int32_t>(t % kLimbBase);
+    carry = t / kLimbBase;
+  }
+  bool zero = true;
+  for (int i = 0; i < kNumLimbs; ++i) zero = zero && r.d[i] == 0;
+  if (zero) r.negative = false;
+  return r;
+}
+
+// Divides limb array by a small positive integer (< kLimbBase^2), returning
+// quotient; remainder out-param used for rounding.
+Limbs DivLimbsSmall(const Limbs& a, int64_t divisor, int64_t* remainder) {
+  Limbs q;
+  q.negative = a.negative;
+  std::memset(q.d, 0, sizeof(q.d));
+  int64_t rem = 0;
+  for (int i = kNumLimbs - 1; i >= 0; --i) {
+    int64_t cur = rem * kLimbBase + a.d[i];
+    q.d[i] = static_cast<int32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  *remainder = rem;
+  bool zero = true;
+  for (int i = 0; i < kNumLimbs; ++i) zero = zero && q.d[i] == 0;
+  if (zero) q.negative = false;
+  return q;
+}
+
+// Multiplies limb array by a small positive integer.
+Limbs MulLimbsSmall(const Limbs& a, int64_t factor) {
+  Limbs r = a;
+  int64_t carry = 0;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    int64_t t = static_cast<int64_t>(a.d[i]) * factor + carry;
+    r.d[i] = static_cast<int32_t>(t % kLimbBase);
+    carry = t / kLimbBase;
+  }
+  return r;
+}
+
+int64_t Pow10(int n) {
+  int64_t p = 1;
+  for (int i = 0; i < n; ++i) p *= 10;
+  return p;
+}
+
+// Magnitude comparison, ignoring signs.
+int CompareMagnitude(const Limbs& a, const Limbs& b) {
+  for (int i = kNumLimbs - 1; i >= 0; --i) {
+    if (a.d[i] != b.d[i]) return a.d[i] < b.d[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+// |a| + |b|, sign of a.
+Limbs AddMagnitude(const Limbs& a, const Limbs& b) {
+  Limbs r;
+  r.negative = a.negative;
+  int32_t carry = 0;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    int32_t t = a.d[i] + b.d[i] + carry;
+    carry = t >= kLimbBase ? 1 : 0;
+    r.d[i] = t - carry * kLimbBase;
+  }
+  return r;
+}
+
+// |a| - |b| (requires |a| >= |b|), sign of a.
+Limbs SubMagnitude(const Limbs& a, const Limbs& b) {
+  Limbs r;
+  r.negative = a.negative;
+  int32_t borrow = 0;
+  for (int i = 0; i < kNumLimbs; ++i) {
+    int32_t t = a.d[i] - b.d[i] - borrow;
+    borrow = t < 0 ? 1 : 0;
+    r.d[i] = t + borrow * kLimbBase;
+  }
+  bool zero = true;
+  for (int i = 0; i < kNumLimbs; ++i) zero = zero && r.d[i] == 0;
+  if (zero) r.negative = false;
+  return r;
+}
+
+// Signed limb addition — additions, like multiplies, run through the digit
+// array, as in a real software-decimal implementation.
+int64_t AddSigned(int64_t x, int64_t y) {
+  const Limbs a = ToLimbs(x);
+  const Limbs b = ToLimbs(y);
+  Limbs r;
+  if (a.negative == b.negative) {
+    r = AddMagnitude(a, b);
+  } else if (CompareMagnitude(a, b) >= 0) {
+    r = SubMagnitude(a, b);
+  } else {
+    r = SubMagnitude(b, a);
+  }
+  return FromLimbs(r);
+}
+
+}  // namespace
+
+Decimal Decimal::FromDouble(double v, int scale) {
+  if (scale < 0) scale = 0;
+  if (scale > kMaxScale) scale = kMaxScale;
+  const double scaled = v * static_cast<double>(Pow10(scale));
+  const double rounded = scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+  return Decimal(static_cast<int64_t>(rounded), scale);
+}
+
+Result<Decimal> Decimal::FromString(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal string");
+  size_t i = 0;
+  bool neg = false;
+  if (s[i] == '-' || s[i] == '+') {
+    neg = s[i] == '-';
+    ++i;
+  }
+  int64_t value = 0;
+  int scale = 0;
+  bool seen_point = false;
+  bool seen_digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '.') {
+      if (seen_point) return Status::InvalidArgument("malformed decimal: " + s);
+      seen_point = true;
+      continue;
+    }
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("malformed decimal: " + s);
+    }
+    seen_digit = true;
+    if (seen_point) {
+      if (scale == kMaxScale) continue;  // truncate extra fractional digits
+      ++scale;
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (!seen_digit) return Status::InvalidArgument("malformed decimal: " + s);
+  return Decimal(neg ? -value : value, scale);
+}
+
+double Decimal::ToDouble() const {
+  return static_cast<double>(value_) / static_cast<double>(Pow10(scale_));
+}
+
+std::string Decimal::ToString() const {
+  int64_t v = value_;
+  const bool neg = v < 0;
+  if (neg) v = -v;
+  const int64_t p = Pow10(scale_);
+  const int64_t whole = v / p;
+  const int64_t frac = v % p;
+  std::string out = neg ? "-" : "";
+  out += std::to_string(whole);
+  if (scale_ > 0) {
+    std::string f = std::to_string(frac);
+    out += "." + std::string(static_cast<size_t>(scale_) - f.size(), '0') + f;
+  }
+  return out;
+}
+
+Decimal Decimal::Rescale(int new_scale) const {
+  if (new_scale < 0) new_scale = 0;
+  if (new_scale > kMaxScale) new_scale = kMaxScale;
+  if (new_scale == scale_) return *this;
+  if (new_scale > scale_) {
+    Limbs l = MulLimbsSmall(ToLimbs(value_), Pow10(new_scale - scale_));
+    return Decimal(FromLimbs(l), new_scale);
+  }
+  const int64_t divisor = Pow10(scale_ - new_scale);
+  int64_t rem = 0;
+  Limbs q = DivLimbsSmall(ToLimbs(value_), divisor, &rem);
+  int64_t v = FromLimbs(q);
+  // Round half away from zero.
+  if (2 * rem >= divisor) v += value_ < 0 ? -1 : 1;
+  return Decimal(v, new_scale);
+}
+
+Decimal Decimal::Add(const Decimal& other) const {
+  const int s = scale_ > other.scale_ ? scale_ : other.scale_;
+  return Decimal(AddSigned(Rescale(s).value_, other.Rescale(s).value_), s);
+}
+
+Decimal Decimal::Sub(const Decimal& other) const {
+  const int s = scale_ > other.scale_ ? scale_ : other.scale_;
+  return Decimal(AddSigned(Rescale(s).value_, -other.Rescale(s).value_), s);
+}
+
+Decimal Decimal::Mul(const Decimal& other) const {
+  const int raw_scale = scale_ + other.scale_;
+  const int out_scale = raw_scale > kMaxScale ? kMaxScale : raw_scale;
+  Limbs product = MulLimbs(ToLimbs(value_), ToLimbs(other.value_));
+  if (raw_scale > out_scale) {
+    const int64_t divisor = Pow10(raw_scale - out_scale);
+    int64_t rem = 0;
+    product = DivLimbsSmall(product, divisor, &rem);
+    int64_t v = FromLimbs(product);
+    if (2 * rem >= divisor) v += product.negative ? -1 : 1;
+    return Decimal(v, out_scale);
+  }
+  return Decimal(FromLimbs(product), out_scale);
+}
+
+Decimal Decimal::Div(const Decimal& other) const {
+  if (other.value_ == 0) return Decimal(0, scale_);
+  const int s1 = scale_;
+  const int out_scale =
+      (s1 > other.scale_ ? s1 : other.scale_) + 2 > kMaxScale
+          ? kMaxScale
+          : (s1 > other.scale_ ? s1 : other.scale_) + 2;
+  // numerator * 10^(out_scale + other.scale - scale) / denominator
+  const int shift = out_scale + other.scale_ - scale_;
+  Limbs num = ToLimbs(value_);
+  if (shift > 0) {
+    // Shift in limb-sized steps to exercise the limb path like a real
+    // arbitrary-precision divide would.
+    int remaining = shift;
+    while (remaining >= 4) {
+      num = MulLimbsSmall(num, kLimbBase);
+      remaining -= 4;
+    }
+    if (remaining > 0) num = MulLimbsSmall(num, Pow10(remaining));
+  }
+  int64_t denom = other.value_ < 0 ? -other.value_ : other.value_;
+  int64_t rem = 0;
+  Limbs q = DivLimbsSmall(num, denom, &rem);
+  q.negative = (value_ < 0) != (other.value_ < 0);
+  int64_t v = FromLimbs(q);
+  if (2 * rem >= denom) v += q.negative ? -1 : 1;
+  if (shift < 0) {
+    Limbs scaled = MulLimbsSmall(ToLimbs(v), Pow10(-shift));
+    v = FromLimbs(scaled);
+  }
+  return Decimal(v, out_scale);
+}
+
+int Decimal::Compare(const Decimal& other) const {
+  const int s = scale_ > other.scale_ ? scale_ : other.scale_;
+  const Limbs a = ToLimbs(Rescale(s).value_);
+  const Limbs b = ToLimbs(other.Rescale(s).value_);
+  if (a.negative != b.negative) return a.negative ? -1 : 1;
+  const int mag = CompareMagnitude(a, b);
+  return a.negative ? -mag : mag;
+}
+
+}  // namespace qpp

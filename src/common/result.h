@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace qpp {
+
+/// \brief Value-or-error holder in the style of arrow::Result.
+///
+/// A Result<T> holds either a T (success) or a non-OK Status (failure).
+/// Access to the value of a failed result aborts in debug builds; callers
+/// must check ok() first or use the QPP_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status; Status::OK() when this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, propagating failure.
+#define QPP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define QPP_ASSIGN_CONCAT_(x, y) x##y
+#define QPP_ASSIGN_CONCAT(x, y) QPP_ASSIGN_CONCAT_(x, y)
+
+#define QPP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  QPP_ASSIGN_OR_RETURN_IMPL(QPP_ASSIGN_CONCAT(_qpp_res_, __LINE__), lhs, rexpr)
+
+}  // namespace qpp

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qpp {
+
+/// Small statistics helpers shared by the catalog, the feature-selection
+/// code and the evaluation metrics. All functions tolerate empty input by
+/// returning 0 unless noted.
+
+/// Arithmetic mean.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divides by n).
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double Stddev(const std::vector<double>& v);
+
+/// Pearson linear correlation coefficient in [-1, 1]; returns 0 when either
+/// side has zero variance. This is the ranking criterion of the paper's
+/// forward feature selection (Section 2).
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// p-th percentile (p in [0, 100]) with linear interpolation; input need not
+/// be sorted.
+double Percentile(std::vector<double> v, double p);
+
+/// Mean of |actual - estimate| / |actual| over all pairs — the paper's
+/// primary error metric (Section 5.1). Pairs with actual == 0 are skipped.
+double MeanRelativeError(const std::vector<double>& actual,
+                         const std::vector<double>& estimate);
+
+/// Max of the per-query relative errors (skips actual == 0).
+double MaxRelativeError(const std::vector<double>& actual,
+                        const std::vector<double>& estimate);
+
+/// Min of the per-query relative errors (skips actual == 0).
+double MinRelativeError(const std::vector<double>& actual,
+                        const std::vector<double>& estimate);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot.
+double RSquared(const std::vector<double>& actual,
+                const std::vector<double>& estimate);
+
+/// The "predictive risk" metric referenced by the paper (via [1]):
+/// 1 - sum((actual-estimate)^2) / sum((actual-mean)^2). Identical in form to
+/// R^2; kept as a named alias so experiment output matches the paper's
+/// terminology.
+double PredictiveRisk(const std::vector<double>& actual,
+                      const std::vector<double>& estimate);
+
+}  // namespace qpp

@@ -1,0 +1,27 @@
+#include "common/status.h"
+
+namespace qpp {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "Invalid argument";
+    case StatusCode::kNotFound: return "Not found";
+    case StatusCode::kAlreadyExists: return "Already exists";
+    case StatusCode::kOutOfRange: return "Out of range";
+    case StatusCode::kNotImplemented: return "Not implemented";
+    case StatusCode::kInternal: return "Internal error";
+    case StatusCode::kIOError: return "IO error";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(CodeName(code_)) + ": " + msg_;
+}
+
+}  // namespace qpp

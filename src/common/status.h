@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace qpp {
+
+/// Error categories used across the library. Mirrors the coarse taxonomy used
+/// by Arrow/RocksDB style status objects: the code is for dispatch, the
+/// message is for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kIOError,
+};
+
+/// \brief Lightweight error-or-success value returned by all fallible
+/// operations in the library. The library does not throw exceptions on
+/// expected failure paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<CODE>: <message>" string, "OK" for success.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define QPP_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::qpp::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace qpp

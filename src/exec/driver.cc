@@ -1,0 +1,166 @@
+#include "exec/driver.h"
+
+namespace qpp {
+namespace {
+
+NameResolver MakeResolver(const Schema& schema) {
+  return [&schema](const std::string& name) { return ResolveName(schema, name); };
+}
+
+Schema ConcatSchemas(const Schema& l, const Schema& r) {
+  std::vector<Schema::Column> cols = l.columns();
+  for (const auto& c : r.columns()) cols.push_back(c);
+  return Schema(std::move(cols));
+}
+
+}  // namespace
+
+Result<int> ResolveName(const Schema& schema, const std::string& name) {
+  return ResolveColumn(schema, name);
+}
+
+Status BindPlan(PlanNode* node) {
+  for (auto& c : node->children) {
+    QPP_RETURN_NOT_OK(BindPlan(c.get()));
+  }
+  switch (node->op) {
+    case PlanOp::kSeqScan:
+    case PlanOp::kIndexScan: {
+      auto resolver = MakeResolver(node->output_schema);
+      if (node->predicate) QPP_RETURN_NOT_OK(node->predicate->Bind(resolver));
+      if (node->index_probe) {
+        // Constant probes reference no columns but Bind recurses anyway.
+        QPP_RETURN_NOT_OK(node->index_probe->Bind(resolver));
+      }
+      break;
+    }
+    case PlanOp::kFilter: {
+      auto resolver = MakeResolver(node->child(0)->output_schema);
+      if (node->predicate) QPP_RETURN_NOT_OK(node->predicate->Bind(resolver));
+      break;
+    }
+    case PlanOp::kProject: {
+      auto resolver = MakeResolver(node->child(0)->output_schema);
+      for (auto& e : node->projections) QPP_RETURN_NOT_OK(e->Bind(resolver));
+      break;
+    }
+    case PlanOp::kNestedLoopJoin:
+    case PlanOp::kHashJoin:
+    case PlanOp::kMergeJoin: {
+      const Schema combined = ConcatSchemas(node->child(0)->output_schema,
+                                            node->child(1)->output_schema);
+      auto resolver = MakeResolver(combined);
+      if (node->predicate) QPP_RETURN_NOT_OK(node->predicate->Bind(resolver));
+      break;
+    }
+    case PlanOp::kHashAggregate:
+    case PlanOp::kGroupAggregate: {
+      auto child_resolver = MakeResolver(node->child(0)->output_schema);
+      for (auto& a : node->aggregates) {
+        if (a.arg) QPP_RETURN_NOT_OK(a.arg->Bind(child_resolver));
+      }
+      if (node->having) {
+        auto out_resolver = MakeResolver(node->output_schema);
+        QPP_RETURN_NOT_OK(node->having->Bind(out_resolver));
+      }
+      break;
+    }
+    case PlanOp::kSort:
+    case PlanOp::kMaterialize:
+    case PlanOp::kLimit:
+      break;
+  }
+  return Status::OK();
+}
+
+ExecutorPtr BuildExecutor(PlanNode* node, ExecContext* ctx) {
+  ExecutorPtr exec;
+  switch (node->op) {
+    case PlanOp::kSeqScan:
+      exec = std::make_unique<SeqScanExecutor>(ctx, node->table,
+                                               node->predicate.get(), node);
+      break;
+    case PlanOp::kIndexScan:
+      exec = std::make_unique<IndexScanExecutor>(
+          ctx, node->table, node->index_column, node->index_probe.get(),
+          node->predicate.get(), node);
+      break;
+    case PlanOp::kFilter:
+      exec = std::make_unique<FilterExecutor>(BuildExecutor(node->child(0), ctx),
+                                              node->predicate.get());
+      break;
+    case PlanOp::kProject:
+      exec = std::make_unique<ProjectExecutor>(
+          BuildExecutor(node->child(0), ctx), &node->projections);
+      break;
+    case PlanOp::kNestedLoopJoin:
+      exec = std::make_unique<NestedLoopJoinExecutor>(
+          BuildExecutor(node->child(0), ctx), BuildExecutor(node->child(1), ctx),
+          node->join_type, node->predicate.get(),
+          node->child(1)->output_schema.num_columns());
+      break;
+    case PlanOp::kHashJoin:
+      exec = std::make_unique<HashJoinExecutor>(
+          BuildExecutor(node->child(0), ctx), BuildExecutor(node->child(1), ctx),
+          node->join_type, &node->join_keys, node->predicate.get(),
+          node->child(1)->output_schema.num_columns());
+      break;
+    case PlanOp::kMergeJoin:
+      exec = std::make_unique<MergeJoinExecutor>(
+          BuildExecutor(node->child(0), ctx), BuildExecutor(node->child(1), ctx),
+          &node->join_keys, node->predicate.get());
+      break;
+    case PlanOp::kSort:
+      exec = std::make_unique<SortExecutor>(BuildExecutor(node->child(0), ctx),
+                                            &node->sort_keys, &node->sort_desc);
+      break;
+    case PlanOp::kMaterialize:
+      exec = std::make_unique<MaterializeExecutor>(
+          BuildExecutor(node->child(0), ctx));
+      break;
+    case PlanOp::kHashAggregate:
+      exec = std::make_unique<HashAggregateExecutor>(
+          BuildExecutor(node->child(0), ctx), &node->group_keys,
+          &node->aggregates, node->having.get());
+      break;
+    case PlanOp::kGroupAggregate:
+      exec = std::make_unique<GroupAggregateExecutor>(
+          BuildExecutor(node->child(0), ctx), &node->group_keys,
+          &node->aggregates, node->having.get());
+      break;
+    case PlanOp::kLimit:
+      exec = std::make_unique<LimitExecutor>(BuildExecutor(node->child(0), ctx),
+                                             node->limit_count);
+      break;
+  }
+  return std::make_unique<InstrumentedExecutor>(std::move(exec), node);
+}
+
+Result<ExecutionResult> ExecutePlan(PlanNode* root, Database* db,
+                                    const ExecutionOptions& options) {
+  QPP_RETURN_NOT_OK(BindPlan(root));  // rebinding an already-bound plan is a no-op
+  ResetActuals(root);
+  AssignNodeIds(root);
+  if (options.cold_start) db->buffer_pool()->FlushAll();
+  db->buffer_pool()->ResetCounters();
+
+  ExecContext ctx{db->buffer_pool()};
+  ExecutorPtr exec = BuildExecutor(root, &ctx);
+  ExecutionResult result;
+  QPP_RETURN_NOT_OK(exec->Open());
+  Tuple row;
+  while (true) {
+    auto r = exec->Next(&row);
+    if (!r.ok()) return r.status();
+    if (!*r) break;
+    ++result.row_count;
+    if (options.collect_rows) result.rows.push_back(row);
+  }
+  exec->Close();
+  result.latency_ms = root->actual.run_time_ms;
+  result.pool_hits = db->buffer_pool()->hits();
+  result.pool_misses = db->buffer_pool()->misses();
+  return result;
+}
+
+}  // namespace qpp

@@ -1,0 +1,660 @@
+#include "exec/executors.h"
+
+#include <algorithm>
+
+namespace qpp {
+namespace {
+
+inline double ElapsedMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// True iff the predicate (or absence of one) accepts the row.
+inline bool Accepts(const Expr* predicate, const Tuple& row) {
+  if (predicate == nullptr) return true;
+  const Value v = predicate->Eval(row);
+  return !v.is_null() && v.bool_value();
+}
+
+void Concat(const Tuple& l, const Tuple& r, Tuple* out) {
+  out->clear();
+  out->reserve(l.size() + r.size());
+  out->insert(out->end(), l.begin(), l.end());
+  out->insert(out->end(), r.begin(), r.end());
+}
+
+void ConcatNullRight(const Tuple& l, size_t right_arity, Tuple* out) {
+  out->clear();
+  out->reserve(l.size() + right_arity);
+  out->insert(out->end(), l.begin(), l.end());
+  for (size_t i = 0; i < right_arity; ++i) out->push_back(Value::Null());
+}
+
+}  // namespace
+
+// ------------------------------ Instrumented -------------------------------
+
+Status InstrumentedExecutor::Open() {
+  const auto t0 = Clock::now();
+  Status st = inner_->Open();
+  cumulative_ms_ += ElapsedMs(t0);
+  return st;
+}
+
+Result<bool> InstrumentedExecutor::Next(Tuple* out) {
+  const auto t0 = Clock::now();
+  Result<bool> r = inner_->Next(out);
+  cumulative_ms_ += ElapsedMs(t0);
+  if (r.ok() && *r) {
+    if (start_time_ms_ < 0) start_time_ms_ = cumulative_ms_;
+    ++rows_;
+  }
+  return r;
+}
+
+void InstrumentedExecutor::Close() {
+  const auto t0 = Clock::now();
+  inner_->Close();
+  cumulative_ms_ += ElapsedMs(t0);
+  node_->actual.valid = true;
+  node_->actual.start_time_ms =
+      start_time_ms_ < 0 ? cumulative_ms_ : start_time_ms_;
+  node_->actual.run_time_ms = cumulative_ms_;
+  node_->actual.rows = static_cast<double>(rows_);
+}
+
+// -------------------------------- SeqScan ----------------------------------
+
+Status SeqScanExecutor::Open() {
+  next_row_ = 0;
+  last_page_ = -1;
+  return Status::OK();
+}
+
+Result<bool> SeqScanExecutor::Next(Tuple* out) {
+  const int64_t n = table_->num_rows();
+  while (next_row_ < n) {
+    const int64_t row = next_row_++;
+    const int64_t page = table_->PageOfRow(row);
+    if (page != last_page_) {
+      ctx_->pool->AccessSequential(table_->id(), page);
+      last_page_ = page;
+      node_->actual.pages += 1;
+    }
+    table_->GetRow(row, &scratch_);
+    if (Accepts(predicate_, scratch_)) {
+      *out = scratch_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// -------------------------------- IndexScan --------------------------------
+
+Status IndexScanExecutor::Open() {
+  static const Tuple kEmpty;
+  const Value key = probe_->Eval(kEmpty);
+  if (key.is_null() || key.type() != TypeId::kInt64) {
+    return Status::InvalidArgument("index probe must be a non-null INT64");
+  }
+  if (!table_->HasIndex(index_column_)) {
+    return Status::InvalidArgument("no index on column " +
+                                   std::to_string(index_column_) + " of " +
+                                   table_->name());
+  }
+  matches_ = &table_->IndexLookup(index_column_, key.int64_value());
+  next_match_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexScanExecutor::Next(Tuple* out) {
+  while (next_match_ < matches_->size()) {
+    const int64_t row = (*matches_)[next_match_++];
+    ctx_->pool->AccessRandom(table_->id(), table_->PageOfRow(row));
+    node_->actual.pages += 1;
+    table_->GetRow(row, &scratch_);
+    if (Accepts(predicate_, scratch_)) {
+      *out = scratch_;
+      return true;
+    }
+  }
+  return false;
+}
+
+// -------------------------------- Filter -----------------------------------
+
+Result<bool> FilterExecutor::Next(Tuple* out) {
+  while (true) {
+    QPP_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    if (Accepts(predicate_, *out)) return true;
+  }
+}
+
+// -------------------------------- Project ----------------------------------
+
+Result<bool> ProjectExecutor::Next(Tuple* out) {
+  QPP_ASSIGN_OR_RETURN(bool has, child_->Next(&scratch_));
+  if (!has) return false;
+  out->clear();
+  out->reserve(projections_->size());
+  for (const auto& e : *projections_) out->push_back(e->Eval(scratch_));
+  return true;
+}
+
+// ------------------------------ NestedLoopJoin -----------------------------
+
+Status NestedLoopJoinExecutor::Open() {
+  outer_valid_ = false;
+  inner_open_ = false;
+  return left_->Open();
+}
+
+Result<bool> NestedLoopJoinExecutor::AdvanceOuter() {
+  QPP_ASSIGN_OR_RETURN(bool has, left_->Next(&outer_));
+  outer_valid_ = has;
+  outer_matched_ = false;
+  if (has) {
+    if (inner_open_) right_->Close();
+    QPP_RETURN_NOT_OK(right_->Open());
+    inner_open_ = true;
+  }
+  return has;
+}
+
+Result<bool> NestedLoopJoinExecutor::Next(Tuple* out) {
+  while (true) {
+    if (!outer_valid_) {
+      QPP_ASSIGN_OR_RETURN(bool has, AdvanceOuter());
+      if (!has) return false;
+    }
+    QPP_ASSIGN_OR_RETURN(bool inner_has, right_->Next(&inner_));
+    if (!inner_has) {
+      const bool was_matched = outer_matched_;
+      const Tuple outer_row = outer_;
+      outer_valid_ = false;
+      if (type_ == JoinType::kAnti && !was_matched) {
+        *out = outer_row;
+        return true;
+      }
+      if (type_ == JoinType::kLeftOuter && !was_matched) {
+        ConcatNullRight(outer_row, right_arity_, out);
+        return true;
+      }
+      continue;
+    }
+    Concat(outer_, inner_, &combined_);
+    if (!Accepts(predicate_, combined_)) continue;
+    outer_matched_ = true;
+    switch (type_) {
+      case JoinType::kInner:
+      case JoinType::kLeftOuter:
+        *out = combined_;
+        return true;
+      case JoinType::kSemi:
+        *out = outer_;
+        outer_valid_ = false;  // one output per outer row
+        return true;
+      case JoinType::kAnti:
+        outer_valid_ = false;  // matched: skip this outer row
+        continue;
+    }
+  }
+}
+
+void NestedLoopJoinExecutor::Close() {
+  left_->Close();
+  if (inner_open_) right_->Close();
+  inner_open_ = false;
+}
+
+// -------------------------------- HashJoin ---------------------------------
+
+Tuple HashJoinExecutor::LeftKey(const Tuple& t) const {
+  Tuple key;
+  key.reserve(keys_->size());
+  for (const auto& [l, r] : *keys_) key.push_back(t[static_cast<size_t>(l)]);
+  return key;
+}
+
+Status HashJoinExecutor::Open() {
+  hash_table_.clear();
+  probe_valid_ = false;
+  bucket_ = nullptr;
+  QPP_RETURN_NOT_OK(right_->Open());
+  Tuple row;
+  while (true) {
+    auto r = right_->Next(&row);
+    if (!r.ok()) return r.status();
+    if (!*r) break;
+    Tuple key;
+    key.reserve(keys_->size());
+    for (const auto& [l, rr] : *keys_) key.push_back(row[static_cast<size_t>(rr)]);
+    bool any_null = false;
+    for (const Value& v : key) any_null = any_null || v.is_null();
+    if (any_null) continue;  // null keys never join
+    hash_table_[HashTuple(key)].push_back(row);
+  }
+  right_->Close();
+  return left_->Open();
+}
+
+Result<bool> HashJoinExecutor::Next(Tuple* out) {
+  while (true) {
+    if (!probe_valid_) {
+      QPP_ASSIGN_OR_RETURN(bool has, left_->Next(&probe_));
+      if (!has) return false;
+      probe_valid_ = true;
+      probe_matched_ = false;
+      const Tuple key = LeftKey(probe_);
+      bool any_null = false;
+      for (const Value& v : key) any_null = any_null || v.is_null();
+      if (any_null) {
+        bucket_ = nullptr;
+      } else {
+        auto it = hash_table_.find(HashTuple(key));
+        bucket_ = it == hash_table_.end() ? nullptr : &it->second;
+      }
+      bucket_pos_ = 0;
+    }
+    while (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
+      const Tuple& build_row = (*bucket_)[bucket_pos_++];
+      // Verify the key equality (hash collisions) and residual predicate.
+      bool key_equal = true;
+      for (const auto& [l, r] : *keys_) {
+        if (probe_[static_cast<size_t>(l)].Compare(
+                build_row[static_cast<size_t>(r)]) != 0) {
+          key_equal = false;
+          break;
+        }
+      }
+      if (!key_equal) continue;
+      Concat(probe_, build_row, &combined_);
+      if (!Accepts(residual_, combined_)) continue;
+      probe_matched_ = true;
+      switch (type_) {
+        case JoinType::kInner:
+        case JoinType::kLeftOuter:
+          *out = combined_;
+          return true;
+        case JoinType::kSemi:
+          *out = probe_;
+          probe_valid_ = false;
+          return true;
+        case JoinType::kAnti:
+          probe_valid_ = false;
+          break;  // matched: drop this probe row
+      }
+      if (!probe_valid_) break;  // anti moved on
+    }
+    if (!probe_valid_) continue;  // anti-join advanced
+    // Bucket exhausted for this probe row.
+    const bool was_matched = probe_matched_;
+    const Tuple probe_row = probe_;
+    probe_valid_ = false;
+    if (type_ == JoinType::kAnti && !was_matched) {
+      *out = probe_row;
+      return true;
+    }
+    if (type_ == JoinType::kLeftOuter && !was_matched) {
+      ConcatNullRight(probe_row, right_arity_, out);
+      return true;
+    }
+  }
+}
+
+void HashJoinExecutor::Close() {
+  left_->Close();
+  hash_table_.clear();
+}
+
+// -------------------------------- MergeJoin --------------------------------
+
+int MergeJoinExecutor::CompareKeys(const Tuple& l, const Tuple& r) const {
+  for (const auto& [li, ri] : *keys_) {
+    const int c = l[static_cast<size_t>(li)].Compare(r[static_cast<size_t>(ri)]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Status MergeJoinExecutor::Open() {
+  QPP_RETURN_NOT_OK(left_->Open());
+  QPP_RETURN_NOT_OK(right_->Open());
+  auto l = left_->Next(&left_row_);
+  if (!l.ok()) return l.status();
+  left_valid_ = *l;
+  auto r = right_->Next(&right_row_);
+  if (!r.ok()) return r.status();
+  right_valid_ = *r;
+  group_active_ = false;
+  right_group_.clear();
+  return Status::OK();
+}
+
+Result<bool> MergeJoinExecutor::FillRightGroup() {
+  // Collects all right rows equal (on keys) to right_row_ into right_group_.
+  right_group_.clear();
+  right_group_.push_back(right_row_);
+  while (true) {
+    Tuple next;
+    QPP_ASSIGN_OR_RETURN(bool has, right_->Next(&next));
+    if (!has) {
+      right_valid_ = false;
+      break;
+    }
+    // Compare next right row against the group's representative using the
+    // right key positions on both sides.
+    bool same = true;
+    for (const auto& [li, ri] : *keys_) {
+      if (next[static_cast<size_t>(ri)].Compare(
+              right_group_.front()[static_cast<size_t>(ri)]) != 0) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      right_group_.push_back(std::move(next));
+    } else {
+      right_row_ = std::move(next);
+      break;
+    }
+  }
+  return true;
+}
+
+Result<bool> MergeJoinExecutor::Next(Tuple* out) {
+  while (true) {
+    if (group_active_) {
+      while (group_pos_ < right_group_.size()) {
+        Concat(left_row_, right_group_[group_pos_++], &combined_);
+        if (!Accepts(residual_, combined_)) continue;
+        *out = combined_;
+        return true;
+      }
+      // Advance left; if it stays in the same key group, replay the group.
+      Tuple prev = left_row_;
+      QPP_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      left_valid_ = has;
+      if (!has) return false;
+      bool same = true;
+      for (const auto& [li, ri] : *keys_) {
+        if (left_row_[static_cast<size_t>(li)].Compare(
+                prev[static_cast<size_t>(li)]) != 0) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        group_pos_ = 0;
+        continue;
+      }
+      group_active_ = false;
+    }
+    if (!left_valid_ || (!right_valid_ && right_group_.empty())) return false;
+    if (!right_valid_ && right_group_.empty()) return false;
+    if (!right_valid_) return false;
+    const int c = CompareKeys(left_row_, right_row_);
+    if (c < 0) {
+      QPP_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      left_valid_ = has;
+      if (!has) return false;
+    } else if (c > 0) {
+      QPP_ASSIGN_OR_RETURN(bool has, right_->Next(&right_row_));
+      right_valid_ = has;
+      if (!has) return false;
+    } else {
+      QPP_RETURN_NOT_OK(FillRightGroup().status());
+      group_active_ = true;
+      group_pos_ = 0;
+    }
+  }
+}
+
+void MergeJoinExecutor::Close() {
+  left_->Close();
+  right_->Close();
+  right_group_.clear();
+}
+
+// ---------------------------------- Sort -----------------------------------
+
+Status SortExecutor::Open() {
+  rows_.clear();
+  next_ = 0;
+  QPP_RETURN_NOT_OK(child_->Open());
+  Tuple row;
+  while (true) {
+    auto r = child_->Next(&row);
+    if (!r.ok()) return r.status();
+    if (!*r) break;
+    rows_.push_back(row);
+  }
+  child_->Close();
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Tuple& a, const Tuple& b) {
+                     for (size_t k = 0; k < keys_->size(); ++k) {
+                       const int col = (*keys_)[k];
+                       const int c = a[static_cast<size_t>(col)].Compare(
+                           b[static_cast<size_t>(col)]);
+                       if (c != 0) {
+                         return (*desc_)[k] ? c > 0 : c < 0;
+                       }
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortExecutor::Next(Tuple* out) {
+  if (next_ >= rows_.size()) return false;
+  *out = rows_[next_++];
+  return true;
+}
+
+void SortExecutor::Close() {
+  rows_.clear();
+  next_ = 0;
+}
+
+// ------------------------------- Materialize -------------------------------
+
+Status MaterializeExecutor::Open() {
+  next_ = 0;
+  if (filled_) return Status::OK();
+  QPP_RETURN_NOT_OK(child_->Open());
+  Tuple row;
+  while (true) {
+    auto r = child_->Next(&row);
+    if (!r.ok()) return r.status();
+    if (!*r) break;
+    buffer_.push_back(row);
+  }
+  child_->Close();
+  filled_ = true;
+  return Status::OK();
+}
+
+Result<bool> MaterializeExecutor::Next(Tuple* out) {
+  if (next_ >= buffer_.size()) return false;
+  *out = buffer_[next_++];
+  return true;
+}
+
+void MaterializeExecutor::Close() { next_ = 0; }
+
+// ------------------------------ HashAggregate ------------------------------
+
+Status HashAggregateExecutor::Open() {
+  results_.clear();
+  next_ = 0;
+  QPP_RETURN_NOT_OK(child_->Open());
+
+  struct Group {
+    Tuple key;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<size_t, std::vector<Group>> groups;
+  Tuple row;
+  while (true) {
+    auto r = child_->Next(&row);
+    if (!r.ok()) return r.status();
+    if (!*r) break;
+    Tuple key;
+    key.reserve(group_keys_->size());
+    for (int k : *group_keys_) key.push_back(row[static_cast<size_t>(k)]);
+    auto& chain = groups[HashTuple(key)];
+    Group* group = nullptr;
+    for (auto& g : chain) {
+      bool equal = g.key.size() == key.size();
+      for (size_t i = 0; equal && i < key.size(); ++i) {
+        equal = g.key[i].Compare(key[i]) == 0;
+      }
+      if (equal) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      chain.push_back(Group{key, {}});
+      group = &chain.back();
+      group->states.reserve(aggs_->size());
+      for (const auto& a : *aggs_) group->states.emplace_back(a.func);
+    }
+    for (size_t i = 0; i < aggs_->size(); ++i) {
+      const AggSpec& spec = (*aggs_)[i];
+      group->states[i].Step(spec.arg ? spec.arg->Eval(row) : Value::Int64(1));
+    }
+  }
+  child_->Close();
+
+  // SQL semantics: an ungrouped aggregate emits exactly one row even when
+  // the input is empty.
+  if (group_keys_->empty() && groups.empty()) {
+    Tuple out;
+    for (const auto& a : *aggs_) out.push_back(AggState(a.func).Finalize());
+    if (having_ == nullptr ||
+        (!having_->Eval(out).is_null() && having_->Eval(out).bool_value())) {
+      results_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  for (auto& [hash, chain] : groups) {
+    for (auto& g : chain) {
+      Tuple out = g.key;
+      for (const auto& s : g.states) out.push_back(s.Finalize());
+      if (having_ != nullptr) {
+        const Value v = having_->Eval(out);
+        if (v.is_null() || !v.bool_value()) continue;
+      }
+      results_.push_back(std::move(out));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateExecutor::Next(Tuple* out) {
+  if (next_ >= results_.size()) return false;
+  *out = results_[next_++];
+  return true;
+}
+
+void HashAggregateExecutor::Close() {
+  results_.clear();
+  next_ = 0;
+}
+
+// ------------------------------ GroupAggregate -----------------------------
+
+bool GroupAggregateExecutor::SameGroup(const Tuple& a, const Tuple& b) const {
+  for (int k : *group_keys_) {
+    if (a[static_cast<size_t>(k)].Compare(b[static_cast<size_t>(k)]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Tuple GroupAggregateExecutor::FinalizeGroup() {
+  Tuple out;
+  out.reserve(group_keys_->size() + aggs_->size());
+  for (int k : *group_keys_) out.push_back(current_row_[static_cast<size_t>(k)]);
+  for (const auto& s : states_) out.push_back(s.Finalize());
+  return out;
+}
+
+Status GroupAggregateExecutor::Open() {
+  have_row_ = false;
+  done_ = false;
+  states_.clear();
+  return child_->Open();
+}
+
+Result<bool> GroupAggregateExecutor::Next(Tuple* out) {
+  if (done_) return false;
+  while (true) {
+    if (!have_row_) {
+      QPP_ASSIGN_OR_RETURN(bool has, child_->Next(&current_row_));
+      if (!has) {
+        done_ = true;
+        return false;
+      }
+      have_row_ = true;
+      states_.clear();
+      states_.reserve(aggs_->size());
+      for (const auto& a : *aggs_) states_.emplace_back(a.func);
+    }
+    // Fold current_row_ and subsequent rows of the same group.
+    for (size_t i = 0; i < aggs_->size(); ++i) {
+      const AggSpec& spec = (*aggs_)[i];
+      states_[i].Step(spec.arg ? spec.arg->Eval(current_row_)
+                               : Value::Int64(1));
+    }
+    Tuple next_row;
+    QPP_ASSIGN_OR_RETURN(bool has, child_->Next(&next_row));
+    if (has && SameGroup(current_row_, next_row)) {
+      current_row_ = std::move(next_row);
+      continue;
+    }
+    Tuple result = FinalizeGroup();
+    if (has) {
+      current_row_ = std::move(next_row);
+      states_.clear();
+      states_.reserve(aggs_->size());
+      for (const auto& a : *aggs_) states_.emplace_back(a.func);
+    } else {
+      done_ = true;
+      have_row_ = false;
+    }
+    if (having_ != nullptr) {
+      const Value v = having_->Eval(result);
+      if (v.is_null() || !v.bool_value()) {
+        if (done_) return false;
+        continue;
+      }
+    }
+    *out = std::move(result);
+    return true;
+  }
+}
+
+void GroupAggregateExecutor::Close() {
+  child_->Close();
+  states_.clear();
+}
+
+// ---------------------------------- Limit ----------------------------------
+
+Result<bool> LimitExecutor::Next(Tuple* out) {
+  if (limit_ >= 0 && emitted_ >= limit_) return false;
+  QPP_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+  if (!has) return false;
+  ++emitted_;
+  return true;
+}
+
+}  // namespace qpp

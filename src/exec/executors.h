@@ -1,0 +1,335 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "storage/buffer_pool.h"
+
+namespace qpp {
+
+/// Shared execution state: the buffer pool "I/O" goes through.
+struct ExecContext {
+  BufferPool* pool = nullptr;
+};
+
+/// \brief Volcano-style iterator. Open() may be called again after Close()
+/// to rescan (NestedLoopJoin relies on this; Materialize makes it cheap).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual Status Open() = 0;
+  /// Produces the next tuple into *out; returns false when exhausted.
+  virtual Result<bool> Next(Tuple* out) = 0;
+  virtual void Close() = 0;
+};
+
+using ExecutorPtr = std::unique_ptr<Executor>;
+
+/// \brief Decorator that accumulates the paper's per-operator timings on the
+/// wrapped node: time spent inside the sub-plan rooted here (inclusive of
+/// children, since child calls happen within this operator's Open/Next),
+/// the moment the first tuple emerged (start-time), total time (run-time),
+/// and output cardinality.
+class InstrumentedExecutor : public Executor {
+ public:
+  InstrumentedExecutor(ExecutorPtr inner, PlanNode* node)
+      : inner_(std::move(inner)), node_(node) {}
+
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  ExecutorPtr inner_;
+  PlanNode* node_;
+  double cumulative_ms_ = 0.0;
+  double start_time_ms_ = -1.0;
+  int64_t rows_ = 0;
+};
+
+/// Sequential scan with optional residual predicate; charges one buffer-pool
+/// sequential page access per page boundary crossed.
+class SeqScanExecutor : public Executor {
+ public:
+  SeqScanExecutor(ExecContext* ctx, const Table* table, const Expr* predicate,
+                  PlanNode* node)
+      : ctx_(ctx), table_(table), predicate_(predicate), node_(node) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override {}
+
+ private:
+  ExecContext* ctx_;
+  const Table* table_;
+  const Expr* predicate_;
+  PlanNode* node_;
+  int64_t next_row_ = 0;
+  int64_t last_page_ = -1;
+  Tuple scratch_;
+};
+
+/// Index scan: probes the table's hash index with a constant key and applies
+/// the optional residual predicate. Charges random page accesses.
+class IndexScanExecutor : public Executor {
+ public:
+  IndexScanExecutor(ExecContext* ctx, const Table* table, int index_column,
+                    const Expr* probe, const Expr* predicate, PlanNode* node)
+      : ctx_(ctx),
+        table_(table),
+        index_column_(index_column),
+        probe_(probe),
+        predicate_(predicate),
+        node_(node) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override {}
+
+ private:
+  ExecContext* ctx_;
+  const Table* table_;
+  int index_column_;
+  const Expr* probe_;
+  const Expr* predicate_;
+  PlanNode* node_;
+  const std::vector<uint32_t>* matches_ = nullptr;
+  size_t next_match_ = 0;
+  Tuple scratch_;
+};
+
+/// Filters child tuples by a predicate.
+class FilterExecutor : public Executor {
+ public:
+  FilterExecutor(ExecutorPtr child, const Expr* predicate)
+      : child_(std::move(child)), predicate_(predicate) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecutorPtr child_;
+  const Expr* predicate_;
+};
+
+/// Computes projection expressions over child tuples.
+class ProjectExecutor : public Executor {
+ public:
+  ProjectExecutor(ExecutorPtr child, const std::vector<ExprPtr>* projections)
+      : child_(std::move(child)), projections_(projections) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecutorPtr child_;
+  const std::vector<ExprPtr>* projections_;
+  Tuple scratch_;
+};
+
+/// Nested-loop join: rescans the right (inner) child per outer tuple.
+/// Supports inner / left-outer / semi / anti with an arbitrary predicate
+/// over the concatenated tuple.
+class NestedLoopJoinExecutor : public Executor {
+ public:
+  NestedLoopJoinExecutor(ExecutorPtr left, ExecutorPtr right, JoinType type,
+                         const Expr* predicate, size_t right_arity)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        type_(type),
+        predicate_(predicate),
+        right_arity_(right_arity) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  Result<bool> AdvanceOuter();
+
+  ExecutorPtr left_, right_;
+  JoinType type_;
+  const Expr* predicate_;
+  size_t right_arity_;
+  Tuple outer_;
+  bool outer_valid_ = false;
+  bool outer_matched_ = false;
+  bool inner_open_ = false;
+  Tuple inner_;
+  Tuple combined_;
+};
+
+/// Hash join: builds on the right child, probes with the left. Supports
+/// inner / left-outer / semi / anti plus an optional residual predicate.
+class HashJoinExecutor : public Executor {
+ public:
+  HashJoinExecutor(ExecutorPtr left, ExecutorPtr right, JoinType type,
+                   const std::vector<std::pair<int, int>>* keys,
+                   const Expr* residual, size_t right_arity)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        type_(type),
+        keys_(keys),
+        residual_(residual),
+        right_arity_(right_arity) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  Tuple LeftKey(const Tuple& t) const;
+
+  ExecutorPtr left_, right_;
+  JoinType type_;
+  const std::vector<std::pair<int, int>>* keys_;
+  const Expr* residual_;
+  size_t right_arity_;
+  std::unordered_map<size_t, std::vector<Tuple>> hash_table_;
+  Tuple probe_;
+  bool probe_valid_ = false;
+  bool probe_matched_ = false;
+  const std::vector<Tuple>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+  Tuple combined_;
+};
+
+/// Merge join over inputs already sorted on the join keys (inner only; the
+/// optimizer adds Sort children as needed). Buffers right-side key groups to
+/// handle duplicates.
+class MergeJoinExecutor : public Executor {
+ public:
+  MergeJoinExecutor(ExecutorPtr left, ExecutorPtr right,
+                    const std::vector<std::pair<int, int>>* keys,
+                    const Expr* residual)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        keys_(keys),
+        residual_(residual) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  int CompareKeys(const Tuple& l, const Tuple& r) const;
+  Result<bool> FillRightGroup();
+
+  ExecutorPtr left_, right_;
+  const std::vector<std::pair<int, int>>* keys_;
+  const Expr* residual_;
+  Tuple left_row_;
+  bool left_valid_ = false;
+  Tuple right_row_;
+  bool right_valid_ = false;
+  std::vector<Tuple> right_group_;
+  size_t group_pos_ = 0;
+  bool group_active_ = false;
+  Tuple combined_;
+};
+
+/// Blocking full sort.
+class SortExecutor : public Executor {
+ public:
+  SortExecutor(ExecutorPtr child, const std::vector<int>* keys,
+               const std::vector<bool>* desc)
+      : child_(std::move(child)), keys_(keys), desc_(desc) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  ExecutorPtr child_;
+  const std::vector<int>* keys_;
+  const std::vector<bool>* desc_;
+  std::vector<Tuple> rows_;
+  size_t next_ = 0;
+};
+
+/// Materializes the child's output on first Open; later re-Opens replay the
+/// buffer without re-executing the child (the paper's Materialize start-time
+/// vs run-time example rests on exactly this behaviour).
+class MaterializeExecutor : public Executor {
+ public:
+  explicit MaterializeExecutor(ExecutorPtr child) : child_(std::move(child)) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  ExecutorPtr child_;
+  bool filled_ = false;
+  std::vector<Tuple> buffer_;
+  size_t next_ = 0;
+};
+
+/// Hash aggregation (blocking): groups by child column positions, computes
+/// AggSpecs, applies an optional HAVING predicate over the output row.
+class HashAggregateExecutor : public Executor {
+ public:
+  HashAggregateExecutor(ExecutorPtr child, const std::vector<int>* group_keys,
+                        const std::vector<AggSpec>* aggs, const Expr* having)
+      : child_(std::move(child)),
+        group_keys_(group_keys),
+        aggs_(aggs),
+        having_(having) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  ExecutorPtr child_;
+  const std::vector<int>* group_keys_;
+  const std::vector<AggSpec>* aggs_;
+  const Expr* having_;
+  std::vector<Tuple> results_;
+  size_t next_ = 0;
+};
+
+/// Streaming aggregation over input sorted by the group keys; emits each
+/// group as soon as its run ends (non-blocking start behaviour).
+class GroupAggregateExecutor : public Executor {
+ public:
+  GroupAggregateExecutor(ExecutorPtr child, const std::vector<int>* group_keys,
+                         const std::vector<AggSpec>* aggs, const Expr* having)
+      : child_(std::move(child)),
+        group_keys_(group_keys),
+        aggs_(aggs),
+        having_(having) {}
+  Status Open() override;
+  Result<bool> Next(Tuple* out) override;
+  void Close() override;
+
+ private:
+  bool SameGroup(const Tuple& a, const Tuple& b) const;
+  Tuple FinalizeGroup();
+
+  ExecutorPtr child_;
+  const std::vector<int>* group_keys_;
+  const std::vector<AggSpec>* aggs_;
+  const Expr* having_;
+  Tuple current_row_;
+  bool have_row_ = false;
+  bool done_ = false;
+  std::vector<AggState> states_;
+};
+
+/// LIMIT n.
+class LimitExecutor : public Executor {
+ public:
+  LimitExecutor(ExecutorPtr child, int64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Tuple* out) override;
+  void Close() override { child_->Close(); }
+
+ private:
+  ExecutorPtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace qpp

@@ -1,0 +1,429 @@
+#include "expr/expr.h"
+
+#include <cassert>
+
+namespace qpp {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+Status Expr::Bind(const NameResolver& resolver) {
+  for (Expr* child : MutableChildren()) {
+    QPP_RETURN_NOT_OK(child->Bind(resolver));
+  }
+  return Status::OK();
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind() == Kind::kColumnRef) {
+    out->push_back(static_cast<const ColumnRefExpr*>(this)->name());
+    return;
+  }
+  for (const Expr* child : Children()) child->CollectColumns(out);
+}
+
+Status ColumnRefExpr::Bind(const NameResolver& resolver) {
+  QPP_ASSIGN_OR_RETURN(index_, resolver(name_));
+  return Status::OK();
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  auto e = std::make_unique<ColumnRefExpr>(name_);
+  e->index_ = index_;
+  return e;
+}
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value_);
+}
+
+Value ComparisonExpr::Eval(const Tuple& row) const {
+  const Value l = left_->Eval(row);
+  const Value r = right_->Eval(row);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const int c = l.Compare(r);
+  switch (op_) {
+    case CmpOp::kEq: return Value::Bool(c == 0);
+    case CmpOp::kNe: return Value::Bool(c != 0);
+    case CmpOp::kLt: return Value::Bool(c < 0);
+    case CmpOp::kLe: return Value::Bool(c <= 0);
+    case CmpOp::kGt: return Value::Bool(c > 0);
+    case CmpOp::kGe: return Value::Bool(c >= 0);
+  }
+  return Value::Null();
+}
+
+ExprPtr ComparisonExpr::Clone() const {
+  return std::make_unique<ComparisonExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left_->ToString() + " " + CmpOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+Value BoolExpr::Eval(const Tuple& row) const {
+  if (kind() == Kind::kNot) {
+    const Value v = children_[0]->Eval(row);
+    if (v.is_null()) return Value::Null();
+    return Value::Bool(!v.bool_value());
+  }
+  const bool is_and = kind() == Kind::kAnd;
+  bool saw_null = false;
+  for (const auto& c : children_) {
+    const Value v = c->Eval(row);
+    if (v.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    if (is_and && !v.bool_value()) return Value::Bool(false);
+    if (!is_and && v.bool_value()) return Value::Bool(true);
+  }
+  if (saw_null) return Value::Null();
+  return Value::Bool(is_and);
+}
+
+ExprPtr BoolExpr::Clone() const {
+  std::vector<ExprPtr> kids;
+  kids.reserve(children_.size());
+  for (const auto& c : children_) kids.push_back(c->Clone());
+  return std::make_unique<BoolExpr>(kind(), std::move(kids));
+}
+
+std::string BoolExpr::ToString() const {
+  if (kind() == Kind::kNot) return "NOT " + children_[0]->ToString();
+  const char* sep = kind() == Kind::kAnd ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += sep;
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+std::vector<const Expr*> BoolExpr::Children() const {
+  std::vector<const Expr*> out;
+  out.reserve(children_.size());
+  for (const auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<Expr*> BoolExpr::MutableChildren() {
+  std::vector<Expr*> out;
+  out.reserve(children_.size());
+  for (auto& c : children_) out.push_back(c.get());
+  return out;
+}
+
+namespace {
+
+// Numeric promotion for arithmetic: decide the result family.
+Value ArithOnValues(ArithOp op, const Value& l, const Value& r) {
+  const TypeId lt = l.type();
+  const TypeId rt = r.type();
+  // Date arithmetic: date +/- int days.
+  if (lt == TypeId::kDate && rt == TypeId::kInt64) {
+    const int days = static_cast<int>(r.int64_value());
+    return Value::MakeDate(op == ArithOp::kAdd ? l.date_value().AddDays(days)
+                                               : l.date_value().AddDays(-days));
+  }
+  if (lt == TypeId::kDouble || rt == TypeId::kDouble) {
+    const double a = l.AsDouble();
+    const double b = r.AsDouble();
+    switch (op) {
+      case ArithOp::kAdd: return Value::MakeDouble(a + b);
+      case ArithOp::kSub: return Value::MakeDouble(a - b);
+      case ArithOp::kMul: return Value::MakeDouble(a * b);
+      case ArithOp::kDiv: return Value::MakeDouble(b == 0 ? 0 : a / b);
+    }
+  }
+  if (lt == TypeId::kDecimal || rt == TypeId::kDecimal) {
+    const Decimal a = lt == TypeId::kDecimal ? l.decimal_value()
+                                             : Decimal(l.int64_value(), 0);
+    const Decimal b = rt == TypeId::kDecimal ? r.decimal_value()
+                                             : Decimal(r.int64_value(), 0);
+    switch (op) {
+      case ArithOp::kAdd: return Value::MakeDecimal(a.Add(b));
+      case ArithOp::kSub: return Value::MakeDecimal(a.Sub(b));
+      case ArithOp::kMul: return Value::MakeDecimal(a.Mul(b));
+      case ArithOp::kDiv: return Value::MakeDecimal(a.Div(b));
+    }
+  }
+  const int64_t a = l.int64_value();
+  const int64_t b = r.int64_value();
+  switch (op) {
+    case ArithOp::kAdd: return Value::Int64(a + b);
+    case ArithOp::kSub: return Value::Int64(a - b);
+    case ArithOp::kMul: return Value::Int64(a * b);
+    case ArithOp::kDiv: return Value::Int64(b == 0 ? 0 : a / b);
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Value ArithExpr::Eval(const Tuple& row) const {
+  const Value l = left_->Eval(row);
+  const Value r = right_->Eval(row);
+  if (l.is_null() || r.is_null()) return Value::Null();
+  return ArithOnValues(op_, l, r);
+}
+
+ExprPtr ArithExpr::Clone() const {
+  return std::make_unique<ArithExpr>(op_, left_->Clone(), right_->Clone());
+}
+
+std::string ArithExpr::ToString() const {
+  return "(" + left_->ToString() + " " + ArithOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+bool LikeExpr::Match(const std::string& s, const std::string& p) {
+  // Iterative wildcard matcher with backtracking on '%'.
+  size_t si = 0, pi = 0;
+  size_t star_pi = std::string::npos, star_si = 0;
+  while (si < s.size()) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < p.size() && p[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < p.size() && p[pi] == '%') ++pi;
+  return pi == p.size();
+}
+
+Value LikeExpr::Eval(const Tuple& row) const {
+  const Value v = input_->Eval(row);
+  if (v.is_null()) return Value::Null();
+  const bool m = Match(v.string_value(), pattern_);
+  return Value::Bool(negated_ ? !m : m);
+}
+
+ExprPtr LikeExpr::Clone() const {
+  return std::make_unique<LikeExpr>(input_->Clone(), pattern_, negated_);
+}
+
+std::string LikeExpr::ToString() const {
+  return input_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "'";
+}
+
+Value InListExpr::Eval(const Tuple& row) const {
+  const Value v = input_->Eval(row);
+  if (v.is_null()) return Value::Null();
+  for (const Value& candidate : values_) {
+    if (v.Compare(candidate) == 0) return Value::Bool(!negated_);
+  }
+  return Value::Bool(negated_);
+}
+
+ExprPtr InListExpr::Clone() const {
+  return std::make_unique<InListExpr>(input_->Clone(), values_, negated_);
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = input_->ToString() + (negated_ ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    out += values_[i].ToString();
+  }
+  return out + ")";
+}
+
+Value CaseExpr::Eval(const Tuple& row) const {
+  for (const auto& [cond, result] : whens_) {
+    const Value c = cond->Eval(row);
+    if (!c.is_null() && c.bool_value()) return result->Eval(row);
+  }
+  return else_ ? else_->Eval(row) : Value::Null();
+}
+
+ExprPtr CaseExpr::Clone() const {
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  whens.reserve(whens_.size());
+  for (const auto& [c, r] : whens_) whens.emplace_back(c->Clone(), r->Clone());
+  return std::make_unique<CaseExpr>(std::move(whens),
+                                    else_ ? else_->Clone() : nullptr);
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (const auto& [c, r] : whens_) {
+    out += " WHEN " + c->ToString() + " THEN " + r->ToString();
+  }
+  if (else_) out += " ELSE " + else_->ToString();
+  return out + " END";
+}
+
+std::vector<const Expr*> CaseExpr::Children() const {
+  std::vector<const Expr*> out;
+  for (const auto& [c, r] : whens_) {
+    out.push_back(c.get());
+    out.push_back(r.get());
+  }
+  if (else_) out.push_back(else_.get());
+  return out;
+}
+
+std::vector<Expr*> CaseExpr::MutableChildren() {
+  std::vector<Expr*> out;
+  for (auto& [c, r] : whens_) {
+    out.push_back(c.get());
+    out.push_back(r.get());
+  }
+  if (else_) out.push_back(else_.get());
+  return out;
+}
+
+Value ExtractYearExpr::Eval(const Tuple& row) const {
+  const Value v = input_->Eval(row);
+  if (v.is_null()) return Value::Null();
+  return Value::Int64(v.date_value().year());
+}
+
+ExprPtr ExtractYearExpr::Clone() const {
+  return std::make_unique<ExtractYearExpr>(input_->Clone());
+}
+
+std::string ExtractYearExpr::ToString() const {
+  return "EXTRACT(YEAR FROM " + input_->ToString() + ")";
+}
+
+Value SubstringExpr::Eval(const Tuple& row) const {
+  const Value v = input_->Eval(row);
+  if (v.is_null()) return Value::Null();
+  const std::string& s = v.string_value();
+  const size_t start = start_ > 0 ? static_cast<size_t>(start_ - 1) : 0;
+  if (start >= s.size()) return Value::String("");
+  return Value::String(s.substr(start, static_cast<size_t>(len_)));
+}
+
+ExprPtr SubstringExpr::Clone() const {
+  return std::make_unique<SubstringExpr>(input_->Clone(), start_, len_);
+}
+
+std::string SubstringExpr::ToString() const {
+  return "SUBSTRING(" + input_->ToString() + " FROM " +
+         std::to_string(start_) + " FOR " + std::to_string(len_) + ")";
+}
+
+Value IsNullExpr::Eval(const Tuple& row) const {
+  const bool null = input_->Eval(row).is_null();
+  return Value::Bool(negated_ ? !null : null);
+}
+
+ExprPtr IsNullExpr::Clone() const {
+  return std::make_unique<IsNullExpr>(input_->Clone(), negated_);
+}
+
+std::string IsNullExpr::ToString() const {
+  return input_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+// --------------------------- factory helpers ------------------------------
+
+ExprPtr Col(std::string name) {
+  return std::make_unique<ColumnRefExpr>(std::move(name));
+}
+ExprPtr Lit(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int64(v)); }
+ExprPtr LitStr(std::string s) { return Lit(Value::String(std::move(s))); }
+ExprPtr LitDec(const std::string& s) {
+  auto d = Decimal::FromString(s);
+  assert(d.ok());
+  return Lit(Value::MakeDecimal(*d));
+}
+ExprPtr LitDate(const std::string& ymd) {
+  auto d = Date::FromString(ymd);
+  assert(d.ok());
+  return Lit(Value::MakeDate(*d));
+}
+ExprPtr Cmp(CmpOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<ComparisonExpr>(op, std::move(l), std::move(r));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kEq, std::move(l), std::move(r)); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kNe, std::move(l), std::move(r)); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kLt, std::move(l), std::move(r)); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kLe, std::move(l), std::move(r)); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kGt, std::move(l), std::move(r)); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kGe, std::move(l), std::move(r)); }
+ExprPtr And(std::vector<ExprPtr> children) {
+  return std::make_unique<BoolExpr>(Expr::Kind::kAnd, std::move(children));
+}
+ExprPtr Or(std::vector<ExprPtr> children) {
+  return std::make_unique<BoolExpr>(Expr::Kind::kOr, std::move(children));
+}
+ExprPtr Not(ExprPtr child) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(child));
+  return std::make_unique<BoolExpr>(Expr::Kind::kNot, std::move(kids));
+}
+ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kAdd, std::move(l), std::move(r));
+}
+ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kSub, std::move(l), std::move(r));
+}
+ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kMul, std::move(l), std::move(r));
+}
+ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithExpr>(ArithOp::kDiv, std::move(l), std::move(r));
+}
+ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_unique<LikeExpr>(std::move(input), std::move(pattern), false);
+}
+ExprPtr NotLike(ExprPtr input, std::string pattern) {
+  return std::make_unique<LikeExpr>(std::move(input), std::move(pattern), true);
+}
+ExprPtr In(ExprPtr input, std::vector<Value> values) {
+  return std::make_unique<InListExpr>(std::move(input), std::move(values), false);
+}
+ExprPtr NotIn(ExprPtr input, std::vector<Value> values) {
+  return std::make_unique<InListExpr>(std::move(input), std::move(values), true);
+}
+ExprPtr Between(ExprPtr input, ExprPtr lo, ExprPtr hi) {
+  ExprPtr copy = input->Clone();
+  std::vector<ExprPtr> kids;
+  kids.push_back(Ge(std::move(input), std::move(lo)));
+  kids.push_back(Le(std::move(copy), std::move(hi)));
+  return And(std::move(kids));
+}
+ExprPtr Year(ExprPtr input) {
+  return std::make_unique<ExtractYearExpr>(std::move(input));
+}
+ExprPtr Substr(ExprPtr input, int start, int len) {
+  return std::make_unique<SubstringExpr>(std::move(input), start, len);
+}
+ExprPtr Case(std::vector<std::pair<ExprPtr, ExprPtr>> whens, ExprPtr else_expr) {
+  return std::make_unique<CaseExpr>(std::move(whens), std::move(else_expr));
+}
+
+}  // namespace qpp

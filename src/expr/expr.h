@@ -1,0 +1,333 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace qpp {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* CmpOpName(CmpOp op);
+const char* ArithOpName(ArithOp op);
+
+/// Maps a (possibly alias-qualified) column name to its index in the tuple
+/// an expression will be evaluated against.
+using NameResolver = std::function<Result<int>(const std::string&)>;
+
+/// \brief Typed expression tree evaluated per tuple by the executor.
+///
+/// Expressions are built by the workload templates against *column names*
+/// ("l_shipdate", "n1.n_name") and bound to tuple positions by the optimizer
+/// once the plan shape (and hence each operator's input schema) is known.
+/// SQL three-valued logic is honored: any null operand yields null for
+/// comparisons/arithmetic, AND/OR follow Kleene semantics, and filters
+/// reject non-true results.
+class Expr {
+ public:
+  enum class Kind {
+    kColumnRef,
+    kLiteral,
+    kComparison,
+    kAnd,
+    kOr,
+    kNot,
+    kArith,
+    kLike,
+    kInList,
+    kCase,
+    kExtractYear,
+    kSubstring,
+    kIsNull,
+  };
+
+  explicit Expr(Kind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates against a bound tuple. Requires Bind() to have succeeded.
+  virtual Value Eval(const Tuple& row) const = 0;
+
+  /// Resolves column references to tuple indices; recurses into children.
+  virtual Status Bind(const NameResolver& resolver);
+
+  /// Deep copy (unbound state is preserved; bound indices are copied too).
+  virtual ExprPtr Clone() const = 0;
+
+  /// Display form for EXPLAIN and diagnostics.
+  virtual std::string ToString() const = 0;
+
+  /// Children, for generic tree walks (selectivity estimation, column
+  /// collection).
+  virtual std::vector<const Expr*> Children() const { return {}; }
+  virtual std::vector<Expr*> MutableChildren() { return {}; }
+
+  /// Collects all column names referenced by this tree into *out.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+ private:
+  Kind kind_;
+};
+
+/// Reference to a named column; `index` is set by Bind().
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name)
+      : Expr(Kind::kColumnRef), name_(std::move(name)) {}
+  Value Eval(const Tuple& row) const override { return row[static_cast<size_t>(index_)]; }
+  Status Bind(const NameResolver& resolver) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return name_; }
+  const std::string& name() const { return name_; }
+  int index() const { return index_; }
+  void set_index(int i) { index_ = i; }
+
+ private:
+  std::string name_;
+  int index_ = -1;
+};
+
+/// Constant value.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(Kind::kLiteral), value_(std::move(v)) {}
+  Value Eval(const Tuple&) const override { return value_; }
+  ExprPtr Clone() const override;
+  std::string ToString() const override { return value_.ToString(); }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Binary comparison with SQL null semantics.
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(CmpOp op, ExprPtr left, ExprPtr right)
+      : Expr(Kind::kComparison),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+  std::vector<Expr*> MutableChildren() override {
+    return {left_.get(), right_.get()};
+  }
+  CmpOp op() const { return op_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
+
+ private:
+  CmpOp op_;
+  ExprPtr left_, right_;
+};
+
+/// N-ary AND / OR with Kleene three-valued logic, or unary NOT.
+class BoolExpr : public Expr {
+ public:
+  BoolExpr(Kind kind, std::vector<ExprPtr> children)
+      : Expr(kind), children_(std::move(children)) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override;
+  std::vector<Expr*> MutableChildren() override;
+  size_t num_children() const { return children_.size(); }
+  const Expr* child(size_t i) const { return children_[i].get(); }
+  /// Transfers ownership of all children out (used by predicate splitting).
+  std::vector<ExprPtr> TakeChildren() { return std::move(children_); }
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+/// Binary arithmetic; numeric type promotion is int64 -> decimal -> double,
+/// and date +/- int64 performs day arithmetic.
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : Expr(Kind::kArith),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override {
+    return {left_.get(), right_.get()};
+  }
+  std::vector<Expr*> MutableChildren() override {
+    return {left_.get(), right_.get()};
+  }
+  ArithOp op() const { return op_; }
+
+ private:
+  ArithOp op_;
+  ExprPtr left_, right_;
+};
+
+/// SQL LIKE with % (any run) and _ (any one char); NOT LIKE via `negated`.
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern, bool negated = false)
+      : Expr(Kind::kLike),
+        input_(std::move(input)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {input_.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {input_.get()}; }
+  const std::string& pattern() const { return pattern_; }
+  bool negated() const { return negated_; }
+  const Expr* input() const { return input_.get(); }
+
+  /// True if `s` matches SQL LIKE `pattern` (exposed for tests).
+  static bool Match(const std::string& s, const std::string& pattern);
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+  bool negated_;
+};
+
+/// value IN (literal, ...). NOT IN via `negated`.
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr input, std::vector<Value> values, bool negated = false)
+      : Expr(Kind::kInList),
+        input_(std::move(input)),
+        values_(std::move(values)),
+        negated_(negated) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {input_.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {input_.get()}; }
+  const std::vector<Value>& values() const { return values_; }
+  bool negated() const { return negated_; }
+  const Expr* input() const { return input_.get(); }
+
+ private:
+  ExprPtr input_;
+  std::vector<Value> values_;
+  bool negated_;
+};
+
+/// CASE WHEN c1 THEN v1 [WHEN ...] ELSE e END.
+class CaseExpr : public Expr {
+ public:
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> whens, ExprPtr else_expr)
+      : Expr(Kind::kCase),
+        whens_(std::move(whens)),
+        else_(std::move(else_expr)) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override;
+  std::vector<Expr*> MutableChildren() override;
+
+ private:
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens_;
+  ExprPtr else_;
+};
+
+/// EXTRACT(YEAR FROM date) -> int64.
+class ExtractYearExpr : public Expr {
+ public:
+  explicit ExtractYearExpr(ExprPtr input)
+      : Expr(Kind::kExtractYear), input_(std::move(input)) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {input_.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {input_.get()}; }
+
+ private:
+  ExprPtr input_;
+};
+
+/// SUBSTRING(s FROM start FOR len), 1-based like SQL.
+class SubstringExpr : public Expr {
+ public:
+  SubstringExpr(ExprPtr input, int start, int len)
+      : Expr(Kind::kSubstring), input_(std::move(input)), start_(start), len_(len) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {input_.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {input_.get()}; }
+
+ private:
+  ExprPtr input_;
+  int start_, len_;
+};
+
+/// IS NULL / IS NOT NULL.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr input, bool negated)
+      : Expr(Kind::kIsNull), input_(std::move(input)), negated_(negated) {}
+  Value Eval(const Tuple& row) const override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  std::vector<const Expr*> Children() const override { return {input_.get()}; }
+  std::vector<Expr*> MutableChildren() override { return {input_.get()}; }
+  bool negated() const { return negated_; }
+
+ private:
+  ExprPtr input_;
+  bool negated_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory helpers: the vocabulary the TPC-H templates are written in.
+// ---------------------------------------------------------------------------
+
+ExprPtr Col(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitStr(std::string s);
+ExprPtr LitDec(const std::string& s);  // aborts on malformed literal
+ExprPtr LitDate(const std::string& ymd);
+ExprPtr Cmp(CmpOp op, ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Ne(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Not(ExprPtr child);
+ExprPtr Add(ExprPtr l, ExprPtr r);
+ExprPtr Sub(ExprPtr l, ExprPtr r);
+ExprPtr Mul(ExprPtr l, ExprPtr r);
+ExprPtr Div(ExprPtr l, ExprPtr r);
+ExprPtr Like(ExprPtr input, std::string pattern);
+ExprPtr NotLike(ExprPtr input, std::string pattern);
+ExprPtr In(ExprPtr input, std::vector<Value> values);
+ExprPtr NotIn(ExprPtr input, std::vector<Value> values);
+ExprPtr Between(ExprPtr input, ExprPtr lo, ExprPtr hi);
+ExprPtr Year(ExprPtr input);
+ExprPtr Substr(ExprPtr input, int start, int len);
+ExprPtr Case(std::vector<std::pair<ExprPtr, ExprPtr>> whens, ExprPtr else_expr);
+
+}  // namespace qpp

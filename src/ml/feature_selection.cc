@@ -1,0 +1,95 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace qpp {
+
+std::vector<int> RankFeaturesByCorrelation(const FeatureMatrix& x,
+                                           const std::vector<double>& y) {
+  if (x.empty()) return {};
+  const size_t d = x[0].size();
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(d);
+  std::vector<double> column(x.size());
+  for (size_t j = 0; j < d; ++j) {
+    for (size_t i = 0; i < x.size(); ++i) column[i] = x[i][j];
+    scored.emplace_back(std::abs(PearsonCorrelation(column, y)),
+                        static_cast<int>(j));
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> out;
+  out.reserve(d);
+  for (const auto& [score, idx] : scored) out.push_back(idx);
+  return out;
+}
+
+FeatureMatrix SelectColumns(const FeatureMatrix& x,
+                            const std::vector<int>& columns) {
+  FeatureMatrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(SelectColumns(row, columns));
+  return out;
+}
+
+std::vector<double> SelectColumns(const std::vector<double>& row,
+                                  const std::vector<int>& columns) {
+  std::vector<double> out;
+  out.reserve(columns.size());
+  for (int c : columns) {
+    out.push_back(c >= 0 && static_cast<size_t>(c) < row.size()
+                      ? row[static_cast<size_t>(c)]
+                      : 0.0);
+  }
+  return out;
+}
+
+Result<FeatureSelectionResult> ForwardFeatureSelection(
+    const RegressionModel& prototype, const FeatureMatrix& x,
+    const std::vector<double>& y, const FeatureSelectionConfig& config) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("empty or mismatched data");
+  }
+  const std::vector<int> ranked = RankFeaturesByCorrelation(x, y);
+  Rng rng(config.seed);
+  FeatureSelectionResult result;
+  result.cv_error = 1e300;
+  int rejections = 0;
+
+  for (int candidate : ranked) {
+    if (config.max_features > 0 &&
+        static_cast<int>(result.selected.size()) >= config.max_features) {
+      break;
+    }
+    std::vector<int> trial = result.selected;
+    trial.push_back(candidate);
+    const FeatureMatrix projected = SelectColumns(x, trial);
+    Rng fold_rng = rng.Fork();
+    const auto folds = KFold(x.size(), config.cv_folds, &fold_rng);
+    auto cv = CrossValidate(prototype, projected, y, folds);
+    if (!cv.ok()) return cv.status();
+    if (cv->mean_relative_error + config.min_improvement < result.cv_error) {
+      result.selected = std::move(trial);
+      result.cv_error = cv->mean_relative_error;
+      rejections = 0;
+    } else {
+      if (++rejections >= config.patience) break;
+    }
+  }
+  if (result.selected.empty()) {
+    // Degenerate target (e.g. constant): keep the top-ranked feature so the
+    // caller always has a usable model.
+    result.selected.push_back(ranked.empty() ? 0 : ranked[0]);
+    const FeatureMatrix projected = SelectColumns(x, result.selected);
+    Rng fold_rng = rng.Fork();
+    auto cv = CrossValidate(prototype, projected, y,
+                            KFold(x.size(), config.cv_folds, &fold_rng));
+    if (cv.ok()) result.cv_error = cv->mean_relative_error;
+  }
+  return result;
+}
+
+}  // namespace qpp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+#include "ml/validation.h"
+
+namespace qpp {
+
+/// Knobs of the forward feature selection search.
+struct FeatureSelectionConfig {
+  /// Cross-validation folds used to score candidate feature sets.
+  int cv_folds = 3;
+  /// Stop after this many consecutive non-improving additions.
+  int patience = 3;
+  /// Upper bound on selected features (<= 0 means no bound).
+  int max_features = 0;
+  /// Minimum CV-error improvement to accept a feature.
+  double min_improvement = 1e-4;
+  uint64_t seed = 17;
+};
+
+/// Outcome of feature selection.
+struct FeatureSelectionResult {
+  /// Indices of the chosen features, in selection order.
+  std::vector<int> selected;
+  /// CV mean relative error of the final feature set.
+  double cv_error = 0.0;
+};
+
+/// \brief Forward feature selection (Section 2 of the paper): ranks
+/// candidate features by absolute linear correlation with the target, then
+/// best-first adds them in rank order, keeping a feature only when it
+/// improves cross-validated error; stops after `patience` consecutive
+/// rejections.
+Result<FeatureSelectionResult> ForwardFeatureSelection(
+    const RegressionModel& prototype, const FeatureMatrix& x,
+    const std::vector<double>& y, const FeatureSelectionConfig& config = {});
+
+/// Ranks feature indices by |Pearson correlation| with the target,
+/// descending (exposed for tests and diagnostics).
+std::vector<int> RankFeaturesByCorrelation(const FeatureMatrix& x,
+                                           const std::vector<double>& y);
+
+/// Projects a feature matrix onto the selected columns.
+FeatureMatrix SelectColumns(const FeatureMatrix& x,
+                            const std::vector<int>& columns);
+
+/// Projects a single row onto the selected columns.
+std::vector<double> SelectColumns(const std::vector<double>& row,
+                                  const std::vector<int>& columns);
+
+}  // namespace qpp

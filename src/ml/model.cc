@@ -1,0 +1,40 @@
+#include "ml/model.h"
+
+#include <sstream>
+
+#include "ml/linreg.h"
+#include "ml/svr.h"
+
+namespace qpp {
+
+const char* ModelTypeName(ModelType t) {
+  switch (t) {
+    case ModelType::kLinearRegression: return "linreg";
+    case ModelType::kSvr: return "svr";
+  }
+  return "?";
+}
+
+std::unique_ptr<RegressionModel> MakeModel(ModelType type) {
+  switch (type) {
+    case ModelType::kLinearRegression:
+      return std::make_unique<LinearRegression>();
+    case ModelType::kSvr:
+      return std::make_unique<SvRegression>();
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<RegressionModel>> DeserializeModel(
+    const std::string& text) {
+  std::vector<std::string> fields;
+  std::stringstream ss(text);
+  std::string field;
+  while (std::getline(ss, field, '|')) fields.push_back(field);
+  if (fields.empty()) return Status::InvalidArgument("empty model payload");
+  if (fields[0] == "linreg") return LinearRegression::Deserialize(fields);
+  if (fields[0] == "svr") return SvRegression::Deserialize(fields);
+  return Status::InvalidArgument("unknown model family: " + fields[0]);
+}
+
+}  // namespace qpp

@@ -1,0 +1,199 @@
+#include "ml/svr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qpp {
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SqDist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+
+}  // namespace
+
+double SvRegression::Kernel(const std::vector<double>& a,
+                            const std::vector<double>& b) const {
+  // +1 absorbs the bias term.
+  if (config_.kernel == KernelType::kLinear) return Dot(a, b) + 1.0;
+  return std::exp(-gamma_ * SqDist(a, b)) + 1.0;
+}
+
+std::vector<double> SvRegression::ScaleRow(const std::vector<double>& x) const {
+  std::vector<double> out(feat_min_.size(), 0.0);
+  for (size_t j = 0; j < feat_min_.size(); ++j) {
+    const double v = j < x.size() ? x[j] : 0.0;
+    out[j] = (v - feat_min_[j]) / feat_range_[j];
+  }
+  return out;
+}
+
+Status SvRegression::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("empty or mismatched training data");
+  }
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != d) return Status::InvalidArgument("ragged feature matrix");
+  }
+  gamma_ = config_.gamma > 0 ? config_.gamma
+                             : 1.0 / std::max<size_t>(1, d);
+
+  // Min-max scale features and target to [0, 1].
+  feat_min_.assign(d, 0.0);
+  feat_range_.assign(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    double lo = x[0][j], hi = x[0][j];
+    for (size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, x[i][j]);
+      hi = std::max(hi, x[i][j]);
+    }
+    feat_min_[j] = lo;
+    feat_range_[j] = hi - lo > 1e-12 ? hi - lo : 1.0;
+  }
+  y_min_ = *std::min_element(y.begin(), y.end());
+  const double y_max = *std::max_element(y.begin(), y.end());
+  y_range_ = y_max - y_min_ > 1e-12 ? y_max - y_min_ : 1.0;
+
+  FeatureMatrix xs(n);
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = ScaleRow(x[i]);
+    ys[i] = (y[i] - y_min_) / y_range_;
+  }
+
+  // Precompute the kernel matrix (training sets here are small enough).
+  std::vector<double> k(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = Kernel(xs[i], xs[j]);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+
+  // Cyclic coordinate descent on the bias-absorbed dual:
+  //   min 0.5 b'Kb - b'y + eps*|b|_1,  |b_i| <= C.
+  std::vector<double> beta(n, 0.0);
+  std::vector<double> kb(n, 0.0);  // K * beta
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double kii = k[i * n + i];
+      if (kii <= 0) continue;
+      // Residual with beta_i removed.
+      const double r = ys[i] - (kb[i] - k[i * n + i] * beta[i]);
+      // Soft threshold by epsilon, then clip to the box.
+      double nb = 0.0;
+      if (r > config_.epsilon) {
+        nb = (r - config_.epsilon) / kii;
+      } else if (r < -config_.epsilon) {
+        nb = (r + config_.epsilon) / kii;
+      }
+      nb = std::clamp(nb, -config_.c, config_.c);
+      const double delta = nb - beta[i];
+      if (delta != 0.0) {
+        for (size_t j = 0; j < n; ++j) kb[j] += delta * k[i * n + j];
+        beta[i] = nb;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < config_.tolerance) break;
+  }
+
+  support_.clear();
+  beta_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (std::abs(beta[i]) > 1e-12) {
+      support_.push_back(xs[i]);
+      beta_.push_back(beta[i]);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double SvRegression::Predict(const std::vector<double>& x) const {
+  const std::vector<double> xs = ScaleRow(x);
+  double f = 0.0;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    f += beta_[i] * Kernel(support_[i], xs);
+  }
+  // Far from every support vector the RBF terms vanish and only the
+  // absorbed-bias contribution (sum of betas) remains, which is not anchored
+  // the way libsvm's explicit bias is. Clamp to one target-range beyond the
+  // observed targets — matching the bounded extrapolation of a proper
+  // epsilon-SVR — instead of letting unsupported extrapolations run away.
+  f = std::clamp(f, -1.0, 2.0);
+  return f * y_range_ + y_min_;
+}
+
+int SvRegression::num_support_vectors() const {
+  return static_cast<int>(support_.size());
+}
+
+std::string SvRegression::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "svr|" << static_cast<int>(config_.kernel) << "|" << config_.c << "|"
+      << config_.epsilon << "|" << gamma_ << "|" << y_min_ << "|" << y_range_
+      << "|" << feat_min_.size() << "|" << support_.size();
+  for (double v : feat_min_) out << "|" << v;
+  for (double v : feat_range_) out << "|" << v;
+  for (size_t i = 0; i < support_.size(); ++i) {
+    out << "|" << beta_[i];
+    for (double v : support_[i]) out << "|" << v;
+  }
+  return out.str();
+}
+
+Result<std::unique_ptr<RegressionModel>> SvRegression::Deserialize(
+    const std::vector<std::string>& fields) {
+  if (fields.size() < 9) return Status::InvalidArgument("bad svr payload");
+  SvrConfig cfg;
+  cfg.kernel = static_cast<KernelType>(std::stoi(fields[1]));
+  cfg.c = std::stod(fields[2]);
+  cfg.epsilon = std::stod(fields[3]);
+  auto model = std::make_unique<SvRegression>(cfg);
+  model->gamma_ = std::stod(fields[4]);
+  model->y_min_ = std::stod(fields[5]);
+  model->y_range_ = std::stod(fields[6]);
+  const size_t d = std::stoul(fields[7]);
+  const size_t sv = std::stoul(fields[8]);
+  const size_t expected = 9 + 2 * d + sv * (1 + d);
+  if (fields.size() != expected) {
+    return Status::InvalidArgument("bad svr payload size");
+  }
+  size_t pos = 9;
+  model->feat_min_.resize(d);
+  for (size_t j = 0; j < d; ++j) model->feat_min_[j] = std::stod(fields[pos++]);
+  model->feat_range_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    model->feat_range_[j] = std::stod(fields[pos++]);
+  }
+  model->support_.resize(sv);
+  model->beta_.resize(sv);
+  for (size_t i = 0; i < sv; ++i) {
+    model->beta_[i] = std::stod(fields[pos++]);
+    model->support_[i].resize(d);
+    for (size_t j = 0; j < d; ++j) {
+      model->support_[i][j] = std::stod(fields[pos++]);
+    }
+  }
+  model->fitted_ = true;
+  return std::unique_ptr<RegressionModel>(std::move(model));
+}
+
+}  // namespace qpp

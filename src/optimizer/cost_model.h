@@ -1,0 +1,28 @@
+#pragma once
+
+namespace qpp {
+
+/// \brief PostgreSQL-style analytical cost model constants.
+///
+/// These are the knobs of the classic disk-oriented cost model the paper
+/// argues is a poor latency predictor: costs are unitless "page fetch
+/// equivalents", heavily weighted toward I/O, with CPU work charged at
+/// fixed per-tuple/per-operator rates that ignore which operations are
+/// actually expensive (e.g. software decimal arithmetic) and ignore caching
+/// across operators.
+struct CostModel {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  /// Default selectivity for predicates the planner cannot estimate from
+  /// statistics (PostgreSQL's DEFAULT_INEQ_SEL).
+  double default_ineq_selectivity = 1.0 / 3.0;
+  /// Default selectivity for unestimable equality-like predicates.
+  double default_eq_selectivity = 0.005;
+  /// Default selectivity for non-prefix LIKE patterns.
+  double default_like_selectivity = 0.05;
+};
+
+}  // namespace qpp

@@ -1,0 +1,694 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpp {
+namespace {
+
+constexpr double kDefaultNDistinct = 200.0;
+
+double Log2Safe(double n) { return n > 2 ? std::log2(n) : 1.0; }
+
+// Width estimate for a single output column.
+double ColumnWidth(const Schema::Column& c) {
+  if (c.type == TypeId::kString) return (c.modifier > 0 ? c.modifier : 16) + 16;
+  return 8;
+}
+
+}  // namespace
+
+TypeId InferType(const Expr& e, const Schema& schema) {
+  switch (e.kind()) {
+    case Expr::Kind::kColumnRef: {
+      auto idx = ResolveColumn(schema,
+                               static_cast<const ColumnRefExpr&>(e).name());
+      if (!idx.ok()) return TypeId::kNull;
+      return schema.column(static_cast<size_t>(*idx)).type;
+    }
+    case Expr::Kind::kLiteral:
+      return static_cast<const LiteralExpr&>(e).value().type();
+    case Expr::Kind::kComparison:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+    case Expr::Kind::kNot:
+    case Expr::Kind::kLike:
+    case Expr::Kind::kInList:
+    case Expr::Kind::kIsNull:
+      return TypeId::kBool;
+    case Expr::Kind::kArith: {
+      const auto children = e.Children();
+      const TypeId l = InferType(*children[0], schema);
+      const TypeId r = InferType(*children[1], schema);
+      if (l == TypeId::kDate || r == TypeId::kDate) return TypeId::kDate;
+      if (l == TypeId::kDouble || r == TypeId::kDouble) return TypeId::kDouble;
+      if (l == TypeId::kDecimal || r == TypeId::kDecimal) return TypeId::kDecimal;
+      return TypeId::kInt64;
+    }
+    case Expr::Kind::kCase: {
+      // Type of the first THEN branch.
+      const auto children = e.Children();
+      if (children.size() >= 2) return InferType(*children[1], schema);
+      return TypeId::kNull;
+    }
+    case Expr::Kind::kExtractYear:
+      return TypeId::kInt64;
+    case Expr::Kind::kSubstring:
+      return TypeId::kString;
+  }
+  return TypeId::kNull;
+}
+
+TypeId AggResultType(AggFunc func, TypeId arg_type) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+    case AggFunc::kCountDistinct:
+      return TypeId::kInt64;
+    case AggFunc::kSum:
+      return arg_type == TypeId::kDecimal ? TypeId::kDecimal
+             : arg_type == TypeId::kDouble ? TypeId::kDouble
+                                           : TypeId::kInt64;
+    case AggFunc::kAvg:
+      return arg_type == TypeId::kDecimal ? TypeId::kDecimal : TypeId::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg_type;
+  }
+  return TypeId::kNull;
+}
+
+Optimizer::Optimizer(const Database* db, CostModel cm) : db_(db), cm_(cm) {}
+
+StatsResolver Optimizer::GetStatsResolver() const {
+  return [this](const std::string& name) -> const ColumnStats* {
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      const std::string alias = name.substr(0, dot);
+      const std::string col = name.substr(dot + 1);
+      auto it = alias_tables_.find(alias);
+      if (it == alias_tables_.end()) return nullptr;
+      const TableStats* ts = db_->GetStats(it->second->id());
+      return ts == nullptr ? nullptr : ts->Column(col);
+    }
+    for (const Table* t : db_->tables()) {
+      if (t->schema().FindColumn(name) >= 0) {
+        const TableStats* ts = db_->GetStats(t->id());
+        return ts == nullptr ? nullptr : ts->Column(name);
+      }
+    }
+    return nullptr;
+  };
+}
+
+double Optimizer::NDistinct(const std::string& column) const {
+  const ColumnStats* cs = GetStatsResolver()(column);
+  if (cs == nullptr) return kDefaultNDistinct;
+  return std::max(1.0, cs->ndistinct);
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeScan(
+    const std::string& table_name, const std::string& alias, ExprPtr filter) {
+  const Table* table = db_->GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const std::string label = alias.empty() ? table_name : alias;
+  alias_tables_[label] = table;
+
+  auto node = std::make_unique<PlanNode>(PlanOp::kSeqScan);
+  node->table = table;
+  node->label = label;
+  std::vector<Schema::Column> cols;
+  for (const auto& c : table->schema().columns()) {
+    Schema::Column qc = c;
+    if (label != table_name) qc.name = label + "." + c.name;
+    cols.push_back(qc);
+  }
+  node->output_schema = Schema(std::move(cols));
+
+  double sel = 1.0;
+  int qual_count = 0;
+  if (filter != nullptr) {
+    sel = EstimateSelectivity(*filter, GetStatsResolver(), cm_);
+    qual_count = 1;
+  }
+  const double in_rows = static_cast<double>(table->num_rows());
+  const double pages = static_cast<double>(table->num_pages());
+  node->est.rows = std::max(1.0, std::round(in_rows * sel));
+  node->est.width = table->schema().EstimatedRowWidth();
+  node->est.pages = pages;
+  node->est.selectivity = sel;
+  node->est.startup_cost = 0.0;
+  node->est.total_cost = pages * cm_.seq_page_cost +
+                         in_rows * cm_.cpu_tuple_cost +
+                         in_rows * qual_count * cm_.cpu_operator_cost;
+  node->predicate = std::move(filter);
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeIndexScan(
+    const std::string& table_name, const std::string& alias,
+    const std::string& key_column, ExprPtr probe, ExprPtr filter) {
+  const Table* table = db_->GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+  const int col = table->schema().FindColumn(key_column);
+  if (col < 0) return Status::NotFound("column " + key_column);
+  if (!table->HasIndex(col)) {
+    return Status::InvalidArgument("no index on " + table_name + "." +
+                                   key_column);
+  }
+  const std::string label = alias.empty() ? table_name : alias;
+  alias_tables_[label] = table;
+
+  auto node = std::make_unique<PlanNode>(PlanOp::kIndexScan);
+  node->table = table;
+  node->label = label;
+  node->index_column = col;
+  node->index_probe = std::move(probe);
+  std::vector<Schema::Column> cols;
+  for (const auto& c : table->schema().columns()) {
+    Schema::Column qc = c;
+    if (label != table_name) qc.name = label + "." + c.name;
+    cols.push_back(qc);
+  }
+  node->output_schema = Schema(std::move(cols));
+
+  const double in_rows = static_cast<double>(table->num_rows());
+  const double eq_sel = std::min(1.0, 1.0 / NDistinct(key_column));
+  double sel = eq_sel;
+  if (filter != nullptr) {
+    sel *= EstimateSelectivity(*filter, GetStatsResolver(), cm_);
+  }
+  const double matches = std::max(1.0, in_rows * eq_sel);
+  node->est.rows = std::max(1.0, std::round(in_rows * sel));
+  node->est.width = table->schema().EstimatedRowWidth();
+  node->est.pages = matches;  // one random page per match, worst case
+  node->est.selectivity = sel;
+  node->est.startup_cost = 0.0;
+  node->est.total_cost = matches * cm_.random_page_cost +
+                         matches * cm_.cpu_index_tuple_cost +
+                         matches * cm_.cpu_tuple_cost;
+  node->predicate = std::move(filter);
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeJoin(
+    PlanOp op, JoinType type, std::unique_ptr<PlanNode> left,
+    std::unique_ptr<PlanNode> right,
+    const std::vector<std::pair<std::string, std::string>>& key_names,
+    ExprPtr residual) {
+  if (op != PlanOp::kHashJoin && op != PlanOp::kMergeJoin &&
+      op != PlanOp::kNestedLoopJoin) {
+    return Status::InvalidArgument("not a join operator");
+  }
+  if (op == PlanOp::kMergeJoin && type != JoinType::kInner) {
+    return Status::NotImplemented("merge join supports inner joins only");
+  }
+
+  // Resolve join keys; accept either (left, right) or (right, left) naming.
+  std::vector<std::pair<int, int>> keys;
+  std::vector<std::pair<std::string, std::string>> oriented;  // left, right
+  for (const auto& [a, b] : key_names) {
+    auto la = ResolveColumn(left->output_schema, a);
+    auto rb = ResolveColumn(right->output_schema, b);
+    if (la.ok() && rb.ok()) {
+      keys.emplace_back(*la, *rb);
+      oriented.emplace_back(a, b);
+      continue;
+    }
+    auto lb = ResolveColumn(left->output_schema, b);
+    auto ra = ResolveColumn(right->output_schema, a);
+    if (lb.ok() && ra.ok()) {
+      keys.emplace_back(*lb, *ra);
+      oriented.emplace_back(b, a);
+      continue;
+    }
+    return Status::InvalidArgument("cannot resolve join keys " + a + " = " + b);
+  }
+
+  // Cardinality estimation.
+  const double rows_l = std::max(1.0, left->est.rows);
+  const double rows_r = std::max(1.0, right->est.rows);
+  double out_rows;
+  if (type == JoinType::kSemi || type == JoinType::kAnti) {
+    double match_frac = keys.empty() ? 0.5 : 1.0;
+    for (const auto& [lname, rname] : oriented) {
+      match_frac *= std::min(1.0, NDistinct(rname) / NDistinct(lname));
+    }
+    if (type == JoinType::kAnti) match_frac = 1.0 - match_frac;
+    match_frac = std::clamp(match_frac, 0.0, 1.0);
+    out_rows = rows_l * match_frac;
+  } else {
+    double sel = 1.0;
+    for (const auto& [lname, rname] : oriented) {
+      sel *= 1.0 / std::max(NDistinct(lname), NDistinct(rname));
+    }
+    out_rows = rows_l * rows_r * sel;
+    if (type == JoinType::kLeftOuter) out_rows = std::max(out_rows, rows_l);
+  }
+  double residual_sel = 1.0;
+  if (residual != nullptr) {
+    residual_sel = EstimateSelectivity(*residual, GetStatsResolver(), cm_);
+    out_rows *= residual_sel;
+  }
+  out_rows = std::max(1.0, std::round(out_rows));
+
+  // Merge join requires sorted inputs; NL join materializes its inner side.
+  if (op == PlanOp::kMergeJoin) {
+    for (int side = 0; side < 2; ++side) {
+      std::unique_ptr<PlanNode>& child = side == 0 ? left : right;
+      auto sort = std::make_unique<PlanNode>(PlanOp::kSort);
+      for (const auto& [l, r] : keys) {
+        sort->sort_keys.push_back(side == 0 ? l : r);
+        sort->sort_desc.push_back(false);
+      }
+      sort->output_schema = child->output_schema;
+      const double n = std::max(1.0, child->est.rows);
+      sort->est.rows = child->est.rows;
+      sort->est.width = child->est.width;
+      sort->est.pages = n * child->est.width / BufferPool::kPageSize;
+      sort->est.selectivity = 1.0;
+      sort->est.startup_cost =
+          child->est.total_cost + 2.0 * n * Log2Safe(n) * cm_.cpu_operator_cost;
+      sort->est.total_cost = sort->est.startup_cost + n * cm_.cpu_operator_cost;
+      sort->children.push_back(std::move(child));
+      child = std::move(sort);
+    }
+  }
+  if (op == PlanOp::kNestedLoopJoin && right->op != PlanOp::kMaterialize) {
+    right = MakeMaterialize(std::move(right));
+  }
+
+  auto node = std::make_unique<PlanNode>(op);
+  node->join_type = type;
+  node->join_keys = keys;
+
+  // Output schema.
+  std::vector<Schema::Column> cols = left->output_schema.columns();
+  if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
+    for (const auto& c : right->output_schema.columns()) cols.push_back(c);
+  }
+  node->output_schema = Schema(std::move(cols));
+
+  // Nested-loop executes via a predicate rather than key indices; build the
+  // conjunction (keys + residual).
+  if (op == PlanOp::kNestedLoopJoin) {
+    std::vector<ExprPtr> conj;
+    for (const auto& [lname, rname] : oriented) {
+      conj.push_back(Eq(Col(lname), Col(rname)));
+    }
+    if (residual != nullptr) conj.push_back(std::move(residual));
+    if (!conj.empty()) {
+      node->predicate = conj.size() == 1 ? std::move(conj[0]) : And(std::move(conj));
+    }
+  } else {
+    node->predicate = std::move(residual);
+  }
+
+  // Costs.
+  const double nkeys = std::max<double>(1.0, static_cast<double>(keys.size()));
+  const double lw = left->est.width;
+  const double rw = right->est.width;
+  PlanEstimates& est = node->est;
+  est.rows = out_rows;
+  est.width = (type == JoinType::kInner || type == JoinType::kLeftOuter)
+                  ? lw + rw
+                  : lw;
+  est.pages = 0.0;
+  est.selectivity = (type == JoinType::kSemi || type == JoinType::kAnti)
+                        ? out_rows / rows_l
+                        : out_rows / (rows_l * rows_r);
+  switch (op) {
+    case PlanOp::kHashJoin:
+      est.startup_cost = right->est.total_cost +
+                         rows_r * (nkeys * cm_.cpu_operator_cost +
+                                   cm_.cpu_tuple_cost);
+      est.total_cost = est.startup_cost + left->est.total_cost +
+                       rows_l * nkeys * cm_.cpu_operator_cost +
+                       out_rows * cm_.cpu_tuple_cost;
+      break;
+    case PlanOp::kMergeJoin:
+      est.startup_cost = left->est.startup_cost + right->est.startup_cost;
+      est.total_cost = left->est.total_cost + right->est.total_cost +
+                       (rows_l + rows_r) * nkeys * cm_.cpu_operator_cost +
+                       out_rows * cm_.cpu_tuple_cost;
+      break;
+    case PlanOp::kNestedLoopJoin:
+    default:
+      est.startup_cost = left->est.startup_cost + right->est.startup_cost;
+      est.total_cost = left->est.total_cost + right->est.total_cost +
+                       rows_l * rows_r * cm_.cpu_operator_cost +
+                       out_rows * cm_.cpu_tuple_cost;
+      break;
+  }
+
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeFilter(
+    std::unique_ptr<PlanNode> child, ExprPtr predicate) {
+  auto node = std::make_unique<PlanNode>(PlanOp::kFilter);
+  const double sel =
+      EstimateSelectivity(*predicate, GetStatsResolver(), cm_);
+  node->output_schema = child->output_schema;
+  node->est.rows = std::max(1.0, std::round(child->est.rows * sel));
+  node->est.width = child->est.width;
+  node->est.selectivity = sel;
+  node->est.startup_cost = child->est.startup_cost;
+  node->est.total_cost =
+      child->est.total_cost + child->est.rows * cm_.cpu_operator_cost;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeProject(
+    std::unique_ptr<PlanNode> child, std::vector<ExprPtr> exprs,
+    std::vector<std::string> names) {
+  if (exprs.size() != names.size()) {
+    return Status::InvalidArgument("projection arity mismatch");
+  }
+  auto node = std::make_unique<PlanNode>(PlanOp::kProject);
+  std::vector<Schema::Column> cols;
+  double width = 0;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    const TypeId t = InferType(*exprs[i], child->output_schema);
+    Schema::Column c{names[i], t, t == TypeId::kDecimal ? 4 : 0};
+    width += ColumnWidth(c);
+    cols.push_back(std::move(c));
+  }
+  node->output_schema = Schema(std::move(cols));
+  node->est.rows = child->est.rows;
+  node->est.width = width;
+  node->est.selectivity = 1.0;
+  node->est.startup_cost = child->est.startup_cost;
+  node->est.total_cost =
+      child->est.total_cost +
+      child->est.rows * static_cast<double>(exprs.size()) *
+          cm_.cpu_operator_cost;
+  node->projections = std::move(exprs);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeAggregate(
+    std::unique_ptr<PlanNode> child, const std::vector<std::string>& group_cols,
+    std::vector<AggSpec> aggs, ExprPtr having, bool input_sorted) {
+  auto node = std::make_unique<PlanNode>(
+      input_sorted ? PlanOp::kGroupAggregate : PlanOp::kHashAggregate);
+
+  std::vector<Schema::Column> cols;
+  double groups = 1.0;
+  for (const auto& g : group_cols) {
+    QPP_ASSIGN_OR_RETURN(int idx, ResolveColumn(child->output_schema, g));
+    node->group_keys.push_back(idx);
+    cols.push_back(child->output_schema.column(static_cast<size_t>(idx)));
+    groups *= NDistinct(g);
+  }
+  for (const auto& a : aggs) {
+    const TypeId arg_type =
+        a.arg ? InferType(*a.arg, child->output_schema) : TypeId::kInt64;
+    const TypeId out = AggResultType(a.func, arg_type);
+    cols.push_back({a.output_name, out, out == TypeId::kDecimal ? 4 : 0});
+  }
+  node->output_schema = Schema(std::move(cols));
+
+  const double in_rows = std::max(1.0, child->est.rows);
+  groups = group_cols.empty() ? 1.0 : std::min(groups, in_rows);
+  double having_sel = 1.0;
+  if (having != nullptr) {
+    // HAVING predicates reference aggregate outputs, for which no column
+    // statistics exist — the planner falls back to defaults, one of the
+    // systematic estimation errors (cf. the paper's template-18 example).
+    having_sel = EstimateSelectivity(*having, GetStatsResolver(), cm_);
+  }
+  const double out_rows = std::max(1.0, std::round(groups * having_sel));
+  const double agg_ops = static_cast<double>(
+      aggs.size() + node->group_keys.size());
+
+  node->est.rows = out_rows;
+  double width = 0;
+  for (const auto& c : node->output_schema.columns()) width += ColumnWidth(c);
+  node->est.width = width;
+  node->est.selectivity = std::min(1.0, out_rows / in_rows);
+  if (node->op == PlanOp::kHashAggregate) {
+    node->est.startup_cost =
+        child->est.total_cost + in_rows * agg_ops * cm_.cpu_operator_cost;
+    node->est.total_cost =
+        node->est.startup_cost + groups * cm_.cpu_tuple_cost;
+  } else {
+    node->est.startup_cost = child->est.startup_cost;
+    node->est.total_cost = child->est.total_cost +
+                           in_rows * agg_ops * cm_.cpu_operator_cost +
+                           groups * cm_.cpu_tuple_cost;
+  }
+  node->aggregates = std::move(aggs);
+  node->having = std::move(having);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+Result<std::unique_ptr<PlanNode>> Optimizer::MakeSort(
+    std::unique_ptr<PlanNode> child, const std::vector<std::string>& keys,
+    const std::vector<bool>& desc) {
+  if (keys.size() != desc.size()) {
+    return Status::InvalidArgument("sort keys/directions mismatch");
+  }
+  auto node = std::make_unique<PlanNode>(PlanOp::kSort);
+  for (const auto& k : keys) {
+    QPP_ASSIGN_OR_RETURN(int idx, ResolveColumn(child->output_schema, k));
+    node->sort_keys.push_back(idx);
+  }
+  node->sort_desc = desc;
+  node->output_schema = child->output_schema;
+  const double n = std::max(1.0, child->est.rows);
+  node->est.rows = child->est.rows;
+  node->est.width = child->est.width;
+  node->est.pages = n * child->est.width / BufferPool::kPageSize;
+  node->est.selectivity = 1.0;
+  node->est.startup_cost =
+      child->est.total_cost + 2.0 * n * Log2Safe(n) * cm_.cpu_operator_cost;
+  node->est.total_cost = node->est.startup_cost + n * cm_.cpu_operator_cost;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> Optimizer::MakeLimit(std::unique_ptr<PlanNode> child,
+                                               int64_t count) {
+  auto node = std::make_unique<PlanNode>(PlanOp::kLimit);
+  node->limit_count = count;
+  node->output_schema = child->output_schema;
+  const double in_rows = std::max(1.0, child->est.rows);
+  const double out_rows =
+      std::min<double>(static_cast<double>(count), in_rows);
+  const double fraction = out_rows / in_rows;
+  node->est.rows = out_rows;
+  node->est.width = child->est.width;
+  node->est.selectivity = fraction;
+  node->est.startup_cost = child->est.startup_cost;
+  node->est.total_cost =
+      child->est.startup_cost +
+      (child->est.total_cost - child->est.startup_cost) * fraction;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+std::unique_ptr<PlanNode> Optimizer::MakeMaterialize(
+    std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>(PlanOp::kMaterialize);
+  node->output_schema = child->output_schema;
+  const double n = std::max(1.0, child->est.rows);
+  node->est.rows = child->est.rows;
+  node->est.width = child->est.width;
+  node->est.pages = n * child->est.width / BufferPool::kPageSize;
+  node->est.selectivity = 1.0;
+  node->est.startup_cost = child->est.startup_cost;
+  node->est.total_cost = child->est.total_cost + n * cm_.cpu_operator_cost;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+// ----------------------------- join enumeration ----------------------------
+
+Result<std::unique_ptr<PlanNode>> Optimizer::OptimizeJoinBlock(JoinBlock block) {
+  const size_t n = block.relations.size();
+  if (n == 0) return Status::InvalidArgument("empty join block");
+  if (n > 12) return Status::InvalidArgument("too many relations (max 12)");
+
+  // Resolve aliases.
+  std::vector<std::string> aliases(n);
+  for (size_t i = 0; i < n; ++i) {
+    aliases[i] = block.relations[i].alias.empty() ? block.relations[i].table
+                                                  : block.relations[i].alias;
+  }
+  // Maps a (possibly qualified) column name to the relation index owning it.
+  auto owner_of = [&](const std::string& name) -> int {
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      const std::string alias = name.substr(0, dot);
+      for (size_t i = 0; i < n; ++i) {
+        if (aliases[i] == alias) return static_cast<int>(i);
+      }
+      return -1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Table* t = db_->GetTable(block.relations[i].table);
+      if (t != nullptr && t->schema().FindColumn(name) >= 0) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  // Partition filters into single-relation (pushed to scans) and
+  // multi-relation (applied at the covering join).
+  std::vector<std::vector<ExprPtr>> pushed(n);
+  struct PendingFilter {
+    uint32_t rel_mask;
+    ExprPtr expr;
+  };
+  std::vector<PendingFilter> pending;
+  for (auto& f : block.filters) {
+    std::vector<std::string> columns;
+    f->CollectColumns(&columns);
+    uint32_t mask = 0;
+    bool resolvable = true;
+    for (const auto& c : columns) {
+      const int owner = owner_of(c);
+      if (owner < 0) {
+        resolvable = false;
+        break;
+      }
+      mask |= 1u << owner;
+    }
+    if (!resolvable || mask == 0) {
+      return Status::InvalidArgument("cannot place filter: " + f->ToString());
+    }
+    if ((mask & (mask - 1)) == 0) {
+      // single relation
+      int rel = 0;
+      while (!(mask & (1u << rel))) ++rel;
+      pushed[static_cast<size_t>(rel)].push_back(std::move(f));
+    } else {
+      pending.push_back({mask, std::move(f)});
+    }
+  }
+
+  // Resolve equi-join predicates to relation pairs.
+  struct EquiPred {
+    int rel_a, rel_b;
+    std::string col_a, col_b;
+  };
+  std::vector<EquiPred> preds;
+  for (const auto& [a, b] : block.equi_preds) {
+    const int ra = owner_of(a);
+    const int rb = owner_of(b);
+    if (ra < 0 || rb < 0 || ra == rb) {
+      return Status::InvalidArgument("bad equi-join predicate " + a + "=" + b);
+    }
+    preds.push_back({ra, rb, a, b});
+  }
+
+  // DP over relation subsets.
+  const uint32_t full = n >= 32 ? 0xFFFFFFFFu : (1u << n) - 1;
+  std::vector<std::unique_ptr<PlanNode>> best(full + 1);
+
+  for (size_t i = 0; i < n; ++i) {
+    ExprPtr filter;
+    if (pushed[i].size() == 1) {
+      filter = std::move(pushed[i][0]);
+    } else if (pushed[i].size() > 1) {
+      filter = And(std::move(pushed[i]));
+    }
+    QPP_ASSIGN_OR_RETURN(best[1u << i],
+                         MakeScan(block.relations[i].table, aliases[i],
+                                  std::move(filter)));
+  }
+
+  auto covered_by = [&](uint32_t rel_mask, uint32_t mask) {
+    return (rel_mask & mask) == rel_mask;
+  };
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // single relation
+    // Try connected splits first; fall back to cross products.
+    for (int pass = 0; pass < 2 && best[mask] == nullptr; ++pass) {
+      for (uint32_t left = (mask - 1) & mask; left != 0;
+           left = (left - 1) & mask) {
+        const uint32_t right = mask & ~left;
+        if (right == 0) continue;
+        // Left-deep enumeration (System R): the build/inner side is always
+        // a base relation. Besides keeping the search small, this
+        // normalizes plan shapes so that equivalent query fragments compile
+        // to identical sub-plan structures across templates — the sharing
+        // that Figure 4 of the paper observes and hybrid/online modeling
+        // exploits.
+        if ((right & (right - 1)) != 0) continue;
+        if (best[left] == nullptr || best[right] == nullptr) continue;
+
+        // Keys connecting the two sides (oriented left, right).
+        std::vector<std::pair<std::string, std::string>> keys;
+        for (const auto& p : preds) {
+          const uint32_t ma = 1u << p.rel_a;
+          const uint32_t mb = 1u << p.rel_b;
+          if ((ma & left) && (mb & right)) {
+            keys.emplace_back(p.col_a, p.col_b);
+          } else if ((mb & left) && (ma & right)) {
+            keys.emplace_back(p.col_b, p.col_a);
+          }
+        }
+        if (pass == 0 && keys.empty()) continue;  // avoid cross products
+
+        // Residual filters newly covered at this join.
+        std::vector<ExprPtr> residuals;
+        for (const auto& pf : pending) {
+          if (covered_by(pf.rel_mask, mask) && !covered_by(pf.rel_mask, left) &&
+              !covered_by(pf.rel_mask, right)) {
+            residuals.push_back(pf.expr->Clone());
+          }
+        }
+        ExprPtr residual;
+        if (residuals.size() == 1) {
+          residual = std::move(residuals[0]);
+        } else if (residuals.size() > 1) {
+          residual = And(std::move(residuals));
+        }
+
+        // Candidate physical joins.
+        std::vector<std::unique_ptr<PlanNode>> candidates;
+        {
+          auto hj = MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                             best[left]->Clone(), best[right]->Clone(), keys,
+                             residual ? residual->Clone() : nullptr);
+          if (hj.ok()) candidates.push_back(std::move(*hj));
+        }
+        if (!keys.empty()) {
+          auto mj = MakeJoin(PlanOp::kMergeJoin, JoinType::kInner,
+                             best[left]->Clone(), best[right]->Clone(), keys,
+                             residual ? residual->Clone() : nullptr);
+          if (mj.ok()) candidates.push_back(std::move(*mj));
+        }
+        if (best[right]->est.rows <= 2000.0) {
+          auto nl = MakeJoin(PlanOp::kNestedLoopJoin, JoinType::kInner,
+                             best[left]->Clone(), best[right]->Clone(), keys,
+                             residual ? residual->Clone() : nullptr);
+          if (nl.ok()) candidates.push_back(std::move(*nl));
+        }
+        for (auto& cand : candidates) {
+          if (best[mask] == nullptr ||
+              cand->est.total_cost < best[mask]->est.total_cost) {
+            best[mask] = std::move(cand);
+          }
+        }
+      }
+    }
+    if (best[mask] == nullptr && mask == full) {
+      return Status::Internal("join enumeration failed");
+    }
+  }
+  if (best[full] == nullptr) return Status::Internal("join enumeration failed");
+  return std::move(best[full]);
+}
+
+}  // namespace qpp

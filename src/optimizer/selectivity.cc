@@ -1,0 +1,197 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+
+namespace qpp {
+namespace {
+
+double Clamp01(double s) { return std::clamp(s, 0.0, 1.0); }
+
+// Returns the column stats if the expression is a plain column reference.
+const ColumnStats* AsColumnStats(const Expr& e, const StatsResolver& stats) {
+  if (e.kind() != Expr::Kind::kColumnRef) return nullptr;
+  return stats(static_cast<const ColumnRefExpr&>(e).name());
+}
+
+const Value* AsLiteral(const Expr& e) {
+  if (e.kind() != Expr::Kind::kLiteral) return nullptr;
+  return &static_cast<const LiteralExpr&>(e).value();
+}
+
+CmpOp FlipOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+double ComparisonSelectivity(const ComparisonExpr& cmp,
+                             const StatsResolver& stats, const CostModel& cm) {
+  const ColumnStats* lcs = AsColumnStats(*cmp.left(), stats);
+  const Value* rlit = AsLiteral(*cmp.right());
+  if (lcs != nullptr && rlit != nullptr) {
+    return lcs->CmpSelectivity(cmp.op(), *rlit);
+  }
+  const ColumnStats* rcs = AsColumnStats(*cmp.right(), stats);
+  const Value* llit = AsLiteral(*cmp.left());
+  if (rcs != nullptr && llit != nullptr) {
+    return rcs->CmpSelectivity(FlipOp(cmp.op()), *llit);
+  }
+  // Column-vs-column or expressions over columns: defaults.
+  if (cmp.op() == CmpOp::kEq) return cm.default_eq_selectivity;
+  if (cmp.op() == CmpOp::kNe) return 1.0 - cm.default_eq_selectivity;
+  return cm.default_ineq_selectivity;
+}
+
+// Prefix of a LIKE pattern up to the first wildcard; empty when the pattern
+// starts with a wildcard.
+std::string LikePrefix(const std::string& pattern) {
+  std::string prefix;
+  for (char c : pattern) {
+    if (c == '%' || c == '_') break;
+    prefix += c;
+  }
+  return prefix;
+}
+
+double LikeSelectivity(const LikeExpr& like, const StatsResolver& stats,
+                       const CostModel& cm) {
+  double sel = cm.default_like_selectivity;
+  const ColumnStats* cs = AsColumnStats(*like.input(), stats);
+  const std::string prefix = LikePrefix(like.pattern());
+  if (cs != nullptr && !prefix.empty()) {
+    // Range query [prefix, prefix with last byte bumped).
+    const double lo = NumericView(Value::String(prefix));
+    std::string hi_str = prefix;
+    hi_str.back() = static_cast<char>(static_cast<unsigned char>(hi_str.back()) + 1);
+    const double hi = NumericView(Value::String(hi_str));
+    sel = Clamp01(cs->LtSelectivity(hi, false) - cs->LtSelectivity(lo, false));
+    // An exact-prefix pattern with trailing wildcards only ("FOO%") is fully
+    // captured by the range; patterns with inner wildcards keep a residual
+    // factor.
+    const std::string rest = like.pattern().substr(prefix.size());
+    bool only_trailing_percent = true;
+    for (char c : rest) only_trailing_percent = only_trailing_percent && c == '%';
+    if (!only_trailing_percent) sel *= 0.5;
+  }
+  return Clamp01(like.negated() ? 1.0 - sel : sel);
+}
+
+double InListSelectivity(const InListExpr& in, const StatsResolver& stats,
+                         const CostModel& cm) {
+  const ColumnStats* cs = AsColumnStats(*in.input(), stats);
+  double sel = 0.0;
+  for (const Value& v : in.values()) {
+    sel += cs != nullptr ? cs->EqSelectivity(v) : cm.default_eq_selectivity;
+  }
+  sel = Clamp01(sel);
+  return Clamp01(in.negated() ? 1.0 - sel : sel);
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& predicate, const StatsResolver& stats,
+                           const CostModel& cm) {
+  switch (predicate.kind()) {
+    case Expr::Kind::kComparison:
+      return Clamp01(ComparisonSelectivity(
+          static_cast<const ComparisonExpr&>(predicate), stats, cm));
+    case Expr::Kind::kAnd: {
+      // PostgreSQL-style range-pair detection: a lower and an upper bound on
+      // the same column combine as F(hi) - F(lo) instead of the independence
+      // product (which would assign ~25% to every window regardless of
+      // width). Remaining conjuncts multiply under independence.
+      struct Range {
+        const ColumnStats* cs = nullptr;
+        double lo_sel = 0.0;   // selectivity of the > / >= bound
+        double hi_sel = 1.0;   // selectivity of the < / <= bound
+        bool has_lo = false, has_hi = false;
+      };
+      std::map<std::string, Range> ranges;
+      double sel = 1.0;
+      for (const Expr* c : predicate.Children()) {
+        bool handled = false;
+        if (c->kind() == Expr::Kind::kComparison) {
+          const auto& cmp = static_cast<const ComparisonExpr&>(*c);
+          const Expr* col_side = nullptr;
+          const Value* lit = nullptr;
+          CmpOp op = cmp.op();
+          if ((lit = AsLiteral(*cmp.right())) != nullptr) {
+            col_side = cmp.left();
+          } else if ((lit = AsLiteral(*cmp.left())) != nullptr) {
+            col_side = cmp.right();
+            op = FlipOp(op);
+          }
+          if (col_side != nullptr && col_side->kind() == Expr::Kind::kColumnRef &&
+              (op == CmpOp::kLt || op == CmpOp::kLe || op == CmpOp::kGt ||
+               op == CmpOp::kGe)) {
+            const auto& ref = static_cast<const ColumnRefExpr&>(*col_side);
+            const ColumnStats* cs = stats(ref.name());
+            if (cs != nullptr) {
+              Range& r = ranges[ref.name()];
+              r.cs = cs;
+              const double s = cs->CmpSelectivity(op, *lit);
+              if (op == CmpOp::kLt || op == CmpOp::kLe) {
+                r.hi_sel = r.has_hi ? std::min(r.hi_sel, s) : s;
+                r.has_hi = true;
+              } else {
+                // Convert "x > v" selectivity into "fraction below v".
+                r.lo_sel = r.has_lo ? std::max(r.lo_sel, 1.0 - s) : 1.0 - s;
+                r.has_lo = true;
+              }
+              handled = true;
+            }
+          }
+        }
+        if (!handled) sel *= EstimateSelectivity(*c, stats, cm);
+      }
+      for (const auto& [name, r] : ranges) {
+        if (r.has_lo && r.has_hi) {
+          sel *= std::max(1e-6, r.hi_sel - r.lo_sel);
+        } else if (r.has_hi) {
+          sel *= r.hi_sel;
+        } else {
+          sel *= std::max(1e-6, 1.0 - r.lo_sel);
+        }
+      }
+      return Clamp01(sel);
+    }
+    case Expr::Kind::kOr: {
+      double not_sel = 1.0;
+      for (const Expr* c : predicate.Children()) {
+        not_sel *= 1.0 - EstimateSelectivity(*c, stats, cm);
+      }
+      return Clamp01(1.0 - not_sel);
+    }
+    case Expr::Kind::kNot:
+      return Clamp01(1.0 -
+                     EstimateSelectivity(*predicate.Children()[0], stats, cm));
+    case Expr::Kind::kLike:
+      return LikeSelectivity(static_cast<const LikeExpr&>(predicate), stats, cm);
+    case Expr::Kind::kInList:
+      return InListSelectivity(static_cast<const InListExpr&>(predicate),
+                               stats, cm);
+    case Expr::Kind::kIsNull: {
+      // Without per-expression null stats, use the column's null fraction
+      // when directly available.
+      const auto& isnull = static_cast<const IsNullExpr&>(predicate);
+      const ColumnStats* cs = AsColumnStats(*isnull.Children()[0], stats);
+      const double nf = cs != nullptr ? cs->null_fraction : 0.01;
+      return Clamp01(isnull.negated() ? 1.0 - nf : nf);
+    }
+    case Expr::Kind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(predicate).value();
+      if (v.type() == TypeId::kBool) return v.bool_value() ? 1.0 : 0.0;
+      return cm.default_ineq_selectivity;
+    }
+    default:
+      return cm.default_ineq_selectivity;
+  }
+}
+
+}  // namespace qpp

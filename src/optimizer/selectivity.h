@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "catalog/stats.h"
+#include "expr/expr.h"
+#include "optimizer/cost_model.h"
+
+namespace qpp {
+
+/// Maps a (possibly alias-qualified) column name to that column's
+/// statistics, or nullptr when unavailable.
+using StatsResolver =
+    std::function<const ColumnStats*(const std::string& name)>;
+
+/// \brief Estimates the selectivity of a boolean predicate tree against
+/// column statistics, PostgreSQL-style: histogram/MCV lookups for
+/// column-vs-constant comparisons, prefix-LIKE as a range query over the
+/// string numeric view, AND as a product and OR as inclusion-exclusion
+/// (both under the attribute-independence assumption), and fixed defaults
+/// for anything unestimable — the exact mix whose systematic errors the
+/// paper's learned models must absorb.
+double EstimateSelectivity(const Expr& predicate, const StatsResolver& stats,
+                           const CostModel& cm);
+
+}  // namespace qpp

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace qpp {
+
+/// Physical operator types. This is the vocabulary both the executor and
+/// the QPP feature extraction (<operator_name>_cnt / _rows features of
+/// Table 1, per-operator-type models of Section 3.2) are built over.
+enum class PlanOp {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kHashJoin,
+  kMergeJoin,
+  kSort,
+  kMaterialize,
+  kHashAggregate,
+  kGroupAggregate,
+  kLimit,
+};
+
+constexpr int kNumPlanOps = 12;
+
+const char* PlanOpName(PlanOp op);
+
+/// Join semantics (EXISTS/IN rewrite to semi, NOT EXISTS to anti).
+enum class JoinType { kInner, kLeftOuter, kSemi, kAnti };
+
+const char* JoinTypeName(JoinType t);
+
+/// \brief Optimizer estimates attached to every plan node — the static,
+/// compile-time feature surface (what PostgreSQL's EXPLAIN exposes).
+struct PlanEstimates {
+  /// Cost until the first output tuple (plan-level feature p_st_cost).
+  double startup_cost = 0.0;
+  /// Total cost (p_tot_cost).
+  double total_cost = 0.0;
+  /// Estimated output tuples (p_rows / nt).
+  double rows = 0.0;
+  /// Estimated average output tuple width in bytes (p_width).
+  double width = 0.0;
+  /// Estimated I/O in pages charged at this operator (operator feature np).
+  double pages = 0.0;
+  /// Estimated operator selectivity (operator feature sel).
+  double selectivity = 1.0;
+};
+
+/// \brief Observed per-execution values, filled by the instrumented
+/// executor. Times cover the *sub-plan rooted at the operator*, matching the
+/// paper's start-time / run-time semantics (Section 3.2).
+struct PlanActuals {
+  bool valid = false;
+  /// Time until the operator produced its first output tuple (ms).
+  double start_time_ms = 0.0;
+  /// Total execution time of the sub-plan rooted here (ms).
+  double run_time_ms = 0.0;
+  /// Actual output tuple count.
+  double rows = 0.0;
+  /// Actual pages charged by this operator itself.
+  double pages = 0.0;
+};
+
+/// \brief A node of a physical query plan.
+///
+/// One struct covers all operator types (payload fields are used per-op);
+/// plans are built only by the optimizer and the tests, so the flexibility
+/// of a class hierarchy is not worth the indirection here.
+struct PlanNode {
+  PlanOp op;
+  std::vector<std::unique_ptr<PlanNode>> children;
+  Schema output_schema;
+
+  // --- scans ---
+  const Table* table = nullptr;
+  /// For IndexScan: column index (in table schema) of the indexed key and
+  /// the expression producing the probe key (bound against an empty outer
+  /// row for constant probes, or the outer tuple for index nested-loops).
+  int index_column = -1;
+  ExprPtr index_probe;
+
+  // --- filter / scan residual predicate / join residual ---
+  ExprPtr predicate;
+
+  // --- joins ---
+  JoinType join_type = JoinType::kInner;
+  /// Equi-join key positions: left child column index, right child column
+  /// index (in the children's output schemas).
+  std::vector<std::pair<int, int>> join_keys;
+
+  // --- project ---
+  std::vector<ExprPtr> projections;
+
+  // --- sort ---
+  std::vector<int> sort_keys;
+  std::vector<bool> sort_desc;
+
+  // --- aggregate ---
+  std::vector<int> group_keys;
+  std::vector<AggSpec> aggregates;
+  ExprPtr having;  // evaluated against the aggregate output row
+
+  // --- limit ---
+  int64_t limit_count = -1;
+
+  /// Relation name for scans (part of the canonical sub-plan identity).
+  std::string label;
+
+  /// Pre-order index within its plan; assigned by AssignNodeIds.
+  int node_id = -1;
+
+  PlanEstimates est;
+  PlanActuals actual;
+
+  explicit PlanNode(PlanOp o) : op(o) {}
+
+  size_t num_children() const { return children.size(); }
+  PlanNode* child(size_t i) { return children[i].get(); }
+  const PlanNode* child(size_t i) const { return children[i].get(); }
+
+  /// Number of operators in the sub-plan rooted here.
+  int NodeCount() const;
+
+  /// Canonical structural key of the sub-plan rooted at this node:
+  /// operator names plus scan relation names, e.g.
+  /// "HashJoin(SeqScan:orders,SeqScan:lineitem)". Two sub-plans with equal
+  /// keys are "the same plan structure" for hybrid/plan-level modeling and
+  /// the Figure 4 analysis.
+  std::string StructuralKey() const;
+
+  /// Deep copy of the sub-plan (estimates copied, actuals reset).
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+/// \brief A complete plan for one query instance.
+struct QueryPlan {
+  std::unique_ptr<PlanNode> root;
+  /// TPC-H template number (1..22) that generated the query, 0 if ad hoc.
+  int template_id = 0;
+  /// Human-readable parameter binding summary.
+  std::string parameter_desc;
+
+  int NodeCount() const { return root ? root->NodeCount() : 0; }
+};
+
+/// Assigns pre-order node ids starting at 0; returns number of nodes.
+int AssignNodeIds(PlanNode* root);
+
+/// Pre-order traversal collecting raw pointers.
+void CollectNodes(PlanNode* root, std::vector<PlanNode*>* out);
+void CollectNodes(const PlanNode* root, std::vector<const PlanNode*>* out);
+
+/// Multi-line EXPLAIN-style rendering with estimates (and actuals when
+/// available).
+std::string ExplainPlan(const PlanNode& root, bool include_actuals = false);
+
+/// Clears actuals across the plan (called before each execution).
+void ResetActuals(PlanNode* root);
+
+}  // namespace qpp

@@ -1,0 +1,181 @@
+#include "qpp/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qpp {
+namespace {
+
+struct Candidate {
+  std::string key;
+  int subtree_size = 0;
+  std::vector<PlanOccurrence> occurrences;
+  double avg_error = 0.0;
+};
+
+double RelErr(double actual, double estimate) {
+  if (actual == 0.0) return 0.0;
+  return std::abs(actual - estimate) / std::abs(actual);
+}
+
+}  // namespace
+
+const char* PlanOrderingStrategyName(PlanOrderingStrategy s) {
+  switch (s) {
+    case PlanOrderingStrategy::kSizeBased: return "size-based";
+    case PlanOrderingStrategy::kFrequencyBased: return "frequency-based";
+    case PlanOrderingStrategy::kErrorBased: return "error-based";
+  }
+  return "?";
+}
+
+PredictionOverride HybridModel::MakeOverride(const QueryRecord& query,
+                                             FeatureMode mode) const {
+  if (plan_models_.empty()) return nullptr;
+  return [this, &query, mode](int op_index, TimePrediction* out) {
+    const OperatorRecord& op = query.ops[static_cast<size_t>(op_index)];
+    auto it = plan_models_.find(op.structural_key);
+    if (it == plan_models_.end()) return false;
+    const double run = std::max(0.0, it->second.Predict(query, op_index, mode));
+    // Plan-level models predict total run-time; derive the start-time from
+    // the optimizer's startup/total cost ratio.
+    const double ratio =
+        op.est.total_cost > 0 ? op.est.startup_cost / op.est.total_cost : 0.0;
+    out->run_ms = run;
+    out->start_ms = std::clamp(ratio, 0.0, 1.0) * run;
+    return true;
+  };
+}
+
+double HybridModel::PredictQuery(const QueryRecord& query,
+                                 FeatureMode mode) const {
+  return op_models_.PredictQuery(query, mode, MakeOverride(query, mode));
+}
+
+double HybridModel::EvaluateTrainingError(
+    const std::vector<const QueryRecord*>& queries) const {
+  double total = 0.0;
+  size_t n = 0;
+  for (const QueryRecord* q : queries) {
+    if (q->latency_ms <= 0) continue;
+    const double pred =
+        op_models_.PredictQuery(*q, config_.plan_config.feature_mode,
+                                MakeOverride(*q, config_.plan_config.feature_mode));
+    total += RelErr(q->latency_ms, pred);
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+void HybridModel::AddPlanModel(PlanLevelModel model) {
+  plan_models_[model.structural_key()] = std::move(model);
+}
+
+Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
+  if (queries.empty()) return Status::InvalidArgument("no training queries");
+  QPP_RETURN_NOT_OK(op_models_.Train(queries));
+  plan_models_.clear();
+  history_.clear();
+
+  const FeatureMode mode = config_.plan_config.feature_mode;
+  initial_error_ = EvaluateTrainingError(queries);
+  double current_error = initial_error_;
+
+  // Candidate sub-plans: every multi-operator plan structure with enough
+  // occurrences (get_plan_list of Algorithm 1; the structural-key map is the
+  // hash index the paper describes).
+  std::map<std::string, Candidate> candidates;
+  for (const QueryRecord* q : queries) {
+    for (size_t i = 0; i < q->ops.size(); ++i) {
+      const OperatorRecord& op = q->ops[i];
+      if (op.subtree_size < 2 || !op.actual.valid) continue;
+      Candidate& c = candidates[op.structural_key];
+      c.key = op.structural_key;
+      c.subtree_size = op.subtree_size;
+      c.occurrences.push_back({q, static_cast<int>(i)});
+    }
+  }
+
+  std::set<std::string> rejected;
+  PlanModelConfig sub_config = config_.plan_config;
+  sub_config.require_same_key = true;
+
+  for (int iteration = 1; iteration <= config_.max_iterations; ++iteration) {
+    if (current_error <= config_.target_error) break;
+
+    // Refresh per-candidate errors under the current model set, skipping
+    // already-modeled, rejected, rare, and well-predicted plans.
+    const Candidate* chosen = nullptr;
+    double best_rank = 0.0;
+    for (auto& [key, cand] : candidates) {
+      if (rejected.count(key) || plan_models_.count(key)) continue;
+      if (static_cast<int>(cand.occurrences.size()) < config_.min_occurrences) {
+        continue;
+      }
+      double err = 0.0;
+      size_t n = 0;
+      for (const PlanOccurrence& occ : cand.occurrences) {
+        const OperatorRecord& op =
+            occ.query->ops[static_cast<size_t>(occ.op_index)];
+        if (op.actual.run_time_ms <= 0) continue;
+        const TimePrediction pred = op_models_.PredictSubplan(
+            *occ.query, occ.op_index, mode, MakeOverride(*occ.query, mode));
+        err += RelErr(op.actual.run_time_ms, pred.run_ms);
+        ++n;
+      }
+      cand.avg_error = n == 0 ? 0.0 : err / static_cast<double>(n);
+      if (cand.avg_error < config_.skip_error_threshold) continue;
+
+      double rank = 0.0;
+      const double freq = static_cast<double>(cand.occurrences.size());
+      switch (config_.strategy) {
+        case PlanOrderingStrategy::kSizeBased:
+          // Smaller first; ties by frequency.
+          rank = -static_cast<double>(cand.subtree_size) + 1e-6 * freq;
+          break;
+        case PlanOrderingStrategy::kFrequencyBased:
+          rank = freq - 1e-6 * static_cast<double>(cand.subtree_size);
+          break;
+        case PlanOrderingStrategy::kErrorBased:
+          rank = freq * cand.avg_error;
+          break;
+      }
+      if (chosen == nullptr || rank > best_rank) {
+        chosen = &cand;
+        best_rank = rank;
+      }
+    }
+    if (chosen == nullptr) break;  // no candidates left
+
+    PlanLevelModel model(sub_config);
+    Status st = model.Train(chosen->occurrences);
+    HybridIteration record;
+    record.iteration = iteration;
+    record.structural_key = chosen->key;
+    if (!st.ok()) {
+      rejected.insert(chosen->key);
+      record.kept = false;
+      record.error_after = current_error;
+      history_.push_back(std::move(record));
+      continue;
+    }
+    // Tentatively add, re-evaluate, keep only on sufficient improvement.
+    plan_models_[chosen->key] = std::move(model);
+    const double new_error = EvaluateTrainingError(queries);
+    if (new_error + config_.epsilon <= current_error) {
+      current_error = new_error;
+      record.kept = true;
+    } else {
+      plan_models_.erase(chosen->key);
+      rejected.insert(chosen->key);
+      record.kept = false;
+    }
+    record.error_after = current_error;
+    history_.push_back(std::move(record));
+  }
+  final_error_ = current_error;
+  return Status::OK();
+}
+
+}  // namespace qpp

@@ -1,0 +1,94 @@
+#include "qpp/online.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpp {
+namespace {
+
+double RelErr(double actual, double estimate) {
+  if (actual == 0.0) return 0.0;
+  return std::abs(actual - estimate) / std::abs(actual);
+}
+
+}  // namespace
+
+OnlinePredictor::OnlinePredictor(std::vector<const QueryRecord*> training,
+                                 const OperatorModelSet* op_models,
+                                 PlanModelConfig plan_config,
+                                 int min_occurrences)
+    : training_(std::move(training)),
+      op_models_(op_models),
+      plan_config_(plan_config),
+      min_occurrences_(min_occurrences) {
+  plan_config_.require_same_key = true;
+  for (const QueryRecord* q : training_) {
+    for (size_t i = 0; i < q->ops.size(); ++i) {
+      const OperatorRecord& op = q->ops[i];
+      if (op.subtree_size < 2 || !op.actual.valid) continue;
+      occurrences_[op.structural_key].push_back({q, static_cast<int>(i)});
+    }
+  }
+}
+
+const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) {
+  auto cached = cache_.find(key);
+  if (cached != cache_.end()) {
+    return cached->second.has_value() ? &*cached->second : nullptr;
+  }
+  auto occ_it = occurrences_.find(key);
+  if (occ_it == occurrences_.end() ||
+      static_cast<int>(occ_it->second.size()) < min_occurrences_) {
+    cache_[key] = std::nullopt;
+    return nullptr;
+  }
+  // Operator-level baseline error on these training occurrences.
+  double op_err = 0.0;
+  size_t n = 0;
+  for (const PlanOccurrence& occ : occ_it->second) {
+    const OperatorRecord& op = occ.query->ops[static_cast<size_t>(occ.op_index)];
+    if (op.actual.run_time_ms <= 0) continue;
+    const TimePrediction pred = op_models_->PredictSubplan(
+        *occ.query, occ.op_index, plan_config_.feature_mode);
+    op_err += RelErr(op.actual.run_time_ms, pred.run_ms);
+    ++n;
+  }
+  op_err = n == 0 ? 1e300 : op_err / static_cast<double>(n);
+
+  PlanLevelModel model(plan_config_);
+  Status st = model.Train(occ_it->second);
+  ++models_built_;
+  // Gate: only accept models whose estimated accuracy beats the
+  // operator-level prediction for this plan structure (Section 4).
+  if (!st.ok() || model.cv_error() >= op_err) {
+    cache_[key] = std::nullopt;
+    return nullptr;
+  }
+  auto [it, inserted] = cache_.emplace(key, std::move(model));
+  return &*it->second;
+}
+
+double OnlinePredictor::PredictQuery(const QueryRecord& query,
+                                     FeatureMode mode) {
+  // Build (or fetch) models for every sub-plan of this query first, so the
+  // override below is a pure lookup.
+  for (const OperatorRecord& op : query.ops) {
+    if (op.subtree_size >= 2) GetOrBuild(op.structural_key);
+  }
+  PredictionOverride override_fn = [this, &query, mode](int op_index,
+                                                        TimePrediction* out) {
+    const OperatorRecord& op = query.ops[static_cast<size_t>(op_index)];
+    auto cached = cache_.find(op.structural_key);
+    if (cached == cache_.end() || !cached->second.has_value()) return false;
+    const double run =
+        std::max(0.0, cached->second->Predict(query, op_index, mode));
+    const double ratio =
+        op.est.total_cost > 0 ? op.est.startup_cost / op.est.total_cost : 0.0;
+    out->run_ms = run;
+    out->start_ms = std::clamp(ratio, 0.0, 1.0) * run;
+    return true;
+  };
+  return op_models_->PredictQuery(query, mode, override_fn);
+}
+
+}  // namespace qpp

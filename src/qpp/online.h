@@ -1,0 +1,53 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qpp/hybrid.h"
+
+namespace qpp {
+
+/// \brief Online model building (Section 4): when a query with an unforeseen
+/// plan arrives, enumerate the sub-plans of *its* plan, build plan-level
+/// models on the fly for those with enough occurrences in the training data,
+/// and use each such model only when its estimated accuracy beats the
+/// operator-level prediction on the same occurrences.
+///
+/// Built models are cached by structural key, so later queries sharing
+/// sub-plans pay nothing — the "custom model" cost is incurred once.
+class OnlinePredictor {
+ public:
+  /// `training` must outlive the predictor. `op_models` are the pre-built
+  /// operator-level models (always available immediately, giving the
+  /// progressive-prediction behaviour the paper describes).
+  OnlinePredictor(std::vector<const QueryRecord*> training,
+                  const OperatorModelSet* op_models,
+                  PlanModelConfig plan_config, int min_occurrences = 10);
+
+  /// Prediction for a (possibly unforeseen) query, building sub-plan models
+  /// online as needed.
+  double PredictQuery(const QueryRecord& query, FeatureMode mode);
+
+  /// Number of plan-level models built so far (cached across queries).
+  int models_built() const { return models_built_; }
+
+ private:
+  /// Returns the cached (possibly absent) model for a structural key,
+  /// building and gating it on first request.
+  const PlanLevelModel* GetOrBuild(const std::string& key);
+
+  std::vector<const QueryRecord*> training_;
+  const OperatorModelSet* op_models_;
+  PlanModelConfig plan_config_;
+  int min_occurrences_;
+  /// Occurrence index over the training data.
+  std::map<std::string, std::vector<PlanOccurrence>> occurrences_;
+  /// Cache: key -> accepted model, or nullopt when building was attempted
+  /// and rejected.
+  std::map<std::string, std::optional<PlanLevelModel>> cache_;
+  int models_built_ = 0;
+};
+
+}  // namespace qpp

@@ -1,0 +1,102 @@
+#include "qpp/plan_model.h"
+
+#include <sstream>
+
+#include "ml/validation.h"
+
+namespace qpp {
+
+Status PlanLevelModel::Train(const std::vector<PlanOccurrence>& occurrences) {
+  if (occurrences.size() < 4) {
+    return Status::InvalidArgument("too few occurrences to train on");
+  }
+  structural_key_ =
+      occurrences[0]
+          .query->ops[static_cast<size_t>(occurrences[0].op_index)]
+          .structural_key;
+
+  FeatureMatrix x;
+  std::vector<double> y;
+  x.reserve(occurrences.size());
+  for (const PlanOccurrence& occ : occurrences) {
+    const OperatorRecord& op =
+        occ.query->ops[static_cast<size_t>(occ.op_index)];
+    if (op.structural_key != structural_key_) {
+      if (config_.require_same_key) {
+        return Status::InvalidArgument(
+            "occurrences mix plan structures: " + op.structural_key + " vs " +
+            structural_key_);
+      }
+      structural_key_ = "*";  // heterogeneous global model
+    }
+    x.push_back(ExtractPlanFeatures(*occ.query, occ.op_index,
+                                    config_.feature_mode));
+    y.push_back(op.actual.valid ? op.actual.run_time_ms
+                                : occ.query->latency_ms);
+  }
+
+  std::unique_ptr<RegressionModel> prototype = MakeModel(config_.model_type);
+  QPP_ASSIGN_OR_RETURN(
+      FeatureSelectionResult fs,
+      ForwardFeatureSelection(*prototype, x, y, config_.feature_selection));
+  selected_ = fs.selected;
+
+  const FeatureMatrix projected = SelectColumns(x, selected_);
+  Rng rng(config_.feature_selection.seed ^ 0xBEEF);
+  auto cv = CrossValidate(*prototype, projected, y,
+                          KFold(x.size(), config_.cv_folds, &rng));
+  cv_error_ = cv.ok() ? cv->mean_relative_error : fs.cv_error;
+
+  model_ = MakeModel(config_.model_type);
+  return model_->Fit(projected, y);
+}
+
+double PlanLevelModel::Predict(const QueryRecord& query, int op_index,
+                               FeatureMode mode) const {
+  if (model_ == nullptr) return 0.0;
+  const std::vector<double> f = ExtractPlanFeatures(query, op_index, mode);
+  return model_->Predict(SelectColumns(f, selected_));
+}
+
+std::string PlanLevelModel::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "planmodel\n";
+  out << "key " << structural_key_ << "\n";
+  out << "cv_error " << cv_error_ << "\n";
+  out << "mode " << static_cast<int>(config_.feature_mode) << "\n";
+  out << "features";
+  for (int s : selected_) out << " " << s;
+  out << "\n";
+  out << "model " << (model_ ? model_->Serialize() : "") << "\n";
+  return out.str();
+}
+
+Result<PlanLevelModel> PlanLevelModel::Deserialize(const std::string& text) {
+  PlanLevelModel m;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "planmodel") {
+    return Status::InvalidArgument("not a plan model payload");
+  }
+  while (std::getline(in, line)) {
+    if (line.rfind("key ", 0) == 0) {
+      m.structural_key_ = line.substr(4);
+    } else if (line.rfind("cv_error ", 0) == 0) {
+      m.cv_error_ = std::stod(line.substr(9));
+    } else if (line.rfind("mode ", 0) == 0) {
+      m.config_.feature_mode =
+          static_cast<FeatureMode>(std::stoi(line.substr(5)));
+    } else if (line.rfind("features", 0) == 0) {
+      std::istringstream fs(line.substr(8));
+      int idx;
+      while (fs >> idx) m.selected_.push_back(idx);
+    } else if (line.rfind("model ", 0) == 0) {
+      QPP_ASSIGN_OR_RETURN(m.model_, DeserializeModel(line.substr(6)));
+    }
+  }
+  if (m.model_ == nullptr) return Status::InvalidArgument("missing model line");
+  return m;
+}
+
+}  // namespace qpp

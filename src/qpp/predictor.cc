@@ -1,0 +1,168 @@
+#include "qpp/predictor.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ml/linreg.h"
+
+namespace qpp {
+
+const char* PredictionMethodName(PredictionMethod m) {
+  switch (m) {
+    case PredictionMethod::kOptimizerCost: return "optimizer-cost";
+    case PredictionMethod::kPlanLevel: return "plan-level";
+    case PredictionMethod::kOperatorLevel: return "operator-level";
+    case PredictionMethod::kHybrid: return "hybrid";
+    case PredictionMethod::kOnline: return "online";
+  }
+  return "?";
+}
+
+Status QueryPerformancePredictor::Train(const QueryLog& log) {
+  if (log.queries.empty()) {
+    return Status::InvalidArgument("empty training log");
+  }
+  training_log_ = log;
+  training_refs_.clear();
+  training_refs_.reserve(training_log_.queries.size());
+  for (const QueryRecord& q : training_log_.queries) {
+    training_refs_.push_back(&q);
+  }
+
+  switch (config_.method) {
+    case PredictionMethod::kOptimizerCost: {
+      FeatureMatrix x;
+      std::vector<double> y;
+      for (const QueryRecord* q : training_refs_) {
+        x.push_back({q->root().est.total_cost});
+        y.push_back(q->latency_ms);
+      }
+      cost_baseline_ = std::make_unique<LinearRegression>();
+      QPP_RETURN_NOT_OK(cost_baseline_->Fit(x, y));
+      break;
+    }
+    case PredictionMethod::kPlanLevel: {
+      PlanModelConfig cfg = config_.hybrid.plan_config;
+      cfg.require_same_key = false;
+      cfg.feature_mode = config_.feature_mode;
+      global_plan_model_ = PlanLevelModel(cfg);
+      std::vector<PlanOccurrence> occurrences;
+      for (const QueryRecord* q : training_refs_) {
+        occurrences.push_back({q, 0});
+      }
+      QPP_RETURN_NOT_OK(global_plan_model_.Train(occurrences));
+      break;
+    }
+    case PredictionMethod::kOperatorLevel: {
+      HybridConfig cfg = config_.hybrid;
+      cfg.max_iterations = 0;  // pure operator composition, no plan models
+      hybrid_ = HybridModel(cfg);
+      QPP_RETURN_NOT_OK(hybrid_.Train(training_refs_));
+      break;
+    }
+    case PredictionMethod::kHybrid: {
+      hybrid_ = HybridModel(config_.hybrid);
+      QPP_RETURN_NOT_OK(hybrid_.Train(training_refs_));
+      break;
+    }
+    case PredictionMethod::kOnline: {
+      HybridConfig cfg = config_.hybrid;
+      cfg.max_iterations = 0;  // operator models only; plan models online
+      hybrid_ = HybridModel(cfg);
+      QPP_RETURN_NOT_OK(hybrid_.Train(training_refs_));
+      online_ = std::make_unique<OnlinePredictor>(
+          training_refs_, &hybrid_.operator_models(),
+          config_.hybrid.plan_config, config_.hybrid.min_occurrences);
+      break;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<double> QueryPerformancePredictor::PredictLatencyMs(
+    const QueryRecord& query) {
+  if (!trained_) return Status::InvalidArgument("predictor not trained");
+  if (query.ops.empty()) return Status::InvalidArgument("empty query record");
+  switch (config_.method) {
+    case PredictionMethod::kOptimizerCost:
+      return cost_baseline_->Predict({query.root().est.total_cost});
+    case PredictionMethod::kPlanLevel:
+      return global_plan_model_.Predict(query, 0, config_.feature_mode);
+    case PredictionMethod::kOperatorLevel:
+    case PredictionMethod::kHybrid:
+      return hybrid_.PredictQuery(query, config_.feature_mode);
+    case PredictionMethod::kOnline:
+      return online_->PredictQuery(query, config_.feature_mode);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status QueryPerformancePredictor::SaveModels(const std::string& path) const {
+  if (!trained_) return Status::InvalidArgument("predictor not trained");
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << "qpp models v1\n";
+  out << "method " << static_cast<int>(config_.method) << "\n";
+  switch (config_.method) {
+    case PredictionMethod::kOptimizerCost:
+      out << "costmodel " << cost_baseline_->Serialize() << "\n";
+      break;
+    case PredictionMethod::kPlanLevel:
+      out << "=== plan\n" << global_plan_model_.Serialize() << "=== end\n";
+      break;
+    case PredictionMethod::kOperatorLevel:
+    case PredictionMethod::kHybrid:
+      out << "=== ops\n" << hybrid_.operator_models().Serialize() << "=== end\n";
+      for (const auto& [key, model] : hybrid_.plan_models()) {
+        out << "=== plan\n" << model.Serialize() << "=== end\n";
+      }
+      break;
+    case PredictionMethod::kOnline:
+      return Status::NotImplemented("online models are built per query");
+  }
+  if (!out.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status QueryPerformancePredictor::LoadModels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "qpp models v1") {
+    return Status::IOError("not a qpp model file");
+  }
+  if (!std::getline(in, line) || line.rfind("method ", 0) != 0) {
+    return Status::IOError("missing method line");
+  }
+  config_.method = static_cast<PredictionMethod>(std::stoi(line.substr(7)));
+  hybrid_ = HybridModel(config_.hybrid);
+  while (std::getline(in, line)) {
+    if (line.rfind("costmodel ", 0) == 0) {
+      QPP_ASSIGN_OR_RETURN(cost_baseline_, DeserializeModel(line.substr(10)));
+    } else if (line == "=== ops" || line == "=== plan") {
+      const bool is_ops = line == "=== ops";
+      std::string payload;
+      while (std::getline(in, line) && line != "=== end") {
+        payload += line + "\n";
+      }
+      if (is_ops) {
+        QPP_ASSIGN_OR_RETURN(OperatorModelSet ops,
+                             OperatorModelSet::Deserialize(payload));
+        *hybrid_.mutable_operator_models() = std::move(ops);
+      } else {
+        QPP_ASSIGN_OR_RETURN(PlanLevelModel model,
+                             PlanLevelModel::Deserialize(payload));
+        if (config_.method == PredictionMethod::kPlanLevel) {
+          global_plan_model_ = std::move(model);
+        } else {
+          hybrid_.AddPlanModel(std::move(model));
+        }
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace qpp

@@ -1,0 +1,58 @@
+#include "storage/buffer_pool.h"
+
+namespace qpp {
+
+BufferPool::BufferPool(Config config) : config_(config) {
+  uint64_t x = 0x2545F4914F6CDD1DULL;
+  for (auto& w : scratch_) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    w = x;
+  }
+}
+
+void BufferPool::AccessSequential(int table_id, int64_t page_index) {
+  Access(table_id, page_index, config_.io_work_passes);
+}
+
+void BufferPool::AccessRandom(int table_id, int64_t page_index) {
+  Access(table_id, page_index,
+         config_.io_work_passes * config_.random_multiplier);
+}
+
+void BufferPool::Access(int table_id, int64_t page_index, int work_passes) {
+  const Key key = MakeKey(table_id, page_index);
+  auto it = pages_.find(key);
+  if (it != pages_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++misses_;
+  PerformReadWork(work_passes);
+  lru_.push_front(key);
+  pages_[key] = lru_.begin();
+  if (lru_.size() > config_.capacity_pages) {
+    pages_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void BufferPool::PerformReadWork(int passes) {
+  uint64_t acc = sink_;
+  for (int p = 0; p < passes; ++p) {
+    for (size_t i = 0; i < kPageSize / sizeof(uint64_t); ++i) {
+      acc += scratch_[i] * 0x9E3779B97F4A7C15ULL;
+      acc ^= acc >> 29;
+    }
+  }
+  sink_ = acc;
+}
+
+void BufferPool::FlushAll() {
+  lru_.clear();
+  pages_.clear();
+}
+
+}  // namespace qpp

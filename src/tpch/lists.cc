@@ -1,0 +1,119 @@
+#include "tpch/lists.h"
+
+namespace qpp::tpch {
+
+const std::vector<std::string>& RegionNames() {
+  static const std::vector<std::string> v = {"AFRICA", "AMERICA", "ASIA",
+                                             "EUROPE", "MIDDLE EAST"};
+  return v;
+}
+
+const std::vector<std::string>& NationNames() {
+  static const std::vector<std::string> v = {
+      "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+      "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+      "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+      "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+  return v;
+}
+
+const std::vector<int>& NationRegionKeys() {
+  static const std::vector<int> v = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                     4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+  return v;
+}
+
+const std::vector<std::string>& Segments() {
+  static const std::vector<std::string> v = {"AUTOMOBILE", "BUILDING",
+                                             "FURNITURE", "MACHINERY",
+                                             "HOUSEHOLD"};
+  return v;
+}
+
+const std::vector<std::string>& Priorities() {
+  static const std::vector<std::string> v = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                             "4-NOT SPECIFIED", "5-LOW"};
+  return v;
+}
+
+const std::vector<std::string>& ShipModes() {
+  static const std::vector<std::string> v = {"REG AIR", "AIR", "RAIL", "SHIP",
+                                             "TRUCK", "MAIL", "FOB"};
+  return v;
+}
+
+const std::vector<std::string>& ShipInstructions() {
+  static const std::vector<std::string> v = {
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  return v;
+}
+
+const std::vector<std::string>& Containers1() {
+  static const std::vector<std::string> v = {"SM", "LG", "MED", "JUMBO",
+                                             "WRAP"};
+  return v;
+}
+
+const std::vector<std::string>& Containers2() {
+  static const std::vector<std::string> v = {"CASE", "BOX", "BAG", "JAR",
+                                             "PKG", "PACK", "CAN", "DRUM"};
+  return v;
+}
+
+const std::vector<std::string>& TypeSyllable1() {
+  static const std::vector<std::string> v = {"STANDARD", "SMALL", "MEDIUM",
+                                             "LARGE", "ECONOMY", "PROMO"};
+  return v;
+}
+
+const std::vector<std::string>& TypeSyllable2() {
+  static const std::vector<std::string> v = {"ANODIZED", "BURNISHED", "PLATED",
+                                             "POLISHED", "BRUSHED"};
+  return v;
+}
+
+const std::vector<std::string>& TypeSyllable3() {
+  static const std::vector<std::string> v = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                             "COPPER"};
+  return v;
+}
+
+const std::vector<std::string>& Colors() {
+  static const std::vector<std::string> v = {
+      "almond",    "antique",   "aquamarine", "azure",     "beige",
+      "bisque",    "black",     "blanched",   "blue",      "blush",
+      "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+      "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+      "cyan",      "dark",      "deep",       "dim",       "dodger",
+      "drab",      "firebrick", "floral",     "forest",    "frosted",
+      "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+      "honeydew",  "hot",       "indian",     "ivory",     "khaki",
+      "lace",      "lavender",  "lawn",       "lemon",     "light",
+      "lime",      "linen",     "magenta",    "maroon",    "medium",
+      "metallic",  "midnight",  "mint",       "misty",     "moccasin",
+      "navajo",    "navy",      "olive",      "orange",    "orchid",
+      "pale",      "papaya",    "peach",      "peru",      "pink",
+      "plum",      "powder",    "puff",       "purple",    "red",
+      "rose",      "rosy",      "royal",      "saddle",    "salmon",
+      "sandy",     "seashell",  "sienna",     "sky",       "slate",
+      "smoke",     "snow",      "spring",     "steel",     "tan",
+      "thistle",   "tomato",    "turquoise",  "violet",    "wheat",
+      "white",     "yellow"};
+  return v;
+}
+
+const std::vector<std::string>& CommentWords() {
+  static const std::vector<std::string> v = {
+      "carefully", "quickly",  "furiously", "slyly",     "blithely",
+      "deposits",  "requests", "accounts",  "packages",  "instructions",
+      "theodolites", "pinto",  "beans",     "foxes",     "ideas",
+      "dependencies", "excuses", "platelets", "asymptotes", "courts",
+      "sleep",     "nag",      "haggle",    "wake",      "cajole",
+      "doze",      "integrate", "boost",    "detect",    "among",
+      "the",       "after",    "above",     "according", "regular",
+      "final",     "express",  "special",   "ironic",    "pending",
+      "bold",      "even",     "silent",    "unusual",   "fluffy"};
+  return v;
+}
+
+}  // namespace qpp::tpch

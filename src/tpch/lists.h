@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qpp::tpch {
+
+/// Constant value lists from the TPC-H specification, shared by the data
+/// generator and by workload parameter generation (which must draw query
+/// parameters from the same domains).
+
+const std::vector<std::string>& RegionNames();
+const std::vector<std::string>& NationNames();
+/// n_regionkey for each nation, aligned with NationNames().
+const std::vector<int>& NationRegionKeys();
+const std::vector<std::string>& Segments();
+const std::vector<std::string>& Priorities();
+const std::vector<std::string>& ShipModes();
+const std::vector<std::string>& ShipInstructions();
+const std::vector<std::string>& Containers1();
+const std::vector<std::string>& Containers2();
+const std::vector<std::string>& TypeSyllable1();
+const std::vector<std::string>& TypeSyllable2();
+const std::vector<std::string>& TypeSyllable3();
+const std::vector<std::string>& Colors();
+/// Filler vocabulary for comment columns.
+const std::vector<std::string>& CommentWords();
+
+}  // namespace qpp::tpch

@@ -1,0 +1,121 @@
+#include "tpch/schema.h"
+
+#include <cmath>
+
+namespace qpp::tpch {
+
+const char* TableName(TableId id) {
+  switch (id) {
+    case kRegion: return "region";
+    case kNation: return "nation";
+    case kSupplier: return "supplier";
+    case kPart: return "part";
+    case kPartsupp: return "partsupp";
+    case kCustomer: return "customer";
+    case kOrders: return "orders";
+    case kLineitem: return "lineitem";
+    default: return "?";
+  }
+}
+
+Schema TableSchema(TableId id) {
+  Schema s;
+  switch (id) {
+    case kRegion:
+      s.AddColumn("r_regionkey", TypeId::kInt64);
+      s.AddColumn("r_name", TypeId::kString, 12);
+      s.AddColumn("r_comment", TypeId::kString, 60);
+      break;
+    case kNation:
+      s.AddColumn("n_nationkey", TypeId::kInt64);
+      s.AddColumn("n_name", TypeId::kString, 12);
+      s.AddColumn("n_regionkey", TypeId::kInt64);
+      s.AddColumn("n_comment", TypeId::kString, 60);
+      break;
+    case kSupplier:
+      s.AddColumn("s_suppkey", TypeId::kInt64);
+      s.AddColumn("s_name", TypeId::kString, 18);
+      s.AddColumn("s_address", TypeId::kString, 24);
+      s.AddColumn("s_nationkey", TypeId::kInt64);
+      s.AddColumn("s_phone", TypeId::kString, 15);
+      s.AddColumn("s_acctbal", TypeId::kDecimal, 2);
+      s.AddColumn("s_comment", TypeId::kString, 62);
+      break;
+    case kPart:
+      s.AddColumn("p_partkey", TypeId::kInt64);
+      s.AddColumn("p_name", TypeId::kString, 32);
+      s.AddColumn("p_mfgr", TypeId::kString, 14);
+      s.AddColumn("p_brand", TypeId::kString, 10);
+      s.AddColumn("p_type", TypeId::kString, 20);
+      s.AddColumn("p_size", TypeId::kInt64);
+      s.AddColumn("p_container", TypeId::kString, 10);
+      s.AddColumn("p_retailprice", TypeId::kDecimal, 2);
+      s.AddColumn("p_comment", TypeId::kString, 14);
+      break;
+    case kPartsupp:
+      s.AddColumn("ps_partkey", TypeId::kInt64);
+      s.AddColumn("ps_suppkey", TypeId::kInt64);
+      s.AddColumn("ps_availqty", TypeId::kInt64);
+      s.AddColumn("ps_supplycost", TypeId::kDecimal, 2);
+      s.AddColumn("ps_comment", TypeId::kString, 48);
+      break;
+    case kCustomer:
+      s.AddColumn("c_custkey", TypeId::kInt64);
+      s.AddColumn("c_name", TypeId::kString, 18);
+      s.AddColumn("c_address", TypeId::kString, 24);
+      s.AddColumn("c_nationkey", TypeId::kInt64);
+      s.AddColumn("c_phone", TypeId::kString, 15);
+      s.AddColumn("c_acctbal", TypeId::kDecimal, 2);
+      s.AddColumn("c_mktsegment", TypeId::kString, 10);
+      s.AddColumn("c_comment", TypeId::kString, 72);
+      break;
+    case kOrders:
+      s.AddColumn("o_orderkey", TypeId::kInt64);
+      s.AddColumn("o_custkey", TypeId::kInt64);
+      s.AddColumn("o_orderstatus", TypeId::kString, 1);
+      s.AddColumn("o_totalprice", TypeId::kDecimal, 2);
+      s.AddColumn("o_orderdate", TypeId::kDate);
+      s.AddColumn("o_orderpriority", TypeId::kString, 15);
+      s.AddColumn("o_clerk", TypeId::kString, 15);
+      s.AddColumn("o_shippriority", TypeId::kInt64);
+      s.AddColumn("o_comment", TypeId::kString, 48);
+      break;
+    case kLineitem:
+      s.AddColumn("l_orderkey", TypeId::kInt64);
+      s.AddColumn("l_partkey", TypeId::kInt64);
+      s.AddColumn("l_suppkey", TypeId::kInt64);
+      s.AddColumn("l_linenumber", TypeId::kInt64);
+      s.AddColumn("l_quantity", TypeId::kDecimal, 2);
+      s.AddColumn("l_extendedprice", TypeId::kDecimal, 2);
+      s.AddColumn("l_discount", TypeId::kDecimal, 2);
+      s.AddColumn("l_tax", TypeId::kDecimal, 2);
+      s.AddColumn("l_returnflag", TypeId::kString, 1);
+      s.AddColumn("l_linestatus", TypeId::kString, 1);
+      s.AddColumn("l_shipdate", TypeId::kDate);
+      s.AddColumn("l_commitdate", TypeId::kDate);
+      s.AddColumn("l_receiptdate", TypeId::kDate);
+      s.AddColumn("l_shipinstruct", TypeId::kString, 17);
+      s.AddColumn("l_shipmode", TypeId::kString, 7);
+      s.AddColumn("l_comment", TypeId::kString, 27);
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+int64_t TableCardinality(TableId id, double sf) {
+  switch (id) {
+    case kRegion: return 5;
+    case kNation: return 25;
+    case kSupplier: return std::max<int64_t>(1, std::llround(10000 * sf));
+    case kPart: return std::max<int64_t>(1, std::llround(200000 * sf));
+    case kPartsupp: return 4 * TableCardinality(kPart, sf);
+    case kCustomer: return std::max<int64_t>(1, std::llround(150000 * sf));
+    case kOrders: return 10 * TableCardinality(kCustomer, sf);
+    case kLineitem: return 4 * TableCardinality(kOrders, sf);  // expectation
+    default: return 0;
+  }
+}
+
+}  // namespace qpp::tpch

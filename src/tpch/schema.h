@@ -1,0 +1,32 @@
+#pragma once
+
+#include "storage/value.h"
+
+namespace qpp::tpch {
+
+/// Table ids are fixed so buffer-pool keys and catalog lookups are stable.
+enum TableId : int {
+  kRegion = 0,
+  kNation = 1,
+  kSupplier = 2,
+  kPart = 3,
+  kPartsupp = 4,
+  kCustomer = 5,
+  kOrders = 6,
+  kLineitem = 7,
+  kNumTables = 8,
+};
+
+/// Name of a TPC-H table ("region", "nation", ...).
+const char* TableName(TableId id);
+
+/// Schema of a TPC-H table per the specification (decimal columns carry
+/// scale 2; string columns carry an average-width hint used for byte and
+/// page accounting).
+Schema TableSchema(TableId id);
+
+/// Cardinality of the table at the given scale factor, per the TPC-H
+/// sizing rules (region/nation are fixed; lineitem is ~4.0 lines/order).
+int64_t TableCardinality(TableId id, double scale_factor);
+
+}  // namespace qpp::tpch

@@ -1,0 +1,168 @@
+#include "workload/query_log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qpp {
+namespace {
+
+void FlattenPlan(const PlanNode& node, int parent_id,
+                 std::vector<OperatorRecord>* out) {
+  OperatorRecord rec;
+  rec.node_id = node.node_id;
+  rec.parent_id = parent_id;
+  rec.left_child = node.num_children() > 0 ? node.child(0)->node_id : -1;
+  rec.right_child = node.num_children() > 1 ? node.child(1)->node_id : -1;
+  rec.op = node.op;
+  rec.join_type = node.join_type;
+  rec.relation = node.label;
+  rec.structural_key = node.StructuralKey();
+  rec.subtree_size = node.NodeCount();
+  rec.est = node.est;
+  rec.actual = node.actual;
+  out->push_back(std::move(rec));
+  for (const auto& c : node.children) {
+    FlattenPlan(*c, node.node_id, out);
+  }
+}
+
+std::string KeyOf(const QueryRecord& q, int node_index,
+                  std::vector<std::string>* memo, std::vector<int>* sizes) {
+  if (!(*memo)[static_cast<size_t>(node_index)].empty()) {
+    return (*memo)[static_cast<size_t>(node_index)];
+  }
+  const OperatorRecord& rec = q.ops[static_cast<size_t>(node_index)];
+  std::string key = PlanOpName(rec.op);
+  int size = 1;
+  if (rec.op == PlanOp::kSeqScan || rec.op == PlanOp::kIndexScan) {
+    key += ":" + rec.relation;
+  }
+  if ((rec.op == PlanOp::kHashJoin || rec.op == PlanOp::kMergeJoin ||
+       rec.op == PlanOp::kNestedLoopJoin) &&
+      rec.join_type != JoinType::kInner) {
+    key += std::string("[") + JoinTypeName(rec.join_type) + "]";
+  }
+  std::string children;
+  for (int child_id : {rec.left_child, rec.right_child}) {
+    if (child_id < 0) continue;
+    const int ci = q.IndexOfNode(child_id);
+    if (ci < 0) continue;
+    if (!children.empty()) children += ",";
+    children += KeyOf(q, ci, memo, sizes);
+    size += (*sizes)[static_cast<size_t>(ci)];
+  }
+  if (!children.empty()) key += "(" + children + ")";
+  (*memo)[static_cast<size_t>(node_index)] = key;
+  (*sizes)[static_cast<size_t>(node_index)] = size;
+  return key;
+}
+
+}  // namespace
+
+int QueryRecord::IndexOfNode(int node_id) const {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].node_id == node_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+QueryRecord RecordFromPlan(const QueryPlan& plan, double latency_ms) {
+  QueryRecord rec;
+  rec.template_id = plan.template_id;
+  rec.param_desc = plan.parameter_desc;
+  rec.latency_ms = latency_ms;
+  if (plan.root) FlattenPlan(*plan.root, -1, &rec.ops);
+  return rec;
+}
+
+void RecomputeStructuralKeys(QueryRecord* record) {
+  std::vector<std::string> memo(record->ops.size());
+  std::vector<int> sizes(record->ops.size(), 1);
+  for (size_t i = 0; i < record->ops.size(); ++i) {
+    KeyOf(*record, static_cast<int>(i), &memo, &sizes);
+  }
+  for (size_t i = 0; i < record->ops.size(); ++i) {
+    record->ops[i].structural_key = memo[i];
+    record->ops[i].subtree_size = sizes[i];
+  }
+}
+
+Status QueryLog::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out.precision(17);
+  out << "# qpp query log v1\n";
+  for (const auto& q : queries) {
+    std::string param = q.param_desc;
+    for (char& c : param) {
+      if (c == '|' || c == '\n') c = ';';
+    }
+    out << "Q|" << q.template_id << "|" << q.latency_ms << "|" << param << "\n";
+    for (const auto& o : q.ops) {
+      out << "O|" << o.node_id << "|" << o.parent_id << "|" << o.left_child
+          << "|" << o.right_child << "|" << static_cast<int>(o.op) << "|"
+          << static_cast<int>(o.join_type) << "|" << o.relation << "|"
+          << o.est.startup_cost << "|" << o.est.total_cost << "|" << o.est.rows
+          << "|" << o.est.width << "|" << o.est.pages << "|"
+          << o.est.selectivity << "|" << (o.actual.valid ? 1 : 0) << "|"
+          << o.actual.start_time_ms << "|" << o.actual.run_time_ms << "|"
+          << o.actual.rows << "|" << o.actual.pages << "\n";
+    }
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<QueryLog> QueryLog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  QueryLog log;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, '|')) fields.push_back(field);
+    if (fields.empty()) continue;
+    if (fields[0] == "Q") {
+      if (fields.size() < 4) return Status::IOError("malformed Q line");
+      QueryRecord q;
+      q.template_id = std::stoi(fields[1]);
+      q.latency_ms = std::stod(fields[2]);
+      q.param_desc = fields[3];
+      log.queries.push_back(std::move(q));
+    } else if (fields[0] == "O") {
+      if (fields.size() < 19) return Status::IOError("malformed O line");
+      if (log.queries.empty()) return Status::IOError("O line before Q line");
+      OperatorRecord o;
+      o.node_id = std::stoi(fields[1]);
+      o.parent_id = std::stoi(fields[2]);
+      o.left_child = std::stoi(fields[3]);
+      o.right_child = std::stoi(fields[4]);
+      o.op = static_cast<PlanOp>(std::stoi(fields[5]));
+      o.join_type = static_cast<JoinType>(std::stoi(fields[6]));
+      o.relation = fields[7];
+      o.est.startup_cost = std::stod(fields[8]);
+      o.est.total_cost = std::stod(fields[9]);
+      o.est.rows = std::stod(fields[10]);
+      o.est.width = std::stod(fields[11]);
+      o.est.pages = std::stod(fields[12]);
+      o.est.selectivity = std::stod(fields[13]);
+      o.actual.valid = fields[14] == "1";
+      o.actual.start_time_ms = std::stod(fields[15]);
+      o.actual.run_time_ms = std::stod(fields[16]);
+      o.actual.rows = std::stod(fields[17]);
+      o.actual.pages = std::stod(fields[18]);
+      log.queries.back().ops.push_back(std::move(o));
+    }
+  }
+  for (auto& q : log.queries) {
+    if (q.ops.empty()) return Status::IOError("query with no operators");
+    RecomputeStructuralKeys(&q);
+  }
+  return log;
+}
+
+}  // namespace qpp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+namespace qpp {
+
+/// \brief One operator of an executed query, with the optimizer estimates
+/// (static features) and observed actuals (targets) the QPP models consume.
+///
+/// Records are flat (tree encoded via parent/child ids) so a whole training
+/// workload can be serialized, reloaded and modeled without retaining plan
+/// objects — this is "the log" the paper's instrumented PostgreSQL writes.
+struct OperatorRecord {
+  int node_id = -1;
+  int parent_id = -1;
+  int left_child = -1;   // node id, -1 when absent
+  int right_child = -1;  // node id, -1 when absent
+  PlanOp op = PlanOp::kSeqScan;
+  JoinType join_type = JoinType::kInner;
+  /// Scanned relation (alias) for scan operators, empty otherwise.
+  std::string relation;
+  /// Canonical structural key of the sub-plan rooted here (see
+  /// PlanNode::StructuralKey); recomputed after deserialization.
+  std::string structural_key;
+  /// Number of operators in the sub-plan rooted here.
+  int subtree_size = 1;
+  PlanEstimates est;
+  PlanActuals actual;
+};
+
+/// \brief One executed query: template identity, end-to-end latency, and
+/// its operators in pre-order (ops[0] is the root).
+struct QueryRecord {
+  int template_id = 0;
+  std::string param_desc;
+  double latency_ms = 0.0;
+  std::vector<OperatorRecord> ops;
+
+  const OperatorRecord& root() const { return ops.front(); }
+
+  /// Index in `ops` of the record with the given node id (-1 if absent).
+  int IndexOfNode(int node_id) const;
+};
+
+/// \brief A collection of executed queries — the training/testing corpus.
+struct QueryLog {
+  std::vector<QueryRecord> queries;
+
+  /// Persists to a '|'-separated text file.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Reloads a log written by SaveToFile (structural keys recomputed).
+  static Result<QueryLog> LoadFromFile(const std::string& path);
+};
+
+/// Flattens an executed plan into a QueryRecord (pre-order, structural keys
+/// and subtree sizes computed).
+QueryRecord RecordFromPlan(const QueryPlan& plan, double latency_ms);
+
+/// Recomputes structural_key and subtree_size for every operator from the
+/// tree links (used after deserialization).
+void RecomputeStructuralKeys(QueryRecord* record);
+
+}  // namespace qpp

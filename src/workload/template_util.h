@@ -1,0 +1,88 @@
+#pragma once
+
+// Internal helpers shared by the TPC-H template definition files. Not part
+// of the public workload API.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/driver.h"
+#include "workload/templates.h"
+
+namespace qpp::tpch::detail {
+
+using Plan = std::unique_ptr<PlanNode>;
+
+/// l_extendedprice * (1 - l_discount), the TPC-H revenue expression.
+inline ExprPtr Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(LitDec("1.00"), Col("l_discount")));
+}
+
+inline Value DateValue(const Date& d) { return Value::MakeDate(d); }
+
+inline std::string PickStr(const std::vector<std::string>& list, Rng* rng) {
+  return list[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(list.size()) - 1))];
+}
+
+/// Runs a scalar (single row, single column) plan and returns the value —
+/// the InitPlan mechanism for templates 11, 15 and 22.
+inline Result<Value> RunScalar(TemplateContext* ctx, Plan plan) {
+  QPP_ASSIGN_OR_RETURN(ExecutionResult res,
+                       ExecutePlan(plan.get(), ctx->db,
+                                   ExecutionOptions{/*cold_start=*/false,
+                                                    /*collect_rows=*/true}));
+  if (res.rows.empty() || res.rows[0].empty()) {
+    return Status::Internal("scalar subquery returned no rows");
+  }
+  return res.rows[0][0];
+}
+
+inline Result<QueryPlan> Wrap(Result<Plan> plan, int template_id,
+                              std::string param_desc) {
+  if (!plan.ok()) return plan.status();
+  QueryPlan q;
+  q.root = std::move(*plan);
+  q.template_id = template_id;
+  q.parameter_desc = std::move(param_desc);
+  AssignNodeIds(q.root.get());
+  return q;
+}
+
+inline std::vector<ExprPtr> ExprList(ExprPtr a) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(a));
+  return v;
+}
+inline std::vector<ExprPtr> ExprList(ExprPtr a, ExprPtr b) {
+  auto v = ExprList(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+inline std::vector<ExprPtr> ExprList(ExprPtr a, ExprPtr b, ExprPtr c) {
+  auto v = ExprList(std::move(a), std::move(b));
+  v.push_back(std::move(c));
+  return v;
+}
+inline std::vector<ExprPtr> ExprList(ExprPtr a, ExprPtr b, ExprPtr c,
+                                     ExprPtr d) {
+  auto v = ExprList(std::move(a), std::move(b), std::move(c));
+  v.push_back(std::move(d));
+  return v;
+}
+inline std::vector<ExprPtr> ExprList(ExprPtr a, ExprPtr b, ExprPtr c, ExprPtr d,
+                                     ExprPtr e) {
+  auto v = ExprList(std::move(a), std::move(b), std::move(c), std::move(d));
+  v.push_back(std::move(e));
+  return v;
+}
+inline std::vector<ExprPtr> ExprList(ExprPtr a, ExprPtr b, ExprPtr c, ExprPtr d,
+                                     ExprPtr e, ExprPtr f) {
+  auto v = ExprList(std::move(a), std::move(b), std::move(c), std::move(d),
+                    std::move(e));
+  v.push_back(std::move(f));
+  return v;
+}
+
+}  // namespace qpp::tpch::detail

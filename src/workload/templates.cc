@@ -1,0 +1,562 @@
+#include "workload/templates.h"
+
+#include <cmath>
+
+#include "tpch/lists.h"
+#include "workload/template_util.h"
+
+namespace qpp::tpch {
+namespace {
+
+using detail::DateValue;
+using detail::ExprList;
+using detail::PickStr;
+using detail::Plan;
+using detail::Revenue;
+using detail::RunScalar;
+using detail::Wrap;
+
+// ---------------------------------------------------------------------------
+// Q1 — pricing summary report
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q1(TemplateContext* ctx) {
+  const int delta = static_cast<int>(ctx->rng->UniformInt(60, 120));
+  const Date cutoff = Date::FromYmd(1998, 12, 1).AddDays(-delta);
+
+  JoinBlock block;
+  block.AddRelation("lineitem");
+  block.AddFilter(Le(Col("l_shipdate"), Lit(DateValue(cutoff))));
+  QPP_ASSIGN_OR_RETURN(Plan scan, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted,
+      ctx->opt->MakeSort(std::move(scan), {"l_returnflag", "l_linestatus"},
+                         {false, false}));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("l_quantity"), "sum_qty"));
+  aggs.push_back(AggSum(Col("l_extendedprice"), "sum_base_price"));
+  aggs.push_back(AggSum(Revenue(), "sum_disc_price"));
+  aggs.push_back(AggSum(Mul(Revenue(), Add(LitDec("1.00"), Col("l_tax"))),
+                        "sum_charge"));
+  aggs.push_back(AggAvg(Col("l_quantity"), "avg_qty"));
+  aggs.push_back(AggAvg(Col("l_extendedprice"), "avg_price"));
+  aggs.push_back(AggAvg(Col("l_discount"), "avg_disc"));
+  aggs.push_back(AggCountStar("count_order"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg, ctx->opt->MakeAggregate(std::move(sorted),
+                                        {"l_returnflag", "l_linestatus"},
+                                        std::move(aggs), nullptr,
+                                        /*input_sorted=*/true));
+  return Wrap(std::move(agg), 1, "delta=" + std::to_string(delta));
+}
+
+// ---------------------------------------------------------------------------
+// Q2 — minimum cost supplier
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q2(TemplateContext* ctx) {
+  const int size = static_cast<int>(ctx->rng->UniformInt(1, 50));
+  const std::string type3 = PickStr(TypeSyllable3(), ctx->rng);
+  const std::string region = PickStr(RegionNames(), ctx->rng);
+
+  JoinBlock main;
+  main.AddRelation("part");
+  main.AddRelation("partsupp");
+  main.AddRelation("supplier");
+  main.AddRelation("nation");
+  main.AddRelation("region");
+  main.AddJoin("p_partkey", "ps_partkey");
+  main.AddJoin("s_suppkey", "ps_suppkey");
+  main.AddJoin("s_nationkey", "n_nationkey");
+  main.AddJoin("n_regionkey", "r_regionkey");
+  main.AddFilter(Eq(Col("p_size"), LitInt(size)));
+  main.AddFilter(Like(Col("p_type"), "%" + type3));
+  main.AddFilter(Eq(Col("r_name"), LitStr(region)));
+  QPP_ASSIGN_OR_RETURN(Plan main_plan,
+                       ctx->opt->OptimizeJoinBlock(std::move(main)));
+
+  // Min supply cost per part within the region (aliased second block).
+  JoinBlock sub;
+  sub.AddRelation("partsupp", "ps2");
+  sub.AddRelation("supplier", "s2");
+  sub.AddRelation("nation", "n2");
+  sub.AddRelation("region", "r2");
+  sub.AddJoin("s2.s_suppkey", "ps2.ps_suppkey");
+  sub.AddJoin("s2.s_nationkey", "n2.n_nationkey");
+  sub.AddJoin("n2.n_regionkey", "r2.r_regionkey");
+  sub.AddFilter(Eq(Col("r2.r_name"), LitStr(region)));
+  QPP_ASSIGN_OR_RETURN(Plan sub_plan,
+                       ctx->opt->OptimizeJoinBlock(std::move(sub)));
+  std::vector<AggSpec> sub_aggs;
+  sub_aggs.push_back(AggMin(Col("ps2.ps_supplycost"), "min_cost"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sub_agg,
+      ctx->opt->MakeAggregate(std::move(sub_plan), {"ps2.ps_partkey"},
+                              std::move(sub_aggs), nullptr));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan joined,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                         std::move(main_plan), std::move(sub_agg),
+                         {{"p_partkey", "ps2.ps_partkey"},
+                          {"ps_supplycost", "min_cost"}},
+                         nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted,
+      ctx->opt->MakeSort(std::move(joined),
+                         {"s_acctbal", "n_name", "s_name", "p_partkey"},
+                         {true, false, false, false}));
+  Plan limited = ctx->opt->MakeLimit(std::move(sorted), 100);
+  return Wrap(std::move(limited), 2,
+              "size=" + std::to_string(size) + " type=" + type3 +
+                  " region=" + region);
+}
+
+// ---------------------------------------------------------------------------
+// Q3 — shipping priority
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q3(TemplateContext* ctx) {
+  const std::string segment = PickStr(Segments(), ctx->rng);
+  const Date d = Date::FromYmd(1995, 3, 1).AddDays(
+      static_cast<int>(ctx->rng->UniformInt(0, 30)));
+
+  JoinBlock block;
+  block.AddRelation("customer");
+  block.AddRelation("orders");
+  block.AddRelation("lineitem");
+  block.AddJoin("c_custkey", "o_custkey");
+  block.AddJoin("l_orderkey", "o_orderkey");
+  block.AddFilter(Eq(Col("c_mktsegment"), LitStr(segment)));
+  block.AddFilter(Lt(Col("o_orderdate"), Lit(DateValue(d))));
+  block.AddFilter(Gt(Col("l_shipdate"), Lit(DateValue(d))));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Revenue(), "revenue"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(std::move(join),
+                              {"l_orderkey", "o_orderdate", "o_shippriority"},
+                              std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(agg),
+                                          {"revenue", "o_orderdate"},
+                                          {true, false}));
+  Plan limited = ctx->opt->MakeLimit(std::move(sorted), 10);
+  return Wrap(std::move(limited), 3, "segment=" + segment + " date=" + d.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Q4 — order priority checking
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q4(TemplateContext* ctx) {
+  const int month_index = static_cast<int>(ctx->rng->UniformInt(0, 57));
+  const Date d = Date::FromYmd(1993, 1, 1).AddMonths(month_index);
+
+  JoinBlock orders;
+  orders.AddRelation("orders");
+  orders.AddFilter(Ge(Col("o_orderdate"), Lit(DateValue(d))));
+  orders.AddFilter(Lt(Col("o_orderdate"), Lit(DateValue(d.AddMonths(3)))));
+  QPP_ASSIGN_OR_RETURN(Plan orders_plan,
+                       ctx->opt->OptimizeJoinBlock(std::move(orders)));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan line_plan,
+      ctx->opt->MakeScan("lineitem", "",
+                         Lt(Col("l_commitdate"), Col("l_receiptdate"))));
+  QPP_ASSIGN_OR_RETURN(
+      Plan semi,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kSemi,
+                         std::move(orders_plan), std::move(line_plan),
+                         {{"o_orderkey", "l_orderkey"}}, nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(semi), {"o_orderpriority"},
+                                          {false}));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("order_count"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(std::move(sorted), {"o_orderpriority"},
+                              std::move(aggs), nullptr, /*input_sorted=*/true));
+  return Wrap(std::move(agg), 4, "date=" + d.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Q5 — local supplier volume
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q5(TemplateContext* ctx) {
+  const std::string region = PickStr(RegionNames(), ctx->rng);
+  const int year = static_cast<int>(ctx->rng->UniformInt(1993, 1997));
+  const Date d = Date::FromYmd(year, 1, 1);
+
+  JoinBlock block;
+  block.AddRelation("customer");
+  block.AddRelation("orders");
+  block.AddRelation("lineitem");
+  block.AddRelation("supplier");
+  block.AddRelation("nation");
+  block.AddRelation("region");
+  block.AddJoin("c_custkey", "o_custkey");
+  block.AddJoin("l_orderkey", "o_orderkey");
+  block.AddJoin("l_suppkey", "s_suppkey");
+  block.AddJoin("c_nationkey", "s_nationkey");
+  block.AddJoin("s_nationkey", "n_nationkey");
+  block.AddJoin("n_regionkey", "r_regionkey");
+  block.AddFilter(Eq(Col("r_name"), LitStr(region)));
+  block.AddFilter(Ge(Col("o_orderdate"), Lit(DateValue(d))));
+  block.AddFilter(Lt(Col("o_orderdate"), Lit(DateValue(d.AddYears(1)))));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Revenue(), "revenue"));
+  QPP_ASSIGN_OR_RETURN(Plan agg,
+                       ctx->opt->MakeAggregate(std::move(join), {"n_name"},
+                                               std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted, ctx->opt->MakeSort(std::move(agg), {"revenue"}, {true}));
+  return Wrap(std::move(sorted), 5,
+              "region=" + region + " year=" + std::to_string(year));
+}
+
+// ---------------------------------------------------------------------------
+// Q6 — revenue change forecast
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q6(TemplateContext* ctx) {
+  const int year = static_cast<int>(ctx->rng->UniformInt(1993, 1997));
+  const int disc = static_cast<int>(ctx->rng->UniformInt(2, 9));
+  const int64_t qty = ctx->rng->UniformInt(24, 25);
+  const Date d = Date::FromYmd(year, 1, 1);
+
+  JoinBlock block;
+  block.AddRelation("lineitem");
+  block.AddFilter(Ge(Col("l_shipdate"), Lit(DateValue(d))));
+  block.AddFilter(Lt(Col("l_shipdate"), Lit(DateValue(d.AddYears(1)))));
+  block.AddFilter(Ge(Col("l_discount"), Lit(Value::MakeDecimal(Decimal(disc - 1, 2)))));
+  block.AddFilter(Le(Col("l_discount"), Lit(Value::MakeDecimal(Decimal(disc + 1, 2)))));
+  block.AddFilter(Lt(Col("l_quantity"), Lit(Value::MakeDecimal(Decimal(qty * 100, 2)))));
+  QPP_ASSIGN_OR_RETURN(Plan scan, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Mul(Col("l_extendedprice"), Col("l_discount")),
+                        "revenue"));
+  QPP_ASSIGN_OR_RETURN(Plan agg,
+                       ctx->opt->MakeAggregate(std::move(scan), {},
+                                               std::move(aggs), nullptr));
+  return Wrap(std::move(agg), 6,
+              "year=" + std::to_string(year) + " disc=0.0" +
+                  std::to_string(disc) + " qty=" + std::to_string(qty));
+}
+
+// ---------------------------------------------------------------------------
+// Q7 — volume shipping
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q7(TemplateContext* ctx) {
+  const auto& nations = NationNames();
+  const size_t a = static_cast<size_t>(
+      ctx->rng->UniformInt(0, static_cast<int64_t>(nations.size()) - 1));
+  size_t b;
+  do {
+    b = static_cast<size_t>(
+        ctx->rng->UniformInt(0, static_cast<int64_t>(nations.size()) - 1));
+  } while (b == a);
+  const std::string na = nations[a];
+  const std::string nb = nations[b];
+
+  JoinBlock block;
+  block.AddRelation("supplier");
+  block.AddRelation("lineitem");
+  block.AddRelation("orders");
+  block.AddRelation("customer");
+  block.AddRelation("nation", "n1");
+  block.AddRelation("nation", "n2");
+  block.AddJoin("s_suppkey", "l_suppkey");
+  block.AddJoin("o_orderkey", "l_orderkey");
+  block.AddJoin("c_custkey", "o_custkey");
+  block.AddJoin("s_nationkey", "n1.n_nationkey");
+  block.AddJoin("c_nationkey", "n2.n_nationkey");
+  block.AddFilter(Between(Col("l_shipdate"),
+                          Lit(DateValue(Date::FromYmd(1995, 1, 1))),
+                          Lit(DateValue(Date::FromYmd(1996, 12, 31)))));
+  block.AddFilter(Or(ExprList(
+      And(ExprList(Eq(Col("n1.n_name"), LitStr(na)),
+                   Eq(Col("n2.n_name"), LitStr(nb)))),
+      And(ExprList(Eq(Col("n1.n_name"), LitStr(nb)),
+                   Eq(Col("n2.n_name"), LitStr(na)))))));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  projs.push_back(Col("n1.n_name"));
+  names.push_back("supp_nation");
+  projs.push_back(Col("n2.n_name"));
+  names.push_back("cust_nation");
+  projs.push_back(Year(Col("l_shipdate")));
+  names.push_back("l_year");
+  projs.push_back(Revenue());
+  names.push_back("volume");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(join), std::move(projs),
+                                             std::move(names)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("volume"), "revenue"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(std::move(proj),
+                              {"supp_nation", "cust_nation", "l_year"},
+                              std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted,
+      ctx->opt->MakeSort(std::move(agg),
+                         {"supp_nation", "cust_nation", "l_year"},
+                         {false, false, false}));
+  return Wrap(std::move(sorted), 7, "nations=" + na + "/" + nb);
+}
+
+// ---------------------------------------------------------------------------
+// Q8 — national market share
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q8(TemplateContext* ctx) {
+  const auto& nations = NationNames();
+  const size_t ni = static_cast<size_t>(
+      ctx->rng->UniformInt(0, static_cast<int64_t>(nations.size()) - 1));
+  const std::string nation = nations[ni];
+  const std::string region = RegionNames()[static_cast<size_t>(
+      NationRegionKeys()[ni])];
+  const std::string type = PickStr(TypeSyllable1(), ctx->rng) + " " +
+                           PickStr(TypeSyllable2(), ctx->rng) + " " +
+                           PickStr(TypeSyllable3(), ctx->rng);
+
+  JoinBlock block;
+  block.AddRelation("part");
+  block.AddRelation("supplier");
+  block.AddRelation("lineitem");
+  block.AddRelation("orders");
+  block.AddRelation("customer");
+  block.AddRelation("nation", "n1");
+  block.AddRelation("nation", "n2");
+  block.AddRelation("region");
+  block.AddJoin("p_partkey", "l_partkey");
+  block.AddJoin("s_suppkey", "l_suppkey");
+  block.AddJoin("l_orderkey", "o_orderkey");
+  block.AddJoin("o_custkey", "c_custkey");
+  block.AddJoin("c_nationkey", "n1.n_nationkey");
+  block.AddJoin("n1.n_regionkey", "r_regionkey");
+  block.AddJoin("s_nationkey", "n2.n_nationkey");
+  block.AddFilter(Eq(Col("r_name"), LitStr(region)));
+  block.AddFilter(Between(Col("o_orderdate"),
+                          Lit(DateValue(Date::FromYmd(1995, 1, 1))),
+                          Lit(DateValue(Date::FromYmd(1996, 12, 31)))));
+  block.AddFilter(Eq(Col("p_type"), LitStr(type)));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  projs.push_back(Year(Col("o_orderdate")));
+  names.push_back("o_year");
+  projs.push_back(Revenue());
+  names.push_back("volume");
+  projs.push_back(Col("n2.n_name"));
+  names.push_back("nation");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(join), std::move(projs),
+                                             std::move(names)));
+  std::vector<AggSpec> aggs;
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  whens.emplace_back(Eq(Col("nation"), LitStr(nation)), Col("volume"));
+  aggs.push_back(AggSum(Case(std::move(whens), LitDec("0.00")), "mkt_volume"));
+  aggs.push_back(AggSum(Col("volume"), "total_volume"));
+  QPP_ASSIGN_OR_RETURN(Plan agg,
+                       ctx->opt->MakeAggregate(std::move(proj), {"o_year"},
+                                               std::move(aggs), nullptr));
+  std::vector<ExprPtr> final_projs;
+  std::vector<std::string> final_names;
+  final_projs.push_back(Col("o_year"));
+  final_names.push_back("o_year");
+  final_projs.push_back(Div(Col("mkt_volume"), Col("total_volume")));
+  final_names.push_back("mkt_share");
+  QPP_ASSIGN_OR_RETURN(
+      Plan proj2, ctx->opt->MakeProject(std::move(agg), std::move(final_projs),
+                                        std::move(final_names)));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(proj2), {"o_year"}, {false}));
+  return Wrap(std::move(sorted), 8, "nation=" + nation + " type=" + type);
+}
+
+// ---------------------------------------------------------------------------
+// Q9 — product type profit measure
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q9(TemplateContext* ctx) {
+  const std::string color = PickStr(Colors(), ctx->rng);
+
+  JoinBlock block;
+  block.AddRelation("part");
+  block.AddRelation("supplier");
+  block.AddRelation("lineitem");
+  block.AddRelation("partsupp");
+  block.AddRelation("orders");
+  block.AddRelation("nation");
+  block.AddJoin("s_suppkey", "l_suppkey");
+  block.AddJoin("ps_suppkey", "l_suppkey");
+  block.AddJoin("ps_partkey", "l_partkey");
+  block.AddJoin("p_partkey", "l_partkey");
+  block.AddJoin("o_orderkey", "l_orderkey");
+  block.AddJoin("s_nationkey", "n_nationkey");
+  block.AddFilter(Like(Col("p_name"), "%" + color + "%"));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  projs.push_back(Col("n_name"));
+  names.push_back("nation");
+  projs.push_back(Year(Col("o_orderdate")));
+  names.push_back("o_year");
+  projs.push_back(Sub(Revenue(), Mul(Col("ps_supplycost"), Col("l_quantity"))));
+  names.push_back("amount");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(join), std::move(projs),
+                                             std::move(names)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("amount"), "sum_profit"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg, ctx->opt->MakeAggregate(std::move(proj), {"nation", "o_year"},
+                                        std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(agg), {"nation", "o_year"},
+                                          {false, true}));
+  return Wrap(std::move(sorted), 9, "color=" + color);
+}
+
+// ---------------------------------------------------------------------------
+// Q10 — returned item reporting
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q10(TemplateContext* ctx) {
+  const int month_index = static_cast<int>(ctx->rng->UniformInt(0, 23));
+  const Date d = Date::FromYmd(1993, 2, 1).AddMonths(month_index);
+
+  JoinBlock block;
+  block.AddRelation("customer");
+  block.AddRelation("orders");
+  block.AddRelation("lineitem");
+  block.AddRelation("nation");
+  block.AddJoin("c_custkey", "o_custkey");
+  block.AddJoin("l_orderkey", "o_orderkey");
+  block.AddJoin("c_nationkey", "n_nationkey");
+  block.AddFilter(Ge(Col("o_orderdate"), Lit(DateValue(d))));
+  block.AddFilter(Lt(Col("o_orderdate"), Lit(DateValue(d.AddMonths(3)))));
+  block.AddFilter(Eq(Col("l_returnflag"), LitStr("R")));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Revenue(), "revenue"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(std::move(join),
+                              {"c_custkey", "c_name", "c_acctbal", "c_phone",
+                               "n_name", "c_address", "c_comment"},
+                              std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(agg), {"revenue"}, {true}));
+  Plan limited = ctx->opt->MakeLimit(std::move(sorted), 20);
+  return Wrap(std::move(limited), 10, "date=" + d.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Q11 — important stock identification (scalar subquery as InitPlan)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q11(TemplateContext* ctx) {
+  const std::string nation = PickStr(NationNames(), ctx->rng);
+
+  auto build_block = [&]() -> Result<Plan> {
+    JoinBlock block;
+    block.AddRelation("partsupp");
+    block.AddRelation("supplier");
+    block.AddRelation("nation");
+    block.AddJoin("ps_suppkey", "s_suppkey");
+    block.AddJoin("s_nationkey", "n_nationkey");
+    block.AddFilter(Eq(Col("n_name"), LitStr(nation)));
+    return ctx->opt->OptimizeJoinBlock(std::move(block));
+  };
+  auto stock_value = []() {
+    return Mul(Col("ps_supplycost"), Col("ps_availqty"));
+  };
+
+  // InitPlan: total stock value in this nation, scaled by the spec fraction.
+  QPP_ASSIGN_OR_RETURN(Plan total_block, build_block());
+  std::vector<AggSpec> total_aggs;
+  total_aggs.push_back(AggSum(stock_value(), "total_value"));
+  QPP_ASSIGN_OR_RETURN(Plan total_agg,
+                       ctx->opt->MakeAggregate(std::move(total_block), {},
+                                               std::move(total_aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Value total, RunScalar(ctx, std::move(total_agg)));
+  const double fraction = 0.0001;  // spec: 0.0001 / SF, clamped sensibly
+  const double threshold_value = total.AsDouble() * fraction;
+
+  QPP_ASSIGN_OR_RETURN(Plan block, build_block());
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(stock_value(), "value"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(
+          std::move(block), {"ps_partkey"}, std::move(aggs),
+          Gt(Col("value"),
+             Lit(Value::MakeDecimal(Decimal::FromDouble(threshold_value, 4))))));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(agg), {"value"}, {true}));
+  return Wrap(std::move(sorted), 11, "nation=" + nation);
+}
+
+}  // namespace
+
+// Q12..Q22 are defined in templates2.cc; these hooks connect the dispatcher.
+namespace detail {
+Result<QueryPlan> GenerateQ12ToQ22(int template_id, TemplateContext* ctx);
+}  // namespace detail
+
+Result<QueryPlan> GenerateTemplateQuery(int template_id, TemplateContext* ctx) {
+  if (ctx == nullptr || ctx->opt == nullptr || ctx->rng == nullptr) {
+    return Status::InvalidArgument("incomplete template context");
+  }
+  switch (template_id) {
+    case 1: return Q1(ctx);
+    case 2: return Q2(ctx);
+    case 3: return Q3(ctx);
+    case 4: return Q4(ctx);
+    case 5: return Q5(ctx);
+    case 6: return Q6(ctx);
+    case 7: return Q7(ctx);
+    case 8: return Q8(ctx);
+    case 9: return Q9(ctx);
+    case 10: return Q10(ctx);
+    case 11: return Q11(ctx);
+    default:
+      if (template_id >= 12 && template_id <= 22) {
+        return detail::GenerateQ12ToQ22(template_id, ctx);
+      }
+      return Status::InvalidArgument("unknown TPC-H template " +
+                                     std::to_string(template_id));
+  }
+}
+
+const std::vector<int>& AllTemplates() {
+  static const std::vector<int> v = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
+                                     12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22};
+  return v;
+}
+
+const std::vector<int>& PlanLevelTemplates() {
+  static const std::vector<int> v = {1, 2,  3,  4,  5,  6,  7,  8,  9,
+                                     10, 11, 12, 13, 14, 15, 18, 19, 22};
+  return v;
+}
+
+const std::vector<int>& OperatorLevelTemplates() {
+  static const std::vector<int> v = {1, 3, 4,  5,  6,  7,  8,
+                                     9, 10, 12, 13, 14, 18, 19};
+  return v;
+}
+
+const std::vector<int>& DynamicWorkloadTemplates() {
+  static const std::vector<int> v = {1, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 19};
+  return v;
+}
+
+}  // namespace qpp::tpch

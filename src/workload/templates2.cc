@@ -1,0 +1,573 @@
+#include "tpch/lists.h"
+#include "workload/template_util.h"
+#include "workload/templates.h"
+
+namespace qpp::tpch::detail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Q12 — shipping modes and order priority
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q12(TemplateContext* ctx) {
+  const auto& modes = ShipModes();
+  const size_t a = static_cast<size_t>(
+      ctx->rng->UniformInt(0, static_cast<int64_t>(modes.size()) - 1));
+  size_t b;
+  do {
+    b = static_cast<size_t>(
+        ctx->rng->UniformInt(0, static_cast<int64_t>(modes.size()) - 1));
+  } while (b == a);
+  const int year = static_cast<int>(ctx->rng->UniformInt(1993, 1997));
+  const Date d = Date::FromYmd(year, 1, 1);
+
+  JoinBlock block;
+  block.AddRelation("orders");
+  block.AddRelation("lineitem");
+  block.AddJoin("o_orderkey", "l_orderkey");
+  block.AddFilter(In(Col("l_shipmode"),
+                     {Value::String(modes[a]), Value::String(modes[b])}));
+  block.AddFilter(Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  block.AddFilter(Lt(Col("l_shipdate"), Col("l_commitdate")));
+  block.AddFilter(Ge(Col("l_receiptdate"), Lit(DateValue(d))));
+  block.AddFilter(Lt(Col("l_receiptdate"), Lit(DateValue(d.AddYears(1)))));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  projs.push_back(Col("l_shipmode"));
+  names.push_back("l_shipmode");
+  std::vector<std::pair<ExprPtr, ExprPtr>> high_whens;
+  high_whens.emplace_back(
+      In(Col("o_orderpriority"),
+         {Value::String("1-URGENT"), Value::String("2-HIGH")}),
+      LitInt(1));
+  projs.push_back(Case(std::move(high_whens), LitInt(0)));
+  names.push_back("high_line");
+  std::vector<std::pair<ExprPtr, ExprPtr>> low_whens;
+  low_whens.emplace_back(
+      NotIn(Col("o_orderpriority"),
+            {Value::String("1-URGENT"), Value::String("2-HIGH")}),
+      LitInt(1));
+  projs.push_back(Case(std::move(low_whens), LitInt(0)));
+  names.push_back("low_line");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(join), std::move(projs),
+                                             std::move(names)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("high_line"), "high_line_count"));
+  aggs.push_back(AggSum(Col("low_line"), "low_line_count"));
+  QPP_ASSIGN_OR_RETURN(Plan agg,
+                       ctx->opt->MakeAggregate(std::move(proj), {"l_shipmode"},
+                                               std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted, ctx->opt->MakeSort(std::move(agg), {"l_shipmode"}, {false}));
+  return Wrap(std::move(sorted), 12,
+              "modes=" + modes[a] + "/" + modes[b] +
+                  " year=" + std::to_string(year));
+}
+
+// ---------------------------------------------------------------------------
+// Q13 — customer distribution (left outer join)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q13(TemplateContext* ctx) {
+  static const std::vector<std::string> kWord1 = {"special", "pending",
+                                                  "unusual", "express"};
+  static const std::vector<std::string> kWord2 = {"packages", "requests",
+                                                  "accounts", "deposits"};
+  const std::string w1 = PickStr(kWord1, ctx->rng);
+  const std::string w2 = PickStr(kWord2, ctx->rng);
+
+  QPP_ASSIGN_OR_RETURN(Plan customer, ctx->opt->MakeScan("customer", "", nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan orders,
+      ctx->opt->MakeScan("orders", "",
+                         NotLike(Col("o_comment"), "%" + w1 + "%" + w2 + "%")));
+  QPP_ASSIGN_OR_RETURN(
+      Plan join,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kLeftOuter,
+                         std::move(customer), std::move(orders),
+                         {{"c_custkey", "o_custkey"}}, nullptr));
+  std::vector<AggSpec> aggs1;
+  aggs1.push_back(AggCount(Col("o_orderkey"), "c_count"));
+  QPP_ASSIGN_OR_RETURN(Plan agg1,
+                       ctx->opt->MakeAggregate(std::move(join), {"c_custkey"},
+                                               std::move(aggs1), nullptr));
+  std::vector<AggSpec> aggs2;
+  aggs2.push_back(AggCountStar("custdist"));
+  QPP_ASSIGN_OR_RETURN(Plan agg2,
+                       ctx->opt->MakeAggregate(std::move(agg1), {"c_count"},
+                                               std::move(aggs2), nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(agg2),
+                                          {"custdist", "c_count"}, {true, true}));
+  return Wrap(std::move(sorted), 13, "words=" + w1 + "/" + w2);
+}
+
+// ---------------------------------------------------------------------------
+// Q14 — promotion effect
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q14(TemplateContext* ctx) {
+  const int month_index = static_cast<int>(ctx->rng->UniformInt(0, 59));
+  const Date d = Date::FromYmd(1993, 1, 1).AddMonths(month_index);
+
+  JoinBlock block;
+  block.AddRelation("lineitem");
+  block.AddRelation("part");
+  block.AddJoin("l_partkey", "p_partkey");
+  block.AddFilter(Ge(Col("l_shipdate"), Lit(DateValue(d))));
+  block.AddFilter(Lt(Col("l_shipdate"), Lit(DateValue(d.AddMonths(1)))));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  whens.emplace_back(Like(Col("p_type"), "PROMO%"), Revenue());
+  projs.push_back(Case(std::move(whens), LitDec("0.00")));
+  names.push_back("promo");
+  projs.push_back(Revenue());
+  names.push_back("volume");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(join), std::move(projs),
+                                             std::move(names)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("promo"), "promo_sum"));
+  aggs.push_back(AggSum(Col("volume"), "volume_sum"));
+  QPP_ASSIGN_OR_RETURN(Plan agg, ctx->opt->MakeAggregate(std::move(proj), {},
+                                                         std::move(aggs), nullptr));
+  std::vector<ExprPtr> final_projs;
+  std::vector<std::string> final_names;
+  final_projs.push_back(
+      Div(Mul(LitDec("100.00"), Col("promo_sum")), Col("volume_sum")));
+  final_names.push_back("promo_revenue");
+  QPP_ASSIGN_OR_RETURN(
+      Plan proj2, ctx->opt->MakeProject(std::move(agg), std::move(final_projs),
+                                        std::move(final_names)));
+  return Wrap(std::move(proj2), 14, "month=" + d.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Q15 — top supplier (scalar max as InitPlan)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q15(TemplateContext* ctx) {
+  const int month_index = static_cast<int>(ctx->rng->UniformInt(0, 57));
+  const Date d = Date::FromYmd(1993, 1, 1).AddMonths(month_index);
+
+  auto build_revenue_view = [&]() -> Result<Plan> {
+    JoinBlock block;
+    block.AddRelation("lineitem");
+    block.AddFilter(Ge(Col("l_shipdate"), Lit(DateValue(d))));
+    block.AddFilter(Lt(Col("l_shipdate"), Lit(DateValue(d.AddMonths(3)))));
+    QPP_ASSIGN_OR_RETURN(Plan scan, ctx->opt->OptimizeJoinBlock(std::move(block)));
+    std::vector<AggSpec> aggs;
+    aggs.push_back(AggSum(Revenue(), "total_revenue"));
+    return ctx->opt->MakeAggregate(std::move(scan), {"l_suppkey"},
+                                   std::move(aggs), nullptr);
+  };
+
+  QPP_ASSIGN_OR_RETURN(Plan view_for_max, build_revenue_view());
+  std::vector<AggSpec> max_aggs;
+  max_aggs.push_back(AggMax(Col("total_revenue"), "max_revenue"));
+  QPP_ASSIGN_OR_RETURN(Plan max_plan,
+                       ctx->opt->MakeAggregate(std::move(view_for_max), {},
+                                               std::move(max_aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Value max_revenue, RunScalar(ctx, std::move(max_plan)));
+
+  QPP_ASSIGN_OR_RETURN(Plan view, build_revenue_view());
+  QPP_ASSIGN_OR_RETURN(Plan filtered,
+                       ctx->opt->MakeFilter(std::move(view),
+                                            Eq(Col("total_revenue"),
+                                               Lit(max_revenue))));
+  QPP_ASSIGN_OR_RETURN(Plan supplier, ctx->opt->MakeScan("supplier", "", nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan join,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                         std::move(supplier), std::move(filtered),
+                         {{"s_suppkey", "l_suppkey"}}, nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(join), {"s_suppkey"},
+                                          {false}));
+  return Wrap(std::move(sorted), 15, "date=" + d.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Q16 — parts/supplier relationship (NOT IN anti join)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q16(TemplateContext* ctx) {
+  const int m = static_cast<int>(ctx->rng->UniformInt(1, 5));
+  const int b = static_cast<int>(ctx->rng->UniformInt(1, 5));
+  const std::string brand = "Brand#" + std::to_string(m) + std::to_string(b);
+  const std::string type_prefix = PickStr(TypeSyllable1(), ctx->rng) + " " +
+                                  PickStr(TypeSyllable2(), ctx->rng);
+  std::vector<Value> sizes;
+  while (sizes.size() < 8) {
+    const int64_t s = ctx->rng->UniformInt(1, 50);
+    bool dup = false;
+    for (const Value& v : sizes) dup = dup || v.int64_value() == s;
+    if (!dup) sizes.push_back(Value::Int64(s));
+  }
+
+  JoinBlock block;
+  block.AddRelation("partsupp");
+  block.AddRelation("part");
+  block.AddJoin("ps_partkey", "p_partkey");
+  block.AddFilter(Ne(Col("p_brand"), LitStr(brand)));
+  block.AddFilter(NotLike(Col("p_type"), type_prefix + "%"));
+  block.AddFilter(In(Col("p_size"), sizes));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan bad_suppliers,
+      ctx->opt->MakeScan("supplier", "",
+                         Like(Col("s_comment"), "%Customer%Complaints%")));
+  QPP_ASSIGN_OR_RETURN(
+      Plan anti,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kAnti, std::move(join),
+                         std::move(bad_suppliers),
+                         {{"ps_suppkey", "s_suppkey"}}, nullptr));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountDistinct(Col("ps_suppkey"), "supplier_cnt"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(std::move(anti), {"p_brand", "p_type", "p_size"},
+                              std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted,
+      ctx->opt->MakeSort(std::move(agg),
+                         {"supplier_cnt", "p_brand", "p_type", "p_size"},
+                         {true, false, false, false}));
+  return Wrap(std::move(sorted), 16, "brand=" + brand + " type=" + type_prefix);
+}
+
+// ---------------------------------------------------------------------------
+// Q17 — small-quantity-order revenue (correlated avg as join)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q17(TemplateContext* ctx) {
+  const int m = static_cast<int>(ctx->rng->UniformInt(1, 5));
+  const int b = static_cast<int>(ctx->rng->UniformInt(1, 5));
+  const std::string brand = "Brand#" + std::to_string(m) + std::to_string(b);
+  const std::string container =
+      PickStr(Containers1(), ctx->rng) + " " + PickStr(Containers2(), ctx->rng);
+
+  JoinBlock block;
+  block.AddRelation("lineitem");
+  block.AddRelation("part");
+  block.AddJoin("l_partkey", "p_partkey");
+  block.AddFilter(Eq(Col("p_brand"), LitStr(brand)));
+  block.AddFilter(Eq(Col("p_container"), LitStr(container)));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  QPP_ASSIGN_OR_RETURN(Plan l2, ctx->opt->MakeScan("lineitem", "l2", nullptr));
+  std::vector<AggSpec> avg_aggs;
+  avg_aggs.push_back(AggAvg(Col("l2.l_quantity"), "avg_qty"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan avg_plan, ctx->opt->MakeAggregate(std::move(l2), {"l2.l_partkey"},
+                                             std::move(avg_aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan joined,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kInner, std::move(join),
+                         std::move(avg_plan), {{"p_partkey", "l2.l_partkey"}},
+                         Lt(Col("l_quantity"),
+                            Mul(LitDec("0.2"), Col("avg_qty")))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("l_extendedprice"), "total_price"));
+  QPP_ASSIGN_OR_RETURN(Plan agg, ctx->opt->MakeAggregate(std::move(joined), {},
+                                                         std::move(aggs), nullptr));
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  projs.push_back(Div(Col("total_price"), LitDec("7.0")));
+  names.push_back("avg_yearly");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(agg), std::move(projs),
+                                             std::move(names)));
+  return Wrap(std::move(proj), 17, "brand=" + brand + " container=" + container);
+}
+
+// ---------------------------------------------------------------------------
+// Q18 — large volume customer (group-by HAVING semi join)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q18(TemplateContext* ctx) {
+  const int64_t quantity = ctx->rng->UniformInt(312, 315);
+
+  QPP_ASSIGN_OR_RETURN(Plan l2, ctx->opt->MakeScan("lineitem", "l2", nullptr));
+  std::vector<AggSpec> sub_aggs;
+  sub_aggs.push_back(AggSum(Col("l2.l_quantity"), "sum_qty"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan big_orders,
+      ctx->opt->MakeAggregate(
+          std::move(l2), {"l2.l_orderkey"}, std::move(sub_aggs),
+          Gt(Col("sum_qty"), Lit(Value::MakeDecimal(Decimal(quantity, 0))))));
+
+  JoinBlock block;
+  block.AddRelation("customer");
+  block.AddRelation("orders");
+  block.AddRelation("lineitem");
+  block.AddJoin("c_custkey", "o_custkey");
+  block.AddJoin("o_orderkey", "l_orderkey");
+  QPP_ASSIGN_OR_RETURN(Plan main, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan semi,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kSemi, std::move(main),
+                         std::move(big_orders),
+                         {{"o_orderkey", "l2.l_orderkey"}}, nullptr));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("l_quantity"), "sum_qty"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan agg,
+      ctx->opt->MakeAggregate(std::move(semi),
+                              {"c_name", "c_custkey", "o_orderkey",
+                               "o_orderdate", "o_totalprice"},
+                              std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted,
+      ctx->opt->MakeSort(std::move(agg), {"o_totalprice", "o_orderdate"},
+                         {true, false}));
+  Plan limited = ctx->opt->MakeLimit(std::move(sorted), 100);
+  return Wrap(std::move(limited), 18, "quantity=" + std::to_string(quantity));
+}
+
+// ---------------------------------------------------------------------------
+// Q19 — discounted revenue (three-way OR residual)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q19(TemplateContext* ctx) {
+  auto brand = [&]() {
+    return "Brand#" + std::to_string(ctx->rng->UniformInt(1, 5)) +
+           std::to_string(ctx->rng->UniformInt(1, 5));
+  };
+  const std::string b1 = brand(), b2 = brand(), b3 = brand();
+  const int64_t q1 = ctx->rng->UniformInt(1, 10);
+  const int64_t q2 = ctx->rng->UniformInt(10, 20);
+  const int64_t q3 = ctx->rng->UniformInt(20, 30);
+
+  auto qty_between = [](int64_t lo, int64_t hi) {
+    return Between(Col("l_quantity"),
+                   Lit(Value::MakeDecimal(Decimal(lo * 100, 2))),
+                   Lit(Value::MakeDecimal(Decimal(hi * 100, 2))));
+  };
+  auto containers = [](std::vector<std::string> cs) {
+    std::vector<Value> vals;
+    for (auto& c : cs) vals.push_back(Value::String(std::move(c)));
+    return vals;
+  };
+
+  ExprPtr branch1 = And(ExprList(
+      Eq(Col("p_brand"), LitStr(b1)),
+      In(Col("p_container"),
+         containers({"SM CASE", "SM BOX", "SM PACK", "SM PKG"})),
+      qty_between(q1, q1 + 10), Between(Col("p_size"), LitInt(1), LitInt(5))));
+  ExprPtr branch2 = And(ExprList(
+      Eq(Col("p_brand"), LitStr(b2)),
+      In(Col("p_container"),
+         containers({"MED BAG", "MED BOX", "MED PKG", "MED PACK"})),
+      qty_between(q2, q2 + 10), Between(Col("p_size"), LitInt(1), LitInt(10))));
+  ExprPtr branch3 = And(ExprList(
+      Eq(Col("p_brand"), LitStr(b3)),
+      In(Col("p_container"),
+         containers({"LG CASE", "LG BOX", "LG PACK", "LG PKG"})),
+      qty_between(q3, q3 + 10), Between(Col("p_size"), LitInt(1), LitInt(15))));
+
+  JoinBlock block;
+  block.AddRelation("lineitem");
+  block.AddRelation("part");
+  block.AddJoin("l_partkey", "p_partkey");
+  block.AddFilter(In(Col("l_shipmode"),
+                     {Value::String("AIR"), Value::String("REG AIR")}));
+  block.AddFilter(Eq(Col("l_shipinstruct"), LitStr("DELIVER IN PERSON")));
+  block.AddFilter(Or(ExprList(std::move(branch1), std::move(branch2),
+                              std::move(branch3))));
+  QPP_ASSIGN_OR_RETURN(Plan join, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Revenue(), "revenue"));
+  QPP_ASSIGN_OR_RETURN(Plan agg, ctx->opt->MakeAggregate(std::move(join), {},
+                                                         std::move(aggs), nullptr));
+  return Wrap(std::move(agg), 19, "brands=" + b1 + "/" + b2 + "/" + b3);
+}
+
+// ---------------------------------------------------------------------------
+// Q20 — potential part promotion (nested IN rewritten as semi joins)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q20(TemplateContext* ctx) {
+  const std::string color = PickStr(Colors(), ctx->rng);
+  const int year = static_cast<int>(ctx->rng->UniformInt(1993, 1997));
+  const Date d = Date::FromYmd(year, 1, 1);
+  const std::string nation = PickStr(NationNames(), ctx->rng);
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan parts, ctx->opt->MakeScan("part", "", Like(Col("p_name"), color + "%")));
+  QPP_ASSIGN_OR_RETURN(Plan partsupp, ctx->opt->MakeScan("partsupp", "", nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan ps_semi,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kSemi,
+                         std::move(partsupp), std::move(parts),
+                         {{"ps_partkey", "p_partkey"}}, nullptr));
+
+  JoinBlock line_block;
+  line_block.AddRelation("lineitem");
+  line_block.AddFilter(Ge(Col("l_shipdate"), Lit(DateValue(d))));
+  line_block.AddFilter(Lt(Col("l_shipdate"), Lit(DateValue(d.AddYears(1)))));
+  QPP_ASSIGN_OR_RETURN(Plan lines,
+                       ctx->opt->OptimizeJoinBlock(std::move(line_block)));
+  std::vector<AggSpec> qty_aggs;
+  qty_aggs.push_back(AggSum(Col("l_quantity"), "sum_qty"));
+  QPP_ASSIGN_OR_RETURN(
+      Plan qty, ctx->opt->MakeAggregate(std::move(lines),
+                                        {"l_partkey", "l_suppkey"},
+                                        std::move(qty_aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan available,
+      ctx->opt->MakeJoin(
+          PlanOp::kHashJoin, JoinType::kInner, std::move(ps_semi),
+          std::move(qty),
+          {{"ps_partkey", "l_partkey"}, {"ps_suppkey", "l_suppkey"}},
+          Gt(Col("ps_availqty"), Mul(LitDec("0.5"), Col("sum_qty")))));
+
+  JoinBlock supp_block;
+  supp_block.AddRelation("supplier");
+  supp_block.AddRelation("nation");
+  supp_block.AddJoin("s_nationkey", "n_nationkey");
+  supp_block.AddFilter(Eq(Col("n_name"), LitStr(nation)));
+  QPP_ASSIGN_OR_RETURN(Plan suppliers,
+                       ctx->opt->OptimizeJoinBlock(std::move(supp_block)));
+  QPP_ASSIGN_OR_RETURN(
+      Plan semi,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kSemi,
+                         std::move(suppliers), std::move(available),
+                         {{"s_suppkey", "ps_suppkey"}}, nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(semi), {"s_name"}, {false}));
+  return Wrap(std::move(sorted), 20,
+              "color=" + color + " year=" + std::to_string(year) +
+                  " nation=" + nation);
+}
+
+// ---------------------------------------------------------------------------
+// Q21 — suppliers who kept orders waiting (EXISTS/NOT EXISTS as semi/anti)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q21(TemplateContext* ctx) {
+  const std::string nation = PickStr(NationNames(), ctx->rng);
+
+  JoinBlock block;
+  block.AddRelation("supplier");
+  block.AddRelation("lineitem", "l1");
+  block.AddRelation("orders");
+  block.AddRelation("nation");
+  block.AddJoin("s_suppkey", "l1.l_suppkey");
+  block.AddJoin("o_orderkey", "l1.l_orderkey");
+  block.AddJoin("s_nationkey", "n_nationkey");
+  block.AddFilter(Eq(Col("o_orderstatus"), LitStr("F")));
+  block.AddFilter(Gt(Col("l1.l_receiptdate"), Col("l1.l_commitdate")));
+  block.AddFilter(Eq(Col("n_name"), LitStr(nation)));
+  QPP_ASSIGN_OR_RETURN(Plan main, ctx->opt->OptimizeJoinBlock(std::move(block)));
+
+  QPP_ASSIGN_OR_RETURN(Plan l2, ctx->opt->MakeScan("lineitem", "l2", nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan semi,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kSemi, std::move(main),
+                         std::move(l2), {{"l1.l_orderkey", "l2.l_orderkey"}},
+                         Ne(Col("l2.l_suppkey"), Col("s_suppkey"))));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan l3,
+      ctx->opt->MakeScan("lineitem", "l3",
+                         Gt(Col("l3.l_receiptdate"), Col("l3.l_commitdate"))));
+  QPP_ASSIGN_OR_RETURN(
+      Plan anti,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kAnti, std::move(semi),
+                         std::move(l3), {{"l1.l_orderkey", "l3.l_orderkey"}},
+                         Ne(Col("l3.l_suppkey"), Col("s_suppkey"))));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("numwait"));
+  QPP_ASSIGN_OR_RETURN(Plan agg,
+                       ctx->opt->MakeAggregate(std::move(anti), {"s_name"},
+                                               std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Plan sorted,
+                       ctx->opt->MakeSort(std::move(agg), {"numwait", "s_name"},
+                                          {true, false}));
+  Plan limited = ctx->opt->MakeLimit(std::move(sorted), 100);
+  return Wrap(std::move(limited), 21, "nation=" + nation);
+}
+
+// ---------------------------------------------------------------------------
+// Q22 — global sales opportunity (scalar avg as InitPlan, NOT EXISTS anti)
+// ---------------------------------------------------------------------------
+Result<QueryPlan> Q22(TemplateContext* ctx) {
+  std::vector<Value> codes;
+  while (codes.size() < 7) {
+    const int64_t code = ctx->rng->UniformInt(10, 34);
+    const std::string s = std::to_string(code);
+    bool dup = false;
+    for (const Value& v : codes) dup = dup || v.string_value() == s;
+    if (!dup) codes.push_back(Value::String(s));
+  }
+  auto code_filter = [&codes]() {
+    return In(Substr(Col("c_phone"), 1, 2), codes);
+  };
+
+  // InitPlan: average positive account balance among the selected codes.
+  QPP_ASSIGN_OR_RETURN(
+      Plan avg_scan,
+      ctx->opt->MakeScan("customer", "",
+                         And(detail::ExprList(
+                             code_filter(),
+                             Gt(Col("c_acctbal"), LitDec("0.00"))))));
+  std::vector<AggSpec> avg_aggs;
+  avg_aggs.push_back(AggAvg(Col("c_acctbal"), "avg_bal"));
+  QPP_ASSIGN_OR_RETURN(Plan avg_plan,
+                       ctx->opt->MakeAggregate(std::move(avg_scan), {},
+                                               std::move(avg_aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(Value avg_bal, RunScalar(ctx, std::move(avg_plan)));
+
+  QPP_ASSIGN_OR_RETURN(
+      Plan customers,
+      ctx->opt->MakeScan("customer", "",
+                         And(detail::ExprList(
+                             code_filter(),
+                             Gt(Col("c_acctbal"), Lit(avg_bal))))));
+  QPP_ASSIGN_OR_RETURN(Plan orders, ctx->opt->MakeScan("orders", "", nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan anti,
+      ctx->opt->MakeJoin(PlanOp::kHashJoin, JoinType::kAnti,
+                         std::move(customers), std::move(orders),
+                         {{"c_custkey", "o_custkey"}}, nullptr));
+  std::vector<ExprPtr> projs;
+  std::vector<std::string> names;
+  projs.push_back(Substr(Col("c_phone"), 1, 2));
+  names.push_back("cntrycode");
+  projs.push_back(Col("c_acctbal"));
+  names.push_back("c_acctbal");
+  QPP_ASSIGN_OR_RETURN(Plan proj,
+                       ctx->opt->MakeProject(std::move(anti), std::move(projs),
+                                             std::move(names)));
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("numcust"));
+  aggs.push_back(AggSum(Col("c_acctbal"), "totacctbal"));
+  QPP_ASSIGN_OR_RETURN(Plan agg,
+                       ctx->opt->MakeAggregate(std::move(proj), {"cntrycode"},
+                                               std::move(aggs), nullptr));
+  QPP_ASSIGN_OR_RETURN(
+      Plan sorted, ctx->opt->MakeSort(std::move(agg), {"cntrycode"}, {false}));
+  return Wrap(std::move(sorted), 22, "codes=7");
+}
+
+}  // namespace
+
+Result<QueryPlan> GenerateQ12ToQ22(int template_id, TemplateContext* ctx) {
+  switch (template_id) {
+    case 12: return Q12(ctx);
+    case 13: return Q13(ctx);
+    case 14: return Q14(ctx);
+    case 15: return Q15(ctx);
+    case 16: return Q16(ctx);
+    case 17: return Q17(ctx);
+    case 18: return Q18(ctx);
+    case 19: return Q19(ctx);
+    case 20: return Q20(ctx);
+    case 21: return Q21(ctx);
+    case 22: return Q22(ctx);
+    default:
+      return Status::InvalidArgument("unknown template");
+  }
+}
+
+}  // namespace qpp::tpch::detail

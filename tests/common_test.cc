@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/date.h"
+#include "common/decimal.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace qpp {
+namespace {
+
+// ----------------------------- Status / Result ------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "Not found: missing table");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("x").code(), Status::NotFound("x").code(),
+      Status::AlreadyExists("x").code(),   Status::OutOfRange("x").code(),
+      Status::NotImplemented("x").code(),  Status::Internal("x").code(),
+      Status::IOError("x").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  QPP_ASSIGN_OR_RETURN(int h, Half(x));
+  QPP_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+// ----------------------------------- Rng ------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.Gaussian();
+  EXPECT_NEAR(Mean(v), 0.0, 0.03);
+  EXPECT_NEAR(Stddev(v), 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = rng.Exponential(2.0);
+  EXPECT_NEAR(Mean(v), 0.5, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(15);
+  auto p = rng.Permutation(50);
+  std::set<size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(17);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// --------------------------------- Decimal ----------------------------------
+
+TEST(DecimalTest, FromStringBasics) {
+  auto d = Decimal::FromString("123.45");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->unscaled(), 12345);
+  EXPECT_EQ(d->scale(), 2);
+  EXPECT_EQ(d->ToString(), "123.45");
+}
+
+TEST(DecimalTest, FromStringNegative) {
+  auto d = Decimal::FromString("-0.07");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->unscaled(), -7);
+  EXPECT_EQ(d->ToString(), "-0.07");
+}
+
+TEST(DecimalTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Decimal::FromString("").ok());
+  EXPECT_FALSE(Decimal::FromString("abc").ok());
+  EXPECT_FALSE(Decimal::FromString("1.2.3").ok());
+  EXPECT_FALSE(Decimal::FromString("-").ok());
+}
+
+TEST(DecimalTest, FromDoubleRounds) {
+  // 1.125 is exactly representable in binary, so the half case is exact.
+  EXPECT_EQ(Decimal::FromDouble(1.125, 2).unscaled(), 113);  // half away from 0
+  EXPECT_EQ(Decimal::FromDouble(-1.125, 2).unscaled(), -113);
+  EXPECT_EQ(Decimal::FromDouble(2.0, 0).unscaled(), 2);
+  EXPECT_EQ(Decimal::FromDouble(1.2, 1).unscaled(), 12);
+}
+
+TEST(DecimalTest, AddAlignsScales) {
+  const Decimal a(150, 2);   // 1.50
+  const Decimal b(25, 1);    // 2.5
+  const Decimal sum = a.Add(b);
+  EXPECT_EQ(sum.ToString(), "4.00");
+  EXPECT_EQ(sum.scale(), 2);
+}
+
+TEST(DecimalTest, SubCrossesZero) {
+  const Decimal a(100, 2);
+  const Decimal b(250, 2);
+  EXPECT_EQ(a.Sub(b).ToString(), "-1.50");
+}
+
+TEST(DecimalTest, MulAddsScales) {
+  const Decimal a(150, 2);  // 1.50
+  const Decimal b(200, 2);  // 2.00
+  const Decimal p = a.Mul(b);
+  EXPECT_EQ(p.scale(), 4);
+  EXPECT_EQ(p.ToString(), "3.0000");
+}
+
+TEST(DecimalTest, MulLargeValuesExact) {
+  // 99999.99 * 99999.99 = 9999998000.0001
+  const Decimal a(9999999, 2);
+  const Decimal p = a.Mul(a);
+  EXPECT_EQ(p.scale(), 4);
+  EXPECT_EQ(p.unscaled(), 99999980000001LL);
+}
+
+TEST(DecimalTest, DivProducesExtendedScale) {
+  const Decimal a(100, 2);  // 1.00
+  const Decimal b(300, 2);  // 3.00
+  const Decimal q = a.Div(b);
+  EXPECT_EQ(q.scale(), 4);
+  EXPECT_NEAR(q.ToDouble(), 1.0 / 3.0, 1e-4);
+}
+
+TEST(DecimalTest, DivByZeroYieldsZero) {
+  EXPECT_EQ(Decimal(100, 2).Div(Decimal(0, 2)).ToDouble(), 0.0);
+}
+
+TEST(DecimalTest, RescaleRounds) {
+  EXPECT_EQ(Decimal(149, 2).Rescale(1).unscaled(), 15);   // 1.49 -> 1.5
+  EXPECT_EQ(Decimal(144, 2).Rescale(1).unscaled(), 14);   // 1.44 -> 1.4
+  EXPECT_EQ(Decimal(-149, 2).Rescale(1).unscaled(), -15);
+  EXPECT_EQ(Decimal(15, 1).Rescale(3).unscaled(), 1500);
+}
+
+TEST(DecimalTest, CompareMixedScales) {
+  EXPECT_TRUE(Decimal(150, 2) < Decimal(16, 1));   // 1.50 < 1.6
+  EXPECT_TRUE(Decimal(150, 2) == Decimal(15, 1));  // 1.50 == 1.5
+  EXPECT_TRUE(Decimal(-5, 0) < Decimal(0, 2));
+  EXPECT_TRUE(Decimal(5, 0) > Decimal(-5, 0));
+}
+
+// Property sweep: decimal arithmetic agrees with double arithmetic to
+// rounding tolerance across a deterministic sample of operand pairs.
+class DecimalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecimalPropertyTest, ArithmeticMatchesDouble) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const Decimal a(rng.UniformInt(-1000000, 1000000), 2);
+    const Decimal b(rng.UniformInt(-1000000, 1000000), 2);
+    EXPECT_NEAR(a.Add(b).ToDouble(), a.ToDouble() + b.ToDouble(), 1e-6);
+    EXPECT_NEAR(a.Sub(b).ToDouble(), a.ToDouble() - b.ToDouble(), 1e-6);
+    EXPECT_NEAR(a.Mul(b).ToDouble(), a.ToDouble() * b.ToDouble(), 1e-2);
+    if (b.unscaled() != 0) {
+      EXPECT_NEAR(a.Div(b).ToDouble(), a.ToDouble() / b.ToDouble(),
+                  std::abs(a.ToDouble() / b.ToDouble()) * 1e-3 + 1e-3);
+    }
+    const int cmp = a.Compare(b);
+    const double diff = a.ToDouble() - b.ToDouble();
+    if (diff < 0) {
+      EXPECT_EQ(cmp, -1);
+    } else if (diff > 0) {
+      EXPECT_EQ(cmp, 1);
+    } else {
+      EXPECT_EQ(cmp, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecimalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DecimalTest, StringRoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const Decimal d(rng.UniformInt(-10000000, 10000000),
+                    static_cast<int>(rng.UniformInt(0, 6)));
+    auto parsed = Decimal::FromString(d.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->Compare(d), 0) << d.ToString();
+  }
+}
+
+// ----------------------------------- Date -----------------------------------
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 1).days_since_epoch(), 0);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(Date::FromYmd(1992, 1, 1).days_since_epoch(), 8035);
+  EXPECT_EQ(Date::FromYmd(1998, 12, 31).ToString(), "1998-12-31");
+}
+
+TEST(DateTest, ParseAndFormatRoundTrip) {
+  auto d = Date::FromString("1995-06-17");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->ToString(), "1995-06-17");
+  EXPECT_EQ(d->year(), 1995);
+  EXPECT_EQ(d->month(), 6);
+  EXPECT_EQ(d->day(), 17);
+}
+
+TEST(DateTest, ParseRejectsInvalid) {
+  EXPECT_FALSE(Date::FromString("1995-13-01").ok());
+  EXPECT_FALSE(Date::FromString("1995-02-30").ok());
+  EXPECT_FALSE(Date::FromString("19950230").ok());
+  EXPECT_FALSE(Date::FromString("").ok());
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_TRUE(Date::FromString("1996-02-29").ok());
+  EXPECT_FALSE(Date::FromString("1900-02-29").ok());  // 1900 not a leap year
+  EXPECT_TRUE(Date::FromString("2000-02-29").ok());   // 2000 is
+}
+
+TEST(DateTest, AddDays) {
+  const Date d = Date::FromYmd(1995, 12, 31);
+  EXPECT_EQ(d.AddDays(1).ToString(), "1996-01-01");
+  EXPECT_EQ(d.AddDays(-365).ToString(), "1994-12-31");
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  EXPECT_EQ(Date::FromYmd(1995, 1, 31).AddMonths(1).ToString(), "1995-02-28");
+  EXPECT_EQ(Date::FromYmd(1996, 1, 31).AddMonths(1).ToString(), "1996-02-29");
+  EXPECT_EQ(Date::FromYmd(1995, 11, 30).AddMonths(3).ToString(), "1996-02-29");
+}
+
+TEST(DateTest, AddYears) {
+  EXPECT_EQ(Date::FromYmd(1993, 6, 15).AddYears(4).ToString(), "1997-06-15");
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(Date::FromYmd(1992, 1, 1), Date::FromYmd(1992, 1, 2));
+  EXPECT_LE(Date::FromYmd(1992, 1, 1), Date::FromYmd(1992, 1, 1));
+}
+
+class DateRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTripTest, CivilConversionsInvert) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 300; ++i) {
+    const int32_t days = static_cast<int32_t>(rng.UniformInt(-40000, 40000));
+    const Date d(days);
+    const Date rebuilt = Date::FromYmd(d.year(), d.month(), d.day());
+    EXPECT_EQ(rebuilt.days_since_epoch(), days);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DateRoundTripTest, ::testing::Values(1, 2, 3));
+
+// ---------------------------------- Stats -----------------------------------
+
+TEST(StatsTest, MeanVarianceStddev) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(Stddev(v), std::sqrt(1.25));
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.5);
+}
+
+TEST(StatsTest, RelativeErrorMetrics) {
+  const std::vector<double> actual = {10, 100};
+  const std::vector<double> est = {5, 110};  // errors 0.5, 0.1
+  EXPECT_NEAR(MeanRelativeError(actual, est), 0.3, 1e-12);
+  EXPECT_NEAR(MaxRelativeError(actual, est), 0.5, 1e-12);
+  EXPECT_NEAR(MinRelativeError(actual, est), 0.1, 1e-12);
+}
+
+TEST(StatsTest, RelativeErrorSkipsZeroActuals) {
+  EXPECT_NEAR(MeanRelativeError({0, 10}, {5, 20}), 1.0, 1e-12);
+}
+
+TEST(StatsTest, RSquaredPerfectFit) {
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(RSquared(y, y), 1.0);
+  EXPECT_DOUBLE_EQ(PredictiveRisk(y, y), 1.0);
+}
+
+TEST(StatsTest, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> y = {1, 2, 3};
+  const std::vector<double> mean_pred = {2, 2, 2};
+  EXPECT_DOUBLE_EQ(RSquared(y, mean_pred), 0.0);
+}
+
+}  // namespace
+}  // namespace qpp

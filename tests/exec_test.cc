@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "catalog/database.h"
+#include "exec/driver.h"
+#include "optimizer/optimizer.h"
+
+namespace qpp {
+namespace {
+
+/// Fixture with two tiny hand-filled tables and an analyzed database.
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema users;
+    users.AddColumn("uid", TypeId::kInt64);
+    users.AddColumn("uname", TypeId::kString, 8);
+    users.AddColumn("age", TypeId::kInt64);
+    auto ut = std::make_unique<Table>(0, "users", users);
+    ASSERT_TRUE(ut->AppendRow({Value::Int64(1), Value::String("ann"), Value::Int64(30)}).ok());
+    ASSERT_TRUE(ut->AppendRow({Value::Int64(2), Value::String("bob"), Value::Int64(25)}).ok());
+    ASSERT_TRUE(ut->AppendRow({Value::Int64(3), Value::String("cat"), Value::Int64(35)}).ok());
+    ASSERT_TRUE(ut->AppendRow({Value::Int64(4), Value::String("dan"), Value::Int64(25)}).ok());
+    ASSERT_TRUE(ut->CreateIndex("uid").ok());
+
+    Schema orders;
+    orders.AddColumn("oid", TypeId::kInt64);
+    orders.AddColumn("uid2", TypeId::kInt64);
+    orders.AddColumn("amount", TypeId::kDecimal, 2);
+    auto ot = std::make_unique<Table>(1, "sales", orders);
+    auto add = [&](int64_t oid, int64_t uid, int64_t cents) {
+      ASSERT_TRUE(ot->AppendRow({Value::Int64(oid), Value::Int64(uid),
+                                 Value::MakeDecimal(Decimal(cents, 2))}).ok());
+    };
+    add(100, 1, 1000);
+    add(101, 1, 2000);
+    add(102, 2, 500);
+    add(103, 9, 700);  // dangling user id
+    ASSERT_TRUE(db_.AddTable(std::move(ut)).ok());
+    ASSERT_TRUE(db_.AddTable(std::move(ot)).ok());
+    ASSERT_TRUE(db_.AnalyzeAll().ok());
+    opt_ = std::make_unique<Optimizer>(&db_);
+  }
+
+  ExecutionResult Run(PlanNode* root) {
+    auto r = ExecutePlan(root, &db_, {});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(*r) : ExecutionResult{};
+  }
+
+  std::unique_ptr<PlanNode> Scan(const std::string& table, ExprPtr filter,
+                                 const std::string& alias = "") {
+    auto s = opt_->MakeScan(table, alias, std::move(filter));
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return std::move(*s);
+  }
+
+  Database db_;
+  std::unique_ptr<Optimizer> opt_;
+};
+
+TEST_F(ExecTest, SeqScanAllRows) {
+  auto plan = Scan("users", nullptr);
+  auto res = Run(plan.get());
+  EXPECT_EQ(res.row_count, 4);
+  EXPECT_EQ(plan->actual.rows, 4);
+  EXPECT_TRUE(plan->actual.valid);
+}
+
+TEST_F(ExecTest, SeqScanWithPredicate) {
+  auto plan = Scan("users", Eq(Col("age"), LitInt(25)));
+  auto res = Run(plan.get());
+  EXPECT_EQ(res.row_count, 2);
+}
+
+TEST_F(ExecTest, SeqScanChargesPages) {
+  auto plan = Scan("sales", nullptr);
+  Run(plan.get());
+  EXPECT_GE(plan->actual.pages, 1);
+}
+
+TEST_F(ExecTest, IndexScanFindsMatch) {
+  auto plan = opt_->MakeIndexScan("users", "", "uid", LitInt(3), nullptr);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto res = Run(plan->get());
+  ASSERT_EQ(res.row_count, 1);
+  EXPECT_EQ(res.rows[0][1].string_value(), "cat");
+}
+
+TEST_F(ExecTest, IndexScanNoMatch) {
+  auto plan = opt_->MakeIndexScan("users", "", "uid", LitInt(77), nullptr);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(Run(plan->get()).row_count, 0);
+}
+
+TEST_F(ExecTest, FilterOperator) {
+  auto filter =
+      opt_->MakeFilter(Scan("users", nullptr), Gt(Col("age"), LitInt(26)));
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(Run(filter->get()).row_count, 2);
+}
+
+TEST_F(ExecTest, ProjectComputesExpressions) {
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(Mul(Col("age"), LitInt(2)));
+  std::vector<std::string> names = {"double_age"};
+  auto proj = opt_->MakeProject(Scan("users", nullptr), std::move(exprs),
+                                std::move(names));
+  ASSERT_TRUE(proj.ok());
+  auto res = Run(proj->get());
+  ASSERT_EQ(res.row_count, 4);
+  EXPECT_EQ(res.rows[0][0].int64_value(), 60);
+}
+
+TEST_F(ExecTest, HashJoinInner) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  auto res = Run(join->get());
+  EXPECT_EQ(res.row_count, 3);  // ann x2, bob x1; dangling sale drops
+  // Joined tuple = user columns ++ sales columns.
+  EXPECT_EQ(res.rows[0].size(), 6u);
+}
+
+TEST_F(ExecTest, HashJoinLeftOuterPadsNulls) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kLeftOuter,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  auto res = Run(join->get());
+  EXPECT_EQ(res.row_count, 5);  // 3 matches + cat,dan padded
+  int padded = 0;
+  for (const auto& row : res.rows) padded += row[3].is_null();
+  EXPECT_EQ(padded, 2);
+}
+
+TEST_F(ExecTest, HashJoinSemi) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kSemi,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  auto res = Run(join->get());
+  EXPECT_EQ(res.row_count, 2);        // ann, bob have sales
+  EXPECT_EQ(res.rows[0].size(), 3u);  // left columns only
+}
+
+TEST_F(ExecTest, HashJoinAnti) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kAnti,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  auto res = Run(join->get());
+  ASSERT_EQ(res.row_count, 2);  // cat, dan
+  std::vector<std::string> names = {res.rows[0][1].string_value(),
+                                    res.rows[1][1].string_value()};
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names[0], "cat");
+  EXPECT_EQ(names[1], "dan");
+}
+
+TEST_F(ExecTest, HashJoinResidualPredicate) {
+  auto join = opt_->MakeJoin(
+      PlanOp::kHashJoin, JoinType::kInner, Scan("users", nullptr),
+      Scan("sales", nullptr), {{"uid", "uid2"}},
+      Gt(Col("amount"), LitDec("7.00")));
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(Run(join->get()).row_count, 2);  // 10.00 and 20.00
+}
+
+TEST_F(ExecTest, MergeJoinMatchesHashJoin) {
+  auto mj = opt_->MakeJoin(PlanOp::kMergeJoin, JoinType::kInner,
+                           Scan("users", nullptr), Scan("sales", nullptr),
+                           {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(mj.ok()) << mj.status().ToString();
+  EXPECT_EQ((*mj)->child(0)->op, PlanOp::kSort);  // sorts inserted
+  EXPECT_EQ(Run(mj->get()).row_count, 3);
+}
+
+TEST_F(ExecTest, MergeJoinDuplicateKeysCrossProduct) {
+  // Two users aged 25 x two sales of 10.00/20.00 for user 1: join on a
+  // non-unique key to exercise group buffering.
+  auto mj = opt_->MakeJoin(PlanOp::kMergeJoin, JoinType::kInner,
+                           Scan("users", nullptr, "u"),
+                           Scan("users", nullptr, "v"),
+                           {{"u.age", "v.age"}}, nullptr);
+  ASSERT_TRUE(mj.ok());
+  // ages: 30,25,35,25 -> matches: 30x1, 35x1, 25x25 (2x2) = 1+1+4.
+  EXPECT_EQ(Run(mj->get()).row_count, 6);
+}
+
+TEST_F(ExecTest, NestedLoopJoinWithMaterializedInner) {
+  auto nl = opt_->MakeJoin(PlanOp::kNestedLoopJoin, JoinType::kInner,
+                           Scan("users", nullptr), Scan("sales", nullptr),
+                           {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_EQ((*nl)->child(1)->op, PlanOp::kMaterialize);
+  EXPECT_EQ(Run(nl->get()).row_count, 3);
+}
+
+TEST_F(ExecTest, NestedLoopSemiAndAnti) {
+  auto semi = opt_->MakeJoin(PlanOp::kNestedLoopJoin, JoinType::kSemi,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(Run(semi->get()).row_count, 2);
+  auto anti = opt_->MakeJoin(PlanOp::kNestedLoopJoin, JoinType::kAnti,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(Run(anti->get()).row_count, 2);
+}
+
+TEST_F(ExecTest, SortAscendingAndDescending) {
+  auto sorted = opt_->MakeSort(Scan("users", nullptr), {"age", "uname"},
+                               {false, true});
+  ASSERT_TRUE(sorted.ok());
+  auto res = Run(sorted->get());
+  ASSERT_EQ(res.row_count, 4);
+  // age asc, name desc within ties: dan(25), bob(25), ann(30), cat(35).
+  EXPECT_EQ(res.rows[0][1].string_value(), "dan");
+  EXPECT_EQ(res.rows[1][1].string_value(), "bob");
+  EXPECT_EQ(res.rows[2][1].string_value(), "ann");
+  EXPECT_EQ(res.rows[3][1].string_value(), "cat");
+}
+
+TEST_F(ExecTest, LimitTruncates) {
+  auto sorted = opt_->MakeSort(Scan("users", nullptr), {"uid"}, {false});
+  ASSERT_TRUE(sorted.ok());
+  auto limited = opt_->MakeLimit(std::move(*sorted), 2);
+  auto res = Run(limited.get());
+  EXPECT_EQ(res.row_count, 2);
+  EXPECT_EQ(res.rows[1][0].int64_value(), 2);
+}
+
+TEST_F(ExecTest, HashAggregateGroupsAndHaving) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("cnt"));
+  aggs.push_back(AggSum(Col("amount"), "total"));
+  auto agg = opt_->MakeAggregate(Scan("sales", nullptr), {"uid2"},
+                                 std::move(aggs),
+                                 Gt(Col("cnt"), LitInt(1)));
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  auto res = Run(agg->get());
+  ASSERT_EQ(res.row_count, 1);  // only user 1 has 2 sales
+  EXPECT_EQ(res.rows[0][0].int64_value(), 1);
+  EXPECT_EQ(res.rows[0][1].int64_value(), 2);
+  EXPECT_DOUBLE_EQ(res.rows[0][2].decimal_value().ToDouble(), 30.0);
+}
+
+TEST_F(ExecTest, UngroupedAggregateOnEmptyInputEmitsOneRow) {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("cnt"));
+  aggs.push_back(AggSum(Col("amount"), "total"));
+  auto agg = opt_->MakeAggregate(
+      Scan("sales", Gt(Col("amount"), LitDec("999.00"))), {}, std::move(aggs),
+      nullptr);
+  ASSERT_TRUE(agg.ok());
+  auto res = Run(agg->get());
+  ASSERT_EQ(res.row_count, 1);
+  EXPECT_EQ(res.rows[0][0].int64_value(), 0);
+  EXPECT_TRUE(res.rows[0][1].is_null());
+}
+
+TEST_F(ExecTest, GroupAggregateOverSortedInput) {
+  auto sorted = opt_->MakeSort(Scan("sales", nullptr), {"uid2"}, {false});
+  ASSERT_TRUE(sorted.ok());
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("cnt"));
+  auto agg = opt_->MakeAggregate(std::move(*sorted), {"uid2"},
+                                 std::move(aggs), nullptr,
+                                 /*input_sorted=*/true);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ((*agg)->op, PlanOp::kGroupAggregate);
+  auto res = Run(agg->get());
+  EXPECT_EQ(res.row_count, 3);  // users 1, 2, 9
+}
+
+TEST_F(ExecTest, GroupAggregateMatchesHashAggregate) {
+  auto make = [&](bool sorted_variant) -> int64_t {
+    std::vector<AggSpec> aggs;
+    aggs.push_back(AggSum(Col("amount"), "total"));
+    std::unique_ptr<PlanNode> input = Scan("sales", nullptr);
+    if (sorted_variant) {
+      auto s = opt_->MakeSort(std::move(input), {"uid2"}, {false});
+      EXPECT_TRUE(s.ok());
+      input = std::move(*s);
+    }
+    auto agg = opt_->MakeAggregate(std::move(input), {"uid2"},
+                                   std::move(aggs), nullptr, sorted_variant);
+    EXPECT_TRUE(agg.ok());
+    return Run(agg->get()).row_count;
+  };
+  EXPECT_EQ(make(false), make(true));
+}
+
+TEST_F(ExecTest, InstrumentationInvariants) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  auto plan = std::move(*join);
+  Run(plan.get());
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(plan.get(), &nodes);
+  for (const PlanNode* n : nodes) {
+    EXPECT_TRUE(n->actual.valid);
+    EXPECT_GE(n->actual.start_time_ms, 0.0);
+    EXPECT_GE(n->actual.run_time_ms, n->actual.start_time_ms);
+    EXPECT_GE(n->actual.rows, 0.0);
+  }
+  // Parent subtree run-time >= child subtree run-time (inclusive timing).
+  EXPECT_GE(plan->actual.run_time_ms, plan->child(0)->actual.run_time_ms);
+  EXPECT_GE(plan->actual.run_time_ms, plan->child(1)->actual.run_time_ms);
+}
+
+TEST_F(ExecTest, MaterializeRescanWithoutChildReexecution) {
+  // Re-running a plan with a Materialize inner: inner scan produces rows
+  // once; NL join rescans the buffer per outer row.
+  auto nl = opt_->MakeJoin(PlanOp::kNestedLoopJoin, JoinType::kInner,
+                           Scan("users", nullptr), Scan("sales", nullptr),
+                           {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(nl.ok());
+  auto plan = std::move(*nl);
+  Run(plan.get());
+  const PlanNode* mat = plan->child(1);
+  ASSERT_EQ(mat->op, PlanOp::kMaterialize);
+  const PlanNode* inner_scan = mat->child(0);
+  // The scan executed once: its output rows equal table cardinality, not
+  // outer_rows x table cardinality.
+  EXPECT_EQ(inner_scan->actual.rows, 4);
+  // The materialize replayed its buffer for each of the 4 outer rows.
+  EXPECT_EQ(mat->actual.rows, 16);
+}
+
+TEST_F(ExecTest, ColdVsWarmExecution) {
+  auto plan = Scan("sales", nullptr);
+  ExecutionOptions cold;
+  cold.cold_start = true;
+  auto r1 = ExecutePlan(plan.get(), &db_, cold);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1->pool_misses, 0u);
+  ExecutionOptions warm;
+  warm.cold_start = false;
+  auto r2 = ExecutePlan(plan.get(), &db_, warm);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->pool_misses, 0u);
+  EXPECT_GT(r2->pool_hits, 0u);
+}
+
+TEST_F(ExecTest, ExplainIncludesOperatorsAndActuals) {
+  auto plan = Scan("users", Gt(Col("age"), LitInt(20)));
+  Run(plan.get());
+  const std::string text = ExplainPlan(*plan, /*include_actuals=*/true);
+  EXPECT_NE(text.find("SeqScan on users"), std::string::npos);
+  EXPECT_NE(text.find("actual"), std::string::npos);
+  EXPECT_NE(text.find("filter:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qpp

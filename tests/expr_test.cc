@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "storage/value.h"
+
+namespace qpp {
+namespace {
+
+// Binds an expression against a schema and evaluates it on a row.
+Value BindEval(Expr* e, const Schema& schema, const Tuple& row) {
+  auto resolver = [&schema](const std::string& name) {
+    return ResolveColumn(schema, name);
+  };
+  EXPECT_TRUE(e->Bind(resolver).ok());
+  return e->Eval(row);
+}
+
+Schema TestSchema() {
+  Schema s;
+  s.AddColumn("qty", TypeId::kInt64);
+  s.AddColumn("price", TypeId::kDecimal, 2);
+  s.AddColumn("ship", TypeId::kDate);
+  s.AddColumn("mode", TypeId::kString, 10);
+  return s;
+}
+
+Tuple TestRow() {
+  return {Value::Int64(5), Value::MakeDecimal(Decimal(250, 2)),
+          Value::MakeDate(Date::FromYmd(1995, 6, 17)), Value::String("AIR")};
+}
+
+TEST(ExprTest, ColumnRefBindsAndReads) {
+  auto e = Col("mode");
+  EXPECT_EQ(BindEval(e.get(), TestSchema(), TestRow()).string_value(), "AIR");
+}
+
+TEST(ExprTest, ColumnRefBindFailsOnMissing) {
+  auto e = Col("nope");
+  auto resolver = [](const std::string&) -> Result<int> {
+    return Status::NotFound("x");
+  };
+  EXPECT_FALSE(e->Bind(resolver).ok());
+}
+
+TEST(ExprTest, LiteralEval) {
+  auto e = LitInt(7);
+  EXPECT_EQ(e->Eval({}).int64_value(), 7);
+}
+
+TEST(ExprTest, ComparisonsAllOps) {
+  const Schema s = TestSchema();
+  const Tuple r = TestRow();
+  EXPECT_TRUE(BindEval(Eq(Col("qty"), LitInt(5)).get(), s, r).bool_value());
+  EXPECT_TRUE(BindEval(Ne(Col("qty"), LitInt(4)).get(), s, r).bool_value());
+  EXPECT_TRUE(BindEval(Lt(Col("qty"), LitInt(6)).get(), s, r).bool_value());
+  EXPECT_TRUE(BindEval(Le(Col("qty"), LitInt(5)).get(), s, r).bool_value());
+  EXPECT_TRUE(BindEval(Gt(Col("qty"), LitInt(4)).get(), s, r).bool_value());
+  EXPECT_TRUE(BindEval(Ge(Col("qty"), LitInt(5)).get(), s, r).bool_value());
+  EXPECT_FALSE(BindEval(Eq(Col("qty"), LitInt(4)).get(), s, r).bool_value());
+}
+
+TEST(ExprTest, ComparisonWithNullIsNull) {
+  auto e = Eq(Lit(Value::Null()), LitInt(5));
+  EXPECT_TRUE(e->Eval({}).is_null());
+}
+
+TEST(ExprTest, DecimalComparedToDecimalLiteral) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(
+      BindEval(Gt(Col("price"), LitDec("2.00")).get(), s, TestRow()).bool_value());
+}
+
+TEST(ExprTest, DateComparedToDateLiteral) {
+  const Schema s = TestSchema();
+  EXPECT_TRUE(BindEval(Lt(Col("ship"), LitDate("1996-01-01")).get(), s,
+                       TestRow()).bool_value());
+}
+
+TEST(ExprTest, AndOrKleeneLogic) {
+  auto t = [] { return Lit(Value::Bool(true)); };
+  auto f = [] { return Lit(Value::Bool(false)); };
+  auto n = [] { return Lit(Value::Null()); };
+  {
+    std::vector<ExprPtr> v;
+    v.push_back(t());
+    v.push_back(n());
+    EXPECT_TRUE(And(std::move(v))->Eval({}).is_null());  // T AND NULL = NULL
+  }
+  {
+    std::vector<ExprPtr> v;
+    v.push_back(f());
+    v.push_back(n());
+    EXPECT_FALSE(And(std::move(v))->Eval({}).bool_value());  // F AND NULL = F
+  }
+  {
+    std::vector<ExprPtr> v;
+    v.push_back(t());
+    v.push_back(n());
+    EXPECT_TRUE(Or(std::move(v))->Eval({}).bool_value());  // T OR NULL = T
+  }
+  {
+    std::vector<ExprPtr> v;
+    v.push_back(f());
+    v.push_back(n());
+    EXPECT_TRUE(Or(std::move(v))->Eval({}).is_null());  // F OR NULL = NULL
+  }
+}
+
+TEST(ExprTest, NotSemantics) {
+  EXPECT_FALSE(Not(Lit(Value::Bool(true)))->Eval({}).bool_value());
+  EXPECT_TRUE(Not(Lit(Value::Bool(false)))->Eval({}).bool_value());
+  EXPECT_TRUE(Not(Lit(Value::Null()))->Eval({}).is_null());
+}
+
+TEST(ExprTest, ArithmeticIntAndDecimal) {
+  const Schema s = TestSchema();
+  const Tuple r = TestRow();
+  EXPECT_EQ(BindEval(Add(Col("qty"), LitInt(3)).get(), s, r).int64_value(), 8);
+  // decimal * int -> decimal
+  const Value v = BindEval(Mul(Col("price"), LitInt(2)).get(), s, r);
+  EXPECT_EQ(v.type(), TypeId::kDecimal);
+  EXPECT_DOUBLE_EQ(v.decimal_value().ToDouble(), 5.0);
+}
+
+TEST(ExprTest, DateArithmetic) {
+  const Schema s = TestSchema();
+  const Value v = BindEval(Add(Col("ship"), LitInt(30)).get(), s, TestRow());
+  EXPECT_EQ(v.date_value().ToString(), "1995-07-17");
+  const Value w = BindEval(Sub(Col("ship"), LitInt(17)).get(), s, TestRow());
+  EXPECT_EQ(w.date_value().ToString(), "1995-05-31");
+}
+
+TEST(ExprTest, DivisionByZeroIsZeroNotCrash) {
+  EXPECT_EQ(Div(LitInt(5), LitInt(0))->Eval({}).int64_value(), 0);
+}
+
+TEST(ExprTest, RevenueExpression) {
+  // l_extendedprice * (1 - l_discount): the TPC-H workhorse.
+  Schema s;
+  s.AddColumn("l_extendedprice", TypeId::kDecimal, 2);
+  s.AddColumn("l_discount", TypeId::kDecimal, 2);
+  Tuple row = {Value::MakeDecimal(Decimal(10000, 2)),   // 100.00
+               Value::MakeDecimal(Decimal(10, 2))};     // 0.10
+  auto e = Mul(Col("l_extendedprice"), Sub(LitDec("1.00"), Col("l_discount")));
+  const Value v = BindEval(e.get(), s, row);
+  EXPECT_DOUBLE_EQ(v.decimal_value().ToDouble(), 90.0);
+}
+
+// ---------------------------------- LIKE ------------------------------------
+
+TEST(LikeTest, ExactAndWildcards) {
+  EXPECT_TRUE(LikeExpr::Match("PROMO TIN", "PROMO%"));
+  EXPECT_FALSE(LikeExpr::Match("ECONOMY TIN", "PROMO%"));
+  EXPECT_TRUE(LikeExpr::Match("abc", "abc"));
+  EXPECT_FALSE(LikeExpr::Match("abc", "abd"));
+  EXPECT_TRUE(LikeExpr::Match("abc", "a_c"));
+  EXPECT_FALSE(LikeExpr::Match("abc", "a_d"));
+}
+
+TEST(LikeTest, InnerAndMultiplePercents) {
+  EXPECT_TRUE(LikeExpr::Match("special requests pending", "%special%pending%"));
+  EXPECT_FALSE(LikeExpr::Match("pending special", "%special%pending%"));
+  EXPECT_TRUE(LikeExpr::Match("green olive paste", "%green%"));
+  EXPECT_TRUE(LikeExpr::Match("anything", "%"));
+  EXPECT_TRUE(LikeExpr::Match("", "%"));
+  EXPECT_FALSE(LikeExpr::Match("", "_"));
+}
+
+TEST(LikeTest, BacktrackingCases) {
+  EXPECT_TRUE(LikeExpr::Match("aab", "%ab"));
+  EXPECT_TRUE(LikeExpr::Match("aaab", "%a%b"));
+  EXPECT_FALSE(LikeExpr::Match("ba", "%ab"));
+}
+
+TEST(LikeTest, NegatedEval) {
+  auto e = NotLike(LitStr("STANDARD TIN"), "PROMO%");
+  EXPECT_TRUE(e->Eval({}).bool_value());
+}
+
+// --------------------------------- IN list ----------------------------------
+
+TEST(InListTest, MembershipAndNegation) {
+  std::vector<Value> vals = {Value::String("AIR"), Value::String("RAIL")};
+  EXPECT_TRUE(In(LitStr("AIR"), vals)->Eval({}).bool_value());
+  EXPECT_FALSE(In(LitStr("SHIP"), vals)->Eval({}).bool_value());
+  EXPECT_FALSE(NotIn(LitStr("AIR"), vals)->Eval({}).bool_value());
+  EXPECT_TRUE(NotIn(LitStr("SHIP"), vals)->Eval({}).bool_value());
+}
+
+TEST(InListTest, NullInputIsNull) {
+  EXPECT_TRUE(In(Lit(Value::Null()), {Value::Int64(1)})->Eval({}).is_null());
+}
+
+// ------------------------------- CASE / misc --------------------------------
+
+TEST(CaseTest, BranchesAndElse) {
+  auto make_case = [](int64_t qty) {
+    std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+    whens.emplace_back(Gt(LitInt(qty), LitInt(10)), LitStr("big"));
+    whens.emplace_back(Gt(LitInt(qty), LitInt(5)), LitStr("mid"));
+    return Case(std::move(whens), LitStr("small"));
+  };
+  EXPECT_EQ(make_case(20)->Eval({}).string_value(), "big");
+  EXPECT_EQ(make_case(7)->Eval({}).string_value(), "mid");
+  EXPECT_EQ(make_case(1)->Eval({}).string_value(), "small");
+}
+
+TEST(CaseTest, NoElseYieldsNull) {
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  whens.emplace_back(Lit(Value::Bool(false)), LitInt(1));
+  EXPECT_TRUE(Case(std::move(whens), nullptr)->Eval({}).is_null());
+}
+
+TEST(ExtractYearTest, ReadsYear) {
+  auto e = Year(LitDate("1997-03-09"));
+  EXPECT_EQ(e->Eval({}).int64_value(), 1997);
+}
+
+TEST(SubstringTest, SqlOneBased) {
+  EXPECT_EQ(Substr(LitStr("28-555-1234"), 1, 2)->Eval({}).string_value(), "28");
+  EXPECT_EQ(Substr(LitStr("abc"), 2, 5)->Eval({}).string_value(), "bc");
+  EXPECT_EQ(Substr(LitStr("abc"), 9, 2)->Eval({}).string_value(), "");
+}
+
+TEST(BetweenTest, InclusiveBounds) {
+  EXPECT_TRUE(Between(LitInt(5), LitInt(5), LitInt(10))->Eval({}).bool_value());
+  EXPECT_TRUE(Between(LitInt(10), LitInt(5), LitInt(10))->Eval({}).bool_value());
+  EXPECT_FALSE(Between(LitInt(11), LitInt(5), LitInt(10))->Eval({}).bool_value());
+}
+
+TEST(ExprTest, CloneIsDeepAndEquivalent) {
+  const Schema s = TestSchema();
+  std::vector<ExprPtr> conj;
+  conj.push_back(Gt(Col("qty"), LitInt(3)));
+  conj.push_back(Like(Col("mode"), "A%"));
+  auto original = And(std::move(conj));
+  auto clone = original->Clone();
+  const Tuple r = TestRow();
+  EXPECT_EQ(BindEval(original.get(), s, r).bool_value(),
+            BindEval(clone.get(), s, r).bool_value());
+  EXPECT_EQ(original->ToString(), clone->ToString());
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = And([] {
+    std::vector<ExprPtr> v;
+    v.push_back(Gt(Col("a"), LitInt(1)));
+    v.push_back(Eq(Col("b"), Col("c")));
+    return v;
+  }());
+  std::vector<std::string> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols.size(), 3u);
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = Ge(Col("l_shipdate"), LitDate("1995-01-01"));
+  EXPECT_EQ(e->ToString(), "(l_shipdate >= 1995-01-01)");
+}
+
+// -------------------------------- Aggregates --------------------------------
+
+TEST(AggregateTest, CountStarCountsEverything) {
+  AggState s(AggFunc::kCountStar);
+  s.Step(Value::Null());
+  s.Step(Value::Int64(1));
+  EXPECT_EQ(s.Finalize().int64_value(), 2);
+}
+
+TEST(AggregateTest, CountSkipsNulls) {
+  AggState s(AggFunc::kCount);
+  s.Step(Value::Null());
+  s.Step(Value::Int64(1));
+  s.Step(Value::Int64(2));
+  EXPECT_EQ(s.Finalize().int64_value(), 2);
+}
+
+TEST(AggregateTest, SumDecimal) {
+  AggState s(AggFunc::kSum);
+  s.Step(Value::MakeDecimal(Decimal(150, 2)));
+  s.Step(Value::MakeDecimal(Decimal(250, 2)));
+  const Value v = s.Finalize();
+  EXPECT_EQ(v.type(), TypeId::kDecimal);
+  EXPECT_DOUBLE_EQ(v.decimal_value().ToDouble(), 4.0);
+}
+
+TEST(AggregateTest, SumInt) {
+  AggState s(AggFunc::kSum);
+  s.Step(Value::Int64(3));
+  s.Step(Value::Int64(4));
+  EXPECT_EQ(s.Finalize().int64_value(), 7);
+}
+
+TEST(AggregateTest, SumEmptyIsNull) {
+  AggState s(AggFunc::kSum);
+  EXPECT_TRUE(s.Finalize().is_null());
+}
+
+TEST(AggregateTest, AvgDecimal) {
+  AggState s(AggFunc::kAvg);
+  s.Step(Value::MakeDecimal(Decimal(100, 2)));
+  s.Step(Value::MakeDecimal(Decimal(200, 2)));
+  EXPECT_NEAR(s.Finalize().decimal_value().ToDouble(), 1.5, 1e-9);
+}
+
+TEST(AggregateTest, AvgIntIsDouble) {
+  AggState s(AggFunc::kAvg);
+  s.Step(Value::Int64(1));
+  s.Step(Value::Int64(2));
+  EXPECT_DOUBLE_EQ(s.Finalize().double_value(), 1.5);
+}
+
+TEST(AggregateTest, MinMax) {
+  AggState mn(AggFunc::kMin), mx(AggFunc::kMax);
+  for (int64_t v : {5, 2, 9, 3}) {
+    mn.Step(Value::Int64(v));
+    mx.Step(Value::Int64(v));
+  }
+  EXPECT_EQ(mn.Finalize().int64_value(), 2);
+  EXPECT_EQ(mx.Finalize().int64_value(), 9);
+}
+
+TEST(AggregateTest, MinMaxEmptyIsNull) {
+  EXPECT_TRUE(AggState(AggFunc::kMin).Finalize().is_null());
+  EXPECT_TRUE(AggState(AggFunc::kMax).Finalize().is_null());
+}
+
+TEST(AggregateTest, CountDistinct) {
+  AggState s(AggFunc::kCountDistinct);
+  s.Step(Value::Int64(1));
+  s.Step(Value::Int64(1));
+  s.Step(Value::Int64(2));
+  s.Step(Value::Null());
+  EXPECT_EQ(s.Finalize().int64_value(), 2);
+}
+
+TEST(AggregateTest, SpecClone) {
+  AggSpec spec = AggSum(Col("x"), "total");
+  AggSpec clone = spec.Clone();
+  EXPECT_EQ(clone.output_name, "total");
+  EXPECT_EQ(clone.func, AggFunc::kSum);
+  ASSERT_NE(clone.arg, nullptr);
+  EXPECT_NE(clone.arg.get(), spec.arg.get());
+}
+
+}  // namespace
+}  // namespace qpp

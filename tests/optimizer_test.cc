@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/database.h"
+#include "exec/driver.h"
+#include "optimizer/optimizer.h"
+#include "tpch/dbgen.h"
+
+namespace qpp {
+namespace {
+
+/// Shared tiny TPC-H database (built once for the whole suite).
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.003;
+    db_ = new Database();
+    auto tables = tpch::Dbgen(cfg).Generate();
+    ASSERT_TRUE(tables.ok());
+    ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
+    ASSERT_TRUE(db_->AnalyzeAll().ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+};
+
+Database* OptimizerTest::db_ = nullptr;
+
+TEST_F(OptimizerTest, ScanEstimatesRowsAndPages) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("lineitem", "", nullptr);
+  ASSERT_TRUE(scan.ok());
+  const Table* li = db_->GetTable("lineitem");
+  EXPECT_DOUBLE_EQ((*scan)->est.rows, static_cast<double>(li->num_rows()));
+  EXPECT_DOUBLE_EQ((*scan)->est.pages, static_cast<double>(li->num_pages()));
+  EXPECT_GT((*scan)->est.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ((*scan)->est.selectivity, 1.0);
+}
+
+TEST_F(OptimizerTest, ScanFilterReducesRowEstimate) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan(
+      "lineitem", "",
+      Lt(Col("l_shipdate"), LitDate("1994-01-01")));
+  ASSERT_TRUE(scan.ok());
+  const Table* li = db_->GetTable("lineitem");
+  EXPECT_LT((*scan)->est.rows, static_cast<double>(li->num_rows()));
+  EXPECT_GT((*scan)->est.rows, 0.0);
+  // ~2 years out of 7 of ship dates.
+  const double sel = (*scan)->est.selectivity;
+  EXPECT_GT(sel, 0.1);
+  EXPECT_LT(sel, 0.5);
+}
+
+TEST_F(OptimizerTest, SelectivityAndOfTwoFiltersMultiplies) {
+  Optimizer opt(db_);
+  std::vector<ExprPtr> conj;
+  conj.push_back(Lt(Col("l_shipdate"), LitDate("1994-01-01")));
+  conj.push_back(Eq(Col("l_returnflag"), LitStr("R")));
+  auto scan = opt.MakeScan("lineitem", "", And(std::move(conj)));
+  ASSERT_TRUE(scan.ok());
+  auto scan1 = opt.MakeScan("lineitem", "",
+                            Lt(Col("l_shipdate"), LitDate("1994-01-01")));
+  auto scan2 =
+      opt.MakeScan("lineitem", "", Eq(Col("l_returnflag"), LitStr("R")));
+  EXPECT_NEAR((*scan)->est.selectivity,
+              (*scan1)->est.selectivity * (*scan2)->est.selectivity, 1e-9);
+}
+
+TEST_F(OptimizerTest, LikePrefixSelectivityFromHistogram) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("part", "", Like(Col("p_type"), "PROMO%"));
+  ASSERT_TRUE(scan.ok());
+  // PROMO is 1 of 6 first syllables: roughly 1/6.
+  EXPECT_GT((*scan)->est.selectivity, 0.05);
+  EXPECT_LT((*scan)->est.selectivity, 0.4);
+}
+
+TEST_F(OptimizerTest, InListSelectivityAddsUp) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan(
+      "customer", "",
+      In(Col("c_mktsegment"),
+         {Value::String("BUILDING"), Value::String("MACHINERY")}));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_GT((*scan)->est.selectivity, 0.25);
+  EXPECT_LT((*scan)->est.selectivity, 0.55);
+}
+
+TEST_F(OptimizerTest, ColumnVsColumnUsesDefault) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("lineitem", "",
+                           Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_NEAR((*scan)->est.selectivity, 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(OptimizerTest, JoinBlockCoversAllRelations) {
+  Optimizer opt(db_);
+  JoinBlock block;
+  block.AddRelation("customer");
+  block.AddRelation("orders");
+  block.AddRelation("lineitem");
+  block.AddJoin("c_custkey", "o_custkey");
+  block.AddJoin("o_orderkey", "l_orderkey");
+  auto plan = opt.OptimizeJoinBlock(std::move(block));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(const_cast<const PlanNode*>(plan->get()), &nodes);
+  std::set<std::string> scanned;
+  for (const PlanNode* n : nodes) {
+    if (n->op == PlanOp::kSeqScan) scanned.insert(n->label);
+  }
+  EXPECT_EQ(scanned, (std::set<std::string>{"customer", "orders", "lineitem"}));
+}
+
+TEST_F(OptimizerTest, JoinBlockExecutesCorrectly) {
+  Optimizer opt(db_);
+  JoinBlock block;
+  block.AddRelation("nation");
+  block.AddRelation("region");
+  block.AddJoin("n_regionkey", "r_regionkey");
+  block.AddFilter(Eq(Col("r_name"), LitStr("ASIA")));
+  auto plan = opt.OptimizeJoinBlock(std::move(block));
+  ASSERT_TRUE(plan.ok());
+  auto res = ExecutePlan(plan->get(), db_, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->row_count, 5);  // 5 Asian nations
+}
+
+TEST_F(OptimizerTest, SelfJoinWithAliases) {
+  Optimizer opt(db_);
+  JoinBlock block;
+  block.AddRelation("nation", "n1");
+  block.AddRelation("nation", "n2");
+  block.AddJoin("n1.n_regionkey", "n2.n_regionkey");
+  auto plan = opt.OptimizeJoinBlock(std::move(block));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto res = ExecutePlan(plan->get(), db_, {});
+  ASSERT_TRUE(res.ok());
+  // 5 regions x 5 nations each -> 25 pairs per region = 125 rows.
+  EXPECT_EQ(res->row_count, 125);
+}
+
+TEST_F(OptimizerTest, MultiRelationFilterAppliedOnce) {
+  Optimizer opt(db_);
+  JoinBlock block;
+  block.AddRelation("nation", "n1");
+  block.AddRelation("nation", "n2");
+  block.AddJoin("n1.n_regionkey", "n2.n_regionkey");
+  block.AddFilter(Ne(Col("n1.n_nationkey"), Col("n2.n_nationkey")));
+  auto plan = opt.OptimizeJoinBlock(std::move(block));
+  ASSERT_TRUE(plan.ok());
+  auto res = ExecutePlan(plan->get(), db_, {});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->row_count, 100);  // 125 minus the 25 self pairs
+}
+
+TEST_F(OptimizerTest, AvoidsCrossProductsWhenConnected) {
+  Optimizer opt(db_);
+  JoinBlock block;
+  block.AddRelation("supplier");
+  block.AddRelation("nation");
+  block.AddRelation("region");
+  block.AddJoin("s_nationkey", "n_nationkey");
+  block.AddJoin("n_regionkey", "r_regionkey");
+  auto plan = opt.OptimizeJoinBlock(std::move(block));
+  ASSERT_TRUE(plan.ok());
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(const_cast<const PlanNode*>(plan->get()), &nodes);
+  for (const PlanNode* n : nodes) {
+    if (n->op == PlanOp::kHashJoin || n->op == PlanOp::kMergeJoin ||
+        n->op == PlanOp::kNestedLoopJoin) {
+      const bool has_keys =
+          !n->join_keys.empty() || n->predicate != nullptr;
+      EXPECT_TRUE(has_keys) << "cross product in plan";
+    }
+  }
+}
+
+TEST_F(OptimizerTest, JoinCardinalityUsesKeyNDistinct) {
+  Optimizer opt(db_);
+  auto orders = opt.MakeScan("orders", "", nullptr);
+  auto lineitem = opt.MakeScan("lineitem", "", nullptr);
+  auto join = opt.MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                           std::move(*orders), std::move(*lineitem),
+                           {{"o_orderkey", "l_orderkey"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  const double actual_out =
+      static_cast<double>(db_->GetTable("lineitem")->num_rows());
+  // FK join: output ~ lineitem cardinality; estimate within 3x.
+  EXPECT_GT((*join)->est.rows, actual_out / 3);
+  EXPECT_LT((*join)->est.rows, actual_out * 3);
+}
+
+TEST_F(OptimizerTest, SemiAntiEstimatesComplementary) {
+  Optimizer opt(db_);
+  auto c1 = opt.MakeScan("customer", "", nullptr);
+  auto o1 = opt.MakeScan("orders", "", nullptr);
+  auto semi = opt.MakeJoin(PlanOp::kHashJoin, JoinType::kSemi, std::move(*c1),
+                           std::move(*o1), {{"c_custkey", "o_custkey"}},
+                           nullptr);
+  ASSERT_TRUE(semi.ok());
+  auto c2 = opt.MakeScan("customer", "", nullptr);
+  auto o2 = opt.MakeScan("orders", "", nullptr);
+  auto anti = opt.MakeJoin(PlanOp::kHashJoin, JoinType::kAnti, std::move(*c2),
+                           std::move(*o2), {{"c_custkey", "o_custkey"}},
+                           nullptr);
+  ASSERT_TRUE(anti.ok());
+  const double customers =
+      static_cast<double>(db_->GetTable("customer")->num_rows());
+  EXPECT_NEAR((*semi)->est.rows + (*anti)->est.rows, customers,
+              customers * 0.1);
+}
+
+TEST_F(OptimizerTest, MergeJoinRejectsNonInner) {
+  Optimizer opt(db_);
+  auto l = opt.MakeScan("customer", "", nullptr);
+  auto r = opt.MakeScan("orders", "", nullptr);
+  EXPECT_FALSE(opt.MakeJoin(PlanOp::kMergeJoin, JoinType::kSemi,
+                            std::move(*l), std::move(*r),
+                            {{"c_custkey", "o_custkey"}}, nullptr)
+                   .ok());
+}
+
+TEST_F(OptimizerTest, AggregateGroupEstimate) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("orders", "", nullptr);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("cnt"));
+  auto agg = opt.MakeAggregate(std::move(*scan), {"o_orderpriority"},
+                               std::move(aggs), nullptr);
+  ASSERT_TRUE(agg.ok());
+  // 5 priorities.
+  EXPECT_GT((*agg)->est.rows, 1.0);
+  EXPECT_LT((*agg)->est.rows, 30.0);
+}
+
+TEST_F(OptimizerTest, HavingUsesDefaultSelectivity) {
+  // The paper's template-18 effect: HAVING over an aggregate output has no
+  // statistics and falls back to DEFAULT_INEQ_SEL.
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("lineitem", "", nullptr);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("l_quantity"), "sum_qty"));
+  auto agg = opt.MakeAggregate(
+      std::move(*scan), {"l_orderkey"}, std::move(aggs),
+      Gt(Col("sum_qty"), Lit(Value::MakeDecimal(Decimal(314, 0)))));
+  ASSERT_TRUE(agg.ok());
+  auto scan2 = opt.MakeScan("lineitem", "", nullptr);
+  std::vector<AggSpec> aggs2;
+  aggs2.push_back(AggSum(Col("l_quantity"), "sum_qty"));
+  auto agg2 = opt.MakeAggregate(std::move(*scan2), {"l_orderkey"},
+                                std::move(aggs2), nullptr);
+  ASSERT_TRUE(agg2.ok());
+  EXPECT_NEAR((*agg)->est.rows / (*agg2)->est.rows, 1.0 / 3.0, 0.05);
+}
+
+TEST_F(OptimizerTest, SortAndLimitEstimates) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("customer", "", nullptr);
+  auto sort = opt.MakeSort(std::move(*scan), {"c_acctbal"}, {true});
+  ASSERT_TRUE(sort.ok());
+  EXPECT_GT((*sort)->est.startup_cost, 0.0);
+  // Sort is blocking: startup close to total.
+  EXPECT_GT((*sort)->est.startup_cost / (*sort)->est.total_cost, 0.9);
+  const double sort_rows = (*sort)->est.rows;
+  auto limit = opt.MakeLimit(std::move(*sort), 10);
+  EXPECT_DOUBLE_EQ(limit->est.rows, 10.0);
+  EXPECT_LT(limit->est.rows, sort_rows);
+}
+
+TEST_F(OptimizerTest, InferTypes) {
+  Schema s;
+  s.AddColumn("a", TypeId::kInt64);
+  s.AddColumn("d", TypeId::kDecimal, 2);
+  s.AddColumn("t", TypeId::kDate);
+  s.AddColumn("str", TypeId::kString);
+  EXPECT_EQ(InferType(*Col("a"), s), TypeId::kInt64);
+  EXPECT_EQ(InferType(*Add(Col("a"), Col("a")), s), TypeId::kInt64);
+  EXPECT_EQ(InferType(*Mul(Col("d"), Col("a")), s), TypeId::kDecimal);
+  EXPECT_EQ(InferType(*Add(Col("t"), LitInt(3)), s), TypeId::kDate);
+  EXPECT_EQ(InferType(*Gt(Col("a"), LitInt(1)), s), TypeId::kBool);
+  EXPECT_EQ(InferType(*Year(Col("t")), s), TypeId::kInt64);
+  EXPECT_EQ(InferType(*Substr(Col("str"), 1, 2), s), TypeId::kString);
+}
+
+TEST_F(OptimizerTest, AggResultTypes) {
+  EXPECT_EQ(AggResultType(AggFunc::kCount, TypeId::kString), TypeId::kInt64);
+  EXPECT_EQ(AggResultType(AggFunc::kSum, TypeId::kDecimal), TypeId::kDecimal);
+  EXPECT_EQ(AggResultType(AggFunc::kSum, TypeId::kInt64), TypeId::kInt64);
+  EXPECT_EQ(AggResultType(AggFunc::kAvg, TypeId::kInt64), TypeId::kDouble);
+  EXPECT_EQ(AggResultType(AggFunc::kMin, TypeId::kDate), TypeId::kDate);
+}
+
+TEST_F(OptimizerTest, CostsIncreaseWithPlanSize) {
+  Optimizer opt(db_);
+  auto scan = opt.MakeScan("lineitem", "", nullptr);
+  const double scan_cost = (*scan)->est.total_cost;
+  auto sort = opt.MakeSort(std::move(*scan), {"l_orderkey"}, {false});
+  ASSERT_TRUE(sort.ok());
+  EXPECT_GT((*sort)->est.total_cost, scan_cost);
+}
+
+TEST_F(OptimizerTest, EmptyBlockRejected) {
+  Optimizer opt(db_);
+  EXPECT_FALSE(opt.OptimizeJoinBlock(JoinBlock{}).ok());
+}
+
+TEST_F(OptimizerTest, UnknownTableRejected) {
+  Optimizer opt(db_);
+  EXPECT_FALSE(opt.MakeScan("nope", "", nullptr).ok());
+}
+
+TEST_F(OptimizerTest, BadJoinKeysRejected) {
+  Optimizer opt(db_);
+  auto l = opt.MakeScan("nation", "", nullptr);
+  auto r = opt.MakeScan("region", "", nullptr);
+  EXPECT_FALSE(opt.MakeJoin(PlanOp::kHashJoin, JoinType::kInner, std::move(*l),
+                            std::move(*r), {{"zzz", "yyy"}}, nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace qpp

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "plan/plan.h"
+
+namespace qpp {
+namespace {
+
+std::unique_ptr<PlanNode> Leaf(const std::string& relation) {
+  auto n = std::make_unique<PlanNode>(PlanOp::kSeqScan);
+  n->label = relation;
+  return n;
+}
+
+std::unique_ptr<PlanNode> Join(std::unique_ptr<PlanNode> l,
+                               std::unique_ptr<PlanNode> r,
+                               JoinType type = JoinType::kInner) {
+  auto n = std::make_unique<PlanNode>(PlanOp::kHashJoin);
+  n->join_type = type;
+  n->children.push_back(std::move(l));
+  n->children.push_back(std::move(r));
+  return n;
+}
+
+TEST(PlanTest, NodeCount) {
+  auto plan = Join(Leaf("a"), Join(Leaf("b"), Leaf("c")));
+  EXPECT_EQ(plan->NodeCount(), 5);
+  EXPECT_EQ(plan->child(1)->NodeCount(), 3);
+}
+
+TEST(PlanTest, StructuralKeyIncludesRelations) {
+  auto plan = Join(Leaf("orders"), Leaf("lineitem"));
+  EXPECT_EQ(plan->StructuralKey(),
+            "HashJoin(SeqScan:orders,SeqScan:lineitem)");
+}
+
+TEST(PlanTest, StructuralKeyDistinguishesJoinTypes) {
+  auto inner = Join(Leaf("a"), Leaf("b"), JoinType::kInner);
+  auto semi = Join(Leaf("a"), Leaf("b"), JoinType::kSemi);
+  auto anti = Join(Leaf("a"), Leaf("b"), JoinType::kAnti);
+  EXPECT_NE(inner->StructuralKey(), semi->StructuralKey());
+  EXPECT_NE(semi->StructuralKey(), anti->StructuralKey());
+  EXPECT_NE(semi->StructuralKey().find("[Semi]"), std::string::npos);
+}
+
+TEST(PlanTest, StructuralKeyDistinguishesRelations) {
+  EXPECT_NE(Join(Leaf("a"), Leaf("b"))->StructuralKey(),
+            Join(Leaf("a"), Leaf("c"))->StructuralKey());
+  EXPECT_NE(Join(Leaf("a"), Leaf("b"))->StructuralKey(),
+            Join(Leaf("b"), Leaf("a"))->StructuralKey());
+}
+
+TEST(PlanTest, EqualStructuresEqualKeys) {
+  auto p1 = Join(Leaf("x"), Join(Leaf("y"), Leaf("z")));
+  auto p2 = Join(Leaf("x"), Join(Leaf("y"), Leaf("z")));
+  EXPECT_EQ(p1->StructuralKey(), p2->StructuralKey());
+}
+
+TEST(PlanTest, AssignNodeIdsPreOrder) {
+  auto plan = Join(Leaf("a"), Join(Leaf("b"), Leaf("c")));
+  EXPECT_EQ(AssignNodeIds(plan.get()), 5);
+  EXPECT_EQ(plan->node_id, 0);
+  EXPECT_EQ(plan->child(0)->node_id, 1);
+  EXPECT_EQ(plan->child(1)->node_id, 2);
+  EXPECT_EQ(plan->child(1)->child(0)->node_id, 3);
+  EXPECT_EQ(plan->child(1)->child(1)->node_id, 4);
+}
+
+TEST(PlanTest, CollectNodesPreOrder) {
+  auto plan = Join(Leaf("a"), Leaf("b"));
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(const_cast<const PlanNode*>(plan.get()), &nodes);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], plan.get());
+}
+
+TEST(PlanTest, CloneCopiesStructureAndEstimatesResetsActuals) {
+  auto plan = Join(Leaf("a"), Leaf("b"));
+  plan->est.total_cost = 100;
+  plan->actual.valid = true;
+  plan->actual.run_time_ms = 5;
+  auto clone = plan->Clone();
+  EXPECT_EQ(clone->StructuralKey(), plan->StructuralKey());
+  EXPECT_EQ(clone->est.total_cost, 100);
+  EXPECT_FALSE(clone->actual.valid);
+  // Deep copy: mutating the clone does not affect the original.
+  clone->children[0]->label = "zzz";
+  EXPECT_EQ(plan->child(0)->label, "a");
+}
+
+TEST(PlanTest, ResetActualsClearsWholeTree) {
+  auto plan = Join(Leaf("a"), Leaf("b"));
+  plan->actual.valid = true;
+  plan->children[0]->actual.valid = true;
+  ResetActuals(plan.get());
+  EXPECT_FALSE(plan->actual.valid);
+  EXPECT_FALSE(plan->child(0)->actual.valid);
+}
+
+TEST(PlanTest, ExplainListsTreeIndented) {
+  auto plan = Join(Leaf("orders"), Leaf("lineitem"));
+  const std::string text = ExplainPlan(*plan);
+  EXPECT_NE(text.find("HashJoin"), std::string::npos);
+  EXPECT_NE(text.find("  SeqScan on orders"), std::string::npos);
+  EXPECT_NE(text.find("  SeqScan on lineitem"), std::string::npos);
+}
+
+TEST(PlanTest, OpNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumPlanOps; ++i) {
+    names.insert(PlanOpName(static_cast<PlanOp>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumPlanOps));
+}
+
+}  // namespace
+}  // namespace qpp

@@ -1,0 +1,296 @@
+// Property-based differential tests: randomized inputs, executor results
+// checked against independent brute-force reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "catalog/database.h"
+#include "common/rng.h"
+#include "exec/driver.h"
+#include "optimizer/optimizer.h"
+
+namespace qpp {
+namespace {
+
+/// Builds a random two-column int table: key in [0, key_range), payload in
+/// [0, 1000).
+std::unique_ptr<Table> RandomTable(int id, const std::string& name,
+                                   const std::string& key_col,
+                                   const std::string& val_col, int rows,
+                                   int key_range, Rng* rng) {
+  Schema s;
+  s.AddColumn(key_col, TypeId::kInt64);
+  s.AddColumn(val_col, TypeId::kInt64);
+  auto t = std::make_unique<Table>(id, name, s);
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t->AppendRow({Value::Int64(rng->UniformInt(0, key_range - 1)),
+                              Value::Int64(rng->UniformInt(0, 999))})
+                    .ok());
+  }
+  return t;
+}
+
+std::vector<std::pair<int64_t, int64_t>> TableRows(const Table& t) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    rows.emplace_back(t.GetValue(i, 0).int64_value(),
+                      t.GetValue(i, 1).int64_value());
+  }
+  return rows;
+}
+
+class JoinPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinPropertyTest, AllJoinAlgorithmsAgreeWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const int left_rows = static_cast<int>(rng.UniformInt(0, 120));
+  const int right_rows = static_cast<int>(rng.UniformInt(0, 120));
+  const int key_range = static_cast<int>(rng.UniformInt(1, 40));
+
+  Database db;
+  ASSERT_TRUE(db.AddTable(RandomTable(0, "l", "lk", "lv", left_rows,
+                                      key_range, &rng))
+                  .ok());
+  ASSERT_TRUE(db.AddTable(RandomTable(1, "r", "rk", "rv", right_rows,
+                                      key_range, &rng))
+                  .ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  Optimizer opt(&db);
+
+  const auto lrows = TableRows(*db.GetTable("l"));
+  const auto rrows = TableRows(*db.GetTable("r"));
+
+  // Brute-force reference counts.
+  int64_t inner_ref = 0;
+  int64_t semi_ref = 0, anti_ref = 0, left_outer_ref = 0;
+  for (const auto& [lk, lv] : lrows) {
+    int64_t matches = 0;
+    for (const auto& [rk, rv] : rrows) matches += lk == rk;
+    inner_ref += matches;
+    semi_ref += matches > 0;
+    anti_ref += matches == 0;
+    left_outer_ref += matches > 0 ? matches : 1;
+  }
+
+  struct Case {
+    PlanOp op;
+    JoinType type;
+    int64_t expected;
+  };
+  std::vector<Case> cases = {
+      {PlanOp::kHashJoin, JoinType::kInner, inner_ref},
+      {PlanOp::kHashJoin, JoinType::kSemi, semi_ref},
+      {PlanOp::kHashJoin, JoinType::kAnti, anti_ref},
+      {PlanOp::kHashJoin, JoinType::kLeftOuter, left_outer_ref},
+      {PlanOp::kMergeJoin, JoinType::kInner, inner_ref},
+      {PlanOp::kNestedLoopJoin, JoinType::kInner, inner_ref},
+      {PlanOp::kNestedLoopJoin, JoinType::kSemi, semi_ref},
+      {PlanOp::kNestedLoopJoin, JoinType::kAnti, anti_ref},
+      {PlanOp::kNestedLoopJoin, JoinType::kLeftOuter, left_outer_ref},
+  };
+  for (const Case& c : cases) {
+    auto l = opt.MakeScan("l", "", nullptr);
+    auto r = opt.MakeScan("r", "", nullptr);
+    ASSERT_TRUE(l.ok() && r.ok());
+    auto join = opt.MakeJoin(c.op, c.type, std::move(*l), std::move(*r),
+                             {{"lk", "rk"}}, nullptr);
+    ASSERT_TRUE(join.ok()) << join.status().ToString();
+    auto res = ExecutePlan(join->get(), &db, {});
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res->row_count, c.expected)
+        << PlanOpName(c.op) << "/" << JoinTypeName(c.type) << " seed "
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest, ::testing::Range(1, 13));
+
+class AggregatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregatePropertyTest, HashAggregateMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+  const int rows = static_cast<int>(rng.UniformInt(0, 300));
+  const int key_range = static_cast<int>(rng.UniformInt(1, 25));
+
+  Database db;
+  ASSERT_TRUE(
+      db.AddTable(RandomTable(0, "t", "k", "v", rows, key_range, &rng)).ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  Optimizer opt(&db);
+
+  std::map<int64_t, std::pair<int64_t, int64_t>> ref;  // key -> (count, sum)
+  for (const auto& [k, v] : TableRows(*db.GetTable("t"))) {
+    ref[k].first += 1;
+    ref[k].second += v;
+  }
+
+  auto scan = opt.MakeScan("t", "", nullptr);
+  ASSERT_TRUE(scan.ok());
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggCountStar("cnt"));
+  aggs.push_back(AggSum(Col("v"), "total"));
+  aggs.push_back(AggMin(Col("v"), "lo"));
+  aggs.push_back(AggMax(Col("v"), "hi"));
+  auto agg = opt.MakeAggregate(std::move(*scan), {"k"}, std::move(aggs),
+                               nullptr);
+  ASSERT_TRUE(agg.ok());
+  auto res = ExecutePlan(agg->get(), &db, {});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(static_cast<size_t>(res->row_count), ref.size());
+  for (const Tuple& row : res->rows) {
+    const int64_t k = row[0].int64_value();
+    ASSERT_TRUE(ref.count(k));
+    EXPECT_EQ(row[1].int64_value(), ref[k].first);
+    if (ref[k].first > 0) {
+      EXPECT_EQ(row[2].int64_value(), ref[k].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatePropertyTest, ::testing::Range(1, 11));
+
+class SortPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortPropertyTest, SortOutputIsOrderedPermutation) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337);
+  const int rows = static_cast<int>(rng.UniformInt(0, 200));
+  Database db;
+  ASSERT_TRUE(db.AddTable(RandomTable(0, "t", "k", "v", rows, 50, &rng)).ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  Optimizer opt(&db);
+  auto scan = opt.MakeScan("t", "", nullptr);
+  ASSERT_TRUE(scan.ok());
+  auto sort = opt.MakeSort(std::move(*scan), {"k", "v"}, {false, true});
+  ASSERT_TRUE(sort.ok());
+  auto res = ExecutePlan(sort->get(), &db, {});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->row_count, rows);
+  // Ordered: k ascending, v descending within ties.
+  for (size_t i = 1; i < res->rows.size(); ++i) {
+    const int64_t pk = res->rows[i - 1][0].int64_value();
+    const int64_t ck = res->rows[i][0].int64_value();
+    EXPECT_LE(pk, ck);
+    if (pk == ck) {
+      EXPECT_GE(res->rows[i - 1][1].int64_value(),
+                res->rows[i][1].int64_value());
+    }
+  }
+  // Permutation: multiset of rows preserved.
+  std::multiset<std::pair<int64_t, int64_t>> in, out;
+  for (const auto& r : TableRows(*db.GetTable("t"))) in.insert(r);
+  for (const Tuple& r : res->rows) {
+    out.insert({r[0].int64_value(), r[1].int64_value()});
+  }
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortPropertyTest, ::testing::Range(1, 11));
+
+class FilterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterPropertyTest, FilterCountMatchesBruteForceAndEstimateIsSane) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 65537);
+  const int rows = 500;
+  Database db;
+  ASSERT_TRUE(db.AddTable(RandomTable(0, "t", "k", "v", rows, 1000, &rng)).ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  Optimizer opt(&db);
+  const int64_t lo = rng.UniformInt(0, 800);
+  const int64_t hi = lo + rng.UniformInt(1, 199);
+
+  int64_t ref = 0;
+  for (const auto& [k, v] : TableRows(*db.GetTable("t"))) {
+    ref += k >= lo && k <= hi;
+  }
+  auto scan = opt.MakeScan("t", "",
+                           Between(Col("k"), LitInt(lo), LitInt(hi)));
+  ASSERT_TRUE(scan.ok());
+  auto res = ExecutePlan(scan->get(), &db, {});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->row_count, ref);
+  // Range-pair estimation should land within a factor of ~2.5 + slack for
+  // uniform data of this size.
+  const double est = (*scan)->est.rows;
+  EXPECT_LE(est, std::max<double>(ref * 2.5, 30.0));
+  EXPECT_GE(est, std::max<int64_t>(1, ref / 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterPropertyTest, ::testing::Range(1, 11));
+
+class LikePropertyTest : public ::testing::TestWithParam<int> {};
+
+// Reference LIKE via dynamic programming, independent of the production
+// backtracking matcher.
+bool RefLike(const std::string& s, const std::string& p) {
+  const size_t n = s.size(), m = p.size();
+  std::vector<std::vector<bool>> dp(n + 1, std::vector<bool>(m + 1, false));
+  dp[0][0] = true;
+  for (size_t j = 1; j <= m; ++j) dp[0][j] = dp[0][j - 1] && p[j - 1] == '%';
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (p[j - 1] == '%') {
+        dp[i][j] = dp[i][j - 1] || dp[i - 1][j];
+      } else if (p[j - 1] == '_' || p[j - 1] == s[i - 1]) {
+        dp[i][j] = dp[i - 1][j - 1];
+      }
+    }
+  }
+  return dp[n][m];
+}
+
+TEST_P(LikePropertyTest, MatcherAgreesWithDpReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 257);
+  const char alphabet[] = "ab%_";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string s, p;
+    const int slen = static_cast<int>(rng.UniformInt(0, 8));
+    const int plen = static_cast<int>(rng.UniformInt(0, 6));
+    for (int i = 0; i < slen; ++i) {
+      s += alphabet[rng.UniformInt(0, 1)];  // strings from {a, b}
+    }
+    for (int i = 0; i < plen; ++i) {
+      p += alphabet[rng.UniformInt(0, 3)];  // patterns may use wildcards
+    }
+    EXPECT_EQ(LikeExpr::Match(s, p), RefLike(s, p))
+        << "s=" << s << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikePropertyTest, ::testing::Range(1, 6));
+
+class DecimalSumPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecimalSumPropertyTest, AggregateSumMatchesIntegerArithmetic) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13);
+  Schema s;
+  s.AddColumn("d", TypeId::kDecimal, 2);
+  Database db;
+  auto t = std::make_unique<Table>(0, "t", s);
+  int64_t ref_cents = 0;
+  const int rows = static_cast<int>(rng.UniformInt(1, 400));
+  for (int i = 0; i < rows; ++i) {
+    const int64_t cents = rng.UniformInt(-100000, 100000);
+    ref_cents += cents;
+    ASSERT_TRUE(t->AppendRow({Value::MakeDecimal(Decimal(cents, 2))}).ok());
+  }
+  ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+  ASSERT_TRUE(db.AnalyzeAll().ok());
+  Optimizer opt(&db);
+  auto scan = opt.MakeScan("t", "", nullptr);
+  ASSERT_TRUE(scan.ok());
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSum(Col("d"), "total"));
+  auto agg = opt.MakeAggregate(std::move(*scan), {}, std::move(aggs), nullptr);
+  ASSERT_TRUE(agg.ok());
+  auto res = ExecutePlan(agg->get(), &db, {});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->row_count, 1);
+  EXPECT_EQ(res->rows[0][0].decimal_value().Rescale(2).unscaled(), ref_cents);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecimalSumPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace qpp

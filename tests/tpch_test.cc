@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "tpch/dbgen.h"
+#include "tpch/lists.h"
+#include "tpch/schema.h"
+
+namespace qpp::tpch {
+namespace {
+
+class DbgenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DbgenConfig cfg;
+    cfg.scale_factor = 0.005;
+    cfg.seed = 42;
+    auto tables = Dbgen(cfg).Generate();
+    ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+    tables_ = new std::vector<std::unique_ptr<Table>>(std::move(*tables));
+  }
+  static void TearDownTestSuite() {
+    delete tables_;
+    tables_ = nullptr;
+  }
+  static const Table& Get(TableId id) { return *(*tables_)[id]; }
+
+  static std::vector<std::unique_ptr<Table>>* tables_;
+};
+
+std::vector<std::unique_ptr<Table>>* DbgenTest::tables_ = nullptr;
+
+TEST(TpchSchemaTest, TableNamesAndColumnCounts) {
+  EXPECT_STREQ(TableName(kLineitem), "lineitem");
+  EXPECT_EQ(TableSchema(kLineitem).num_columns(), 16u);
+  EXPECT_EQ(TableSchema(kOrders).num_columns(), 9u);
+  EXPECT_EQ(TableSchema(kPart).num_columns(), 9u);
+  EXPECT_EQ(TableSchema(kPartsupp).num_columns(), 5u);
+  EXPECT_EQ(TableSchema(kCustomer).num_columns(), 8u);
+  EXPECT_EQ(TableSchema(kSupplier).num_columns(), 7u);
+  EXPECT_EQ(TableSchema(kNation).num_columns(), 4u);
+  EXPECT_EQ(TableSchema(kRegion).num_columns(), 3u);
+}
+
+TEST(TpchSchemaTest, CardinalityRules) {
+  EXPECT_EQ(TableCardinality(kRegion, 1.0), 5);
+  EXPECT_EQ(TableCardinality(kNation, 1.0), 25);
+  EXPECT_EQ(TableCardinality(kSupplier, 1.0), 10000);
+  EXPECT_EQ(TableCardinality(kPart, 1.0), 200000);
+  EXPECT_EQ(TableCardinality(kPartsupp, 1.0), 800000);
+  EXPECT_EQ(TableCardinality(kCustomer, 1.0), 150000);
+  EXPECT_EQ(TableCardinality(kOrders, 1.0), 1500000);
+  // Region/nation sizes are scale-invariant.
+  EXPECT_EQ(TableCardinality(kRegion, 0.01), 5);
+  EXPECT_EQ(TableCardinality(kNation, 0.01), 25);
+}
+
+TEST(TpchSchemaTest, RetailPriceFormula) {
+  // Spec: (90000 + ((k/10) mod 20001) + 100*(k mod 1000)) / 100.
+  EXPECT_EQ(PartRetailPrice(1).unscaled(), 90000 + 0 + 100);
+  EXPECT_EQ(PartRetailPrice(10).unscaled(), 90000 + 1 + 1000);
+  EXPECT_EQ(PartRetailPrice(1).scale(), 2);
+}
+
+TEST_F(DbgenTest, RowCountsMatchSizingRules) {
+  EXPECT_EQ(Get(kRegion).num_rows(), 5);
+  EXPECT_EQ(Get(kNation).num_rows(), 25);
+  EXPECT_EQ(Get(kSupplier).num_rows(), 50);
+  EXPECT_EQ(Get(kPart).num_rows(), 1000);
+  EXPECT_EQ(Get(kPartsupp).num_rows(), 4000);
+  EXPECT_EQ(Get(kCustomer).num_rows(), 750);
+  EXPECT_EQ(Get(kOrders).num_rows(), 7500);
+  // Lineitem is stochastic: 1-7 lines per order, expectation 4.
+  EXPECT_GT(Get(kLineitem).num_rows(), 7500 * 2);
+  EXPECT_LT(Get(kLineitem).num_rows(), 7500 * 7);
+}
+
+TEST_F(DbgenTest, NationRegionMapping) {
+  const Table& nation = Get(kNation);
+  for (int64_t i = 0; i < nation.num_rows(); ++i) {
+    const int64_t rk = nation.GetValue(i, 2).int64_value();
+    EXPECT_GE(rk, 0);
+    EXPECT_LE(rk, 4);
+    EXPECT_EQ(nation.GetValue(i, 1).string_value(),
+              NationNames()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(DbgenTest, KeysAreDenseAndOrdered) {
+  const Table& orders = Get(kOrders);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(orders.GetValue(i, 0).int64_value(), i + 1);
+  }
+}
+
+TEST_F(DbgenTest, ForeignKeysInRange) {
+  const Table& orders = Get(kOrders);
+  const int64_t customers = Get(kCustomer).num_rows();
+  for (int64_t i = 0; i < orders.num_rows(); ++i) {
+    const int64_t ck = orders.GetValue(i, 1).int64_value();
+    EXPECT_GE(ck, 1);
+    EXPECT_LE(ck, customers);
+  }
+  const Table& li = Get(kLineitem);
+  const int64_t parts = Get(kPart).num_rows();
+  const int64_t suppliers = Get(kSupplier).num_rows();
+  for (int64_t i = 0; i < li.num_rows(); i += 97) {
+    EXPECT_GE(li.GetValue(i, 1).int64_value(), 1);
+    EXPECT_LE(li.GetValue(i, 1).int64_value(), parts);
+    EXPECT_GE(li.GetValue(i, 2).int64_value(), 1);
+    EXPECT_LE(li.GetValue(i, 2).int64_value(), suppliers);
+  }
+}
+
+TEST_F(DbgenTest, LineitemDateRelationships) {
+  const Table& li = Get(kLineitem);
+  const Table& orders = Get(kOrders);
+  const int ship_col = li.schema().FindColumn("l_shipdate");
+  const int commit_col = li.schema().FindColumn("l_commitdate");
+  const int receipt_col = li.schema().FindColumn("l_receiptdate");
+  ASSERT_GE(ship_col, 0);
+  for (int64_t i = 0; i < li.num_rows(); i += 53) {
+    const int64_t ok = li.GetValue(i, 0).int64_value();
+    const Date odate = orders.GetValue(ok - 1, 4).date_value();
+    const Date ship = li.GetValue(i, ship_col).date_value();
+    const Date commit = li.GetValue(i, commit_col).date_value();
+    const Date receipt = li.GetValue(i, receipt_col).date_value();
+    EXPECT_GT(ship, odate);
+    EXPECT_LE(ship.days_since_epoch(), odate.days_since_epoch() + 121);
+    EXPECT_GE(commit.days_since_epoch(), odate.days_since_epoch() + 30);
+    EXPECT_GT(receipt, ship);
+    EXPECT_LE(receipt.days_since_epoch(), ship.days_since_epoch() + 30);
+  }
+}
+
+TEST_F(DbgenTest, ReturnFlagConsistentWithDates) {
+  const Table& li = Get(kLineitem);
+  const Date current = Date::FromYmd(1995, 6, 17);
+  const int flag_col = li.schema().FindColumn("l_returnflag");
+  const int receipt_col = li.schema().FindColumn("l_receiptdate");
+  for (int64_t i = 0; i < li.num_rows(); i += 31) {
+    const std::string flag = li.GetValue(i, flag_col).string_value();
+    const Date receipt = li.GetValue(i, receipt_col).date_value();
+    if (receipt > current) {
+      EXPECT_EQ(flag, "N");
+    } else {
+      EXPECT_TRUE(flag == "R" || flag == "A") << flag;
+    }
+  }
+}
+
+TEST_F(DbgenTest, StringDomainsRespected) {
+  const Table& cust = Get(kCustomer);
+  const int seg_col = cust.schema().FindColumn("c_mktsegment");
+  std::set<std::string> segments(Segments().begin(), Segments().end());
+  for (int64_t i = 0; i < cust.num_rows(); i += 7) {
+    EXPECT_TRUE(segments.count(cust.GetValue(i, seg_col).string_value()));
+  }
+  const Table& li = Get(kLineitem);
+  const int mode_col = li.schema().FindColumn("l_shipmode");
+  std::set<std::string> modes(ShipModes().begin(), ShipModes().end());
+  for (int64_t i = 0; i < li.num_rows(); i += 101) {
+    EXPECT_TRUE(modes.count(li.GetValue(i, mode_col).string_value()));
+  }
+}
+
+TEST_F(DbgenTest, DiscountAndTaxRanges) {
+  const Table& li = Get(kLineitem);
+  const int disc_col = li.schema().FindColumn("l_discount");
+  const int tax_col = li.schema().FindColumn("l_tax");
+  for (int64_t i = 0; i < li.num_rows(); i += 41) {
+    const double d = li.GetValue(i, disc_col).decimal_value().ToDouble();
+    const double t = li.GetValue(i, tax_col).decimal_value().ToDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.10);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 0.08);
+  }
+}
+
+TEST_F(DbgenTest, ExtendedPriceMatchesQuantityTimesRetail) {
+  const Table& li = Get(kLineitem);
+  const int qty_col = li.schema().FindColumn("l_quantity");
+  const int ext_col = li.schema().FindColumn("l_extendedprice");
+  for (int64_t i = 0; i < li.num_rows(); i += 67) {
+    const int64_t pk = li.GetValue(i, 1).int64_value();
+    const double qty = li.GetValue(i, qty_col).decimal_value().ToDouble();
+    const double ext = li.GetValue(i, ext_col).decimal_value().ToDouble();
+    EXPECT_NEAR(ext, qty * PartRetailPrice(pk).ToDouble(), 0.01);
+  }
+}
+
+TEST_F(DbgenTest, PartsuppHasFourSuppliersPerPart) {
+  const Table& ps = Get(kPartsupp);
+  std::set<int64_t> suppliers_of_part_one;
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ps.GetValue(i, 0).int64_value(), 1);
+    suppliers_of_part_one.insert(ps.GetValue(i, 1).int64_value());
+  }
+  EXPECT_EQ(suppliers_of_part_one.size(), 4u);
+}
+
+TEST_F(DbgenTest, IndexesBuilt) {
+  EXPECT_TRUE(Get(kOrders).HasIndex(0));
+  EXPECT_TRUE(Get(kLineitem).HasIndex(0));
+  EXPECT_EQ(Get(kOrders).IndexLookup(0, 1).size(), 1u);
+}
+
+TEST(DbgenDeterminismTest, SameSeedSameData) {
+  DbgenConfig cfg;
+  cfg.scale_factor = 0.002;
+  cfg.seed = 7;
+  auto a = Dbgen(cfg).Generate();
+  auto b = Dbgen(cfg).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Table& la = *(*a)[kLineitem];
+  const Table& lb = *(*b)[kLineitem];
+  ASSERT_EQ(la.num_rows(), lb.num_rows());
+  for (int64_t i = 0; i < la.num_rows(); i += 11) {
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_EQ(la.GetValue(i, c).ToString(), lb.GetValue(i, c).ToString());
+    }
+  }
+}
+
+TEST(DbgenDeterminismTest, DifferentSeedDifferentData) {
+  DbgenConfig a_cfg, b_cfg;
+  a_cfg.scale_factor = b_cfg.scale_factor = 0.002;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  auto a = Dbgen(a_cfg).Generate();
+  auto b = Dbgen(b_cfg).Generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  const Table& ca = *(*a)[kCustomer];
+  const Table& cb = *(*b)[kCustomer];
+  int diff = 0;
+  for (int64_t i = 0; i < std::min(ca.num_rows(), cb.num_rows()); ++i) {
+    diff += ca.GetValue(i, 5).ToString() != cb.GetValue(i, 5).ToString();
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(DbgenConfigTest, RejectsNonPositiveScale) {
+  DbgenConfig cfg;
+  cfg.scale_factor = 0.0;
+  EXPECT_FALSE(Dbgen(cfg).Generate().ok());
+}
+
+class ScaleSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweepTest, CardinalitiesScaleLinearly) {
+  const double sf = GetParam();
+  EXPECT_EQ(TableCardinality(kSupplier, sf),
+            std::max<int64_t>(1, std::llround(10000 * sf)));
+  EXPECT_EQ(TableCardinality(kPartsupp, sf), 4 * TableCardinality(kPart, sf));
+  EXPECT_EQ(TableCardinality(kOrders, sf),
+            10 * TableCardinality(kCustomer, sf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweepTest,
+                         ::testing::Values(0.001, 0.01, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace qpp::tpch

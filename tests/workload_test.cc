@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "catalog/database.h"
+#include "exec/driver.h"
+#include "tpch/dbgen.h"
+#include "workload/query_log.h"
+#include "workload/runner.h"
+#include "workload/templates.h"
+
+namespace qpp {
+namespace {
+
+/// One tiny shared database for all workload tests.
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.003;
+    db_ = new Database();
+    auto tables = tpch::Dbgen(cfg).Generate();
+    ASSERT_TRUE(tables.ok());
+    ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
+    ASSERT_TRUE(db_->AnalyzeAll().ok());
+    opt_ = new Optimizer(db_);
+  }
+  static void TearDownTestSuite() {
+    delete opt_;
+    delete db_;
+  }
+
+  static Database* db_;
+  static Optimizer* opt_;
+};
+
+Database* WorkloadTest::db_ = nullptr;
+Optimizer* WorkloadTest::opt_ = nullptr;
+
+TEST_F(WorkloadTest, TemplateSetsAreConsistent) {
+  EXPECT_EQ(tpch::AllTemplates().size(), 22u);
+  EXPECT_EQ(tpch::PlanLevelTemplates().size(), 18u);
+  EXPECT_EQ(tpch::OperatorLevelTemplates().size(), 14u);
+  EXPECT_EQ(tpch::DynamicWorkloadTemplates().size(), 12u);
+  // Operator-level templates are a subset of the plan-level set; dynamic is
+  // a subset of operator-level.
+  std::set<int> plan(tpch::PlanLevelTemplates().begin(),
+                     tpch::PlanLevelTemplates().end());
+  std::set<int> op(tpch::OperatorLevelTemplates().begin(),
+                   tpch::OperatorLevelTemplates().end());
+  for (int t : op) EXPECT_TRUE(plan.count(t)) << t;
+  for (int t : tpch::DynamicWorkloadTemplates()) EXPECT_TRUE(op.count(t)) << t;
+  // Paper's exclusions hold: 2, 11, 15, 22 not in the operator-level set.
+  for (int excluded : {2, 11, 15, 22}) EXPECT_FALSE(op.count(excluded));
+}
+
+class AllTemplatesTest : public WorkloadTest,
+                         public ::testing::WithParamInterface<int> {};
+
+TEST_P(AllTemplatesTest, GeneratesAndExecutes) {
+  const int tid = GetParam();
+  Rng rng(static_cast<uint64_t>(100 + tid));
+  tpch::TemplateContext ctx{opt_, db_, &rng};
+  auto plan = tpch::GenerateTemplateQuery(tid, &ctx);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->template_id, tid);
+  EXPECT_GE(plan->NodeCount(), 2);
+  EXPECT_FALSE(plan->parameter_desc.empty());
+  auto res = ExecutePlan(plan->root.get(), db_, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_GT(res->latency_ms, 0.0);
+  // Every operator instrumented.
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(const_cast<const PlanNode*>(plan->root.get()), &nodes);
+  for (const PlanNode* n : nodes) {
+    EXPECT_TRUE(n->actual.valid);
+    EXPECT_GE(n->actual.run_time_ms, n->actual.start_time_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, AllTemplatesTest,
+                         ::testing::ValuesIn(tpch::AllTemplates()));
+
+TEST_F(WorkloadTest, DifferentSeedsDifferentParameters) {
+  Rng r1(1), r2(2);
+  tpch::TemplateContext c1{opt_, db_, &r1};
+  tpch::TemplateContext c2{opt_, db_, &r2};
+  auto p1 = tpch::GenerateTemplateQuery(5, &c1);
+  auto p2 = tpch::GenerateTemplateQuery(5, &c2);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_NE(p1->parameter_desc, p2->parameter_desc);
+}
+
+TEST_F(WorkloadTest, SameSeedSameParameters) {
+  Rng r1(7), r2(7);
+  tpch::TemplateContext c1{opt_, db_, &r1};
+  tpch::TemplateContext c2{opt_, db_, &r2};
+  auto p1 = tpch::GenerateTemplateQuery(3, &c1);
+  auto p2 = tpch::GenerateTemplateQuery(3, &c2);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->parameter_desc, p2->parameter_desc);
+  EXPECT_EQ(p1->root->StructuralKey(), p2->root->StructuralKey());
+}
+
+TEST_F(WorkloadTest, UnknownTemplateRejected) {
+  Rng rng(1);
+  tpch::TemplateContext ctx{opt_, db_, &rng};
+  EXPECT_FALSE(tpch::GenerateTemplateQuery(0, &ctx).ok());
+  EXPECT_FALSE(tpch::GenerateTemplateQuery(23, &ctx).ok());
+  EXPECT_FALSE(tpch::GenerateTemplateQuery(3, nullptr).ok());
+}
+
+TEST_F(WorkloadTest, RunWorkloadProducesLog) {
+  WorkloadConfig wc;
+  wc.templates = {1, 6};
+  wc.queries_per_template = 3;
+  int callbacks = 0;
+  wc.on_query = [&](int, int, double) { ++callbacks; };
+  auto log = RunWorkload(db_, wc);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->queries.size(), 6u);
+  EXPECT_EQ(callbacks, 6);
+  for (const auto& q : log->queries) {
+    EXPECT_GT(q.latency_ms, 0.0);
+    EXPECT_FALSE(q.ops.empty());
+    EXPECT_EQ(q.ops[0].parent_id, -1);
+    EXPECT_TRUE(q.template_id == 1 || q.template_id == 6);
+  }
+}
+
+TEST_F(WorkloadTest, RunWorkloadRejectsEmptyTemplates) {
+  WorkloadConfig wc;
+  EXPECT_FALSE(RunWorkload(db_, wc).ok());
+}
+
+TEST_F(WorkloadTest, RecordFromPlanFlattensTree) {
+  Rng rng(5);
+  tpch::TemplateContext ctx{opt_, db_, &rng};
+  auto plan = tpch::GenerateTemplateQuery(3, &ctx);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(ExecutePlan(plan->root.get(), db_, {}).ok());
+  const QueryRecord rec = RecordFromPlan(*plan, 12.5);
+  EXPECT_EQ(static_cast<int>(rec.ops.size()), plan->NodeCount());
+  EXPECT_DOUBLE_EQ(rec.latency_ms, 12.5);
+  // Tree links resolve and subtree sizes telescope.
+  EXPECT_EQ(rec.ops[0].subtree_size, plan->NodeCount());
+  for (const auto& op : rec.ops) {
+    if (op.left_child >= 0) EXPECT_GE(rec.IndexOfNode(op.left_child), 0);
+    if (op.right_child >= 0) EXPECT_GE(rec.IndexOfNode(op.right_child), 0);
+    EXPECT_EQ(op.structural_key.empty(), false);
+  }
+  // Structural key of the record root matches the plan's.
+  EXPECT_EQ(rec.ops[0].structural_key, plan->root->StructuralKey());
+}
+
+TEST_F(WorkloadTest, QueryLogFileRoundTrip) {
+  WorkloadConfig wc;
+  wc.templates = {6, 14};
+  wc.queries_per_template = 2;
+  auto log = RunWorkload(db_, wc);
+  ASSERT_TRUE(log.ok());
+  const std::string path = ::testing::TempDir() + "/qpp_log_roundtrip.txt";
+  ASSERT_TRUE(log->SaveToFile(path).ok());
+  auto restored = QueryLog::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->queries.size(), log->queries.size());
+  for (size_t i = 0; i < log->queries.size(); ++i) {
+    const QueryRecord& a = log->queries[i];
+    const QueryRecord& b = restored->queries[i];
+    EXPECT_EQ(a.template_id, b.template_id);
+    EXPECT_NEAR(a.latency_ms, b.latency_ms, 1e-6);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (size_t j = 0; j < a.ops.size(); ++j) {
+      EXPECT_EQ(a.ops[j].op, b.ops[j].op);
+      EXPECT_EQ(a.ops[j].structural_key, b.ops[j].structural_key);
+      EXPECT_EQ(a.ops[j].subtree_size, b.ops[j].subtree_size);
+      EXPECT_NEAR(a.ops[j].est.total_cost, b.ops[j].est.total_cost, 1e-6);
+      EXPECT_NEAR(a.ops[j].actual.run_time_ms, b.ops[j].actual.run_time_ms,
+                  1e-6);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadTest, LoadRejectsMissingAndMalformedFiles) {
+  EXPECT_FALSE(QueryLog::LoadFromFile("/nonexistent/x.log").ok());
+  const std::string path = ::testing::TempDir() + "/qpp_bad_log.txt";
+  {
+    std::ofstream out(path);
+    out << "O|bad|line|before|query\n";
+  }
+  EXPECT_FALSE(QueryLog::LoadFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadTest, SharedSubplansAcrossTemplates) {
+  // The Figure 4 premise: queries of different templates share sub-plan
+  // structures (e.g. the orders/lineitem join core).
+  WorkloadConfig wc;
+  wc.templates = {1, 3, 4, 5, 10, 12};
+  wc.queries_per_template = 2;
+  auto log = RunWorkload(db_, wc);
+  ASSERT_TRUE(log.ok());
+  std::map<std::string, std::set<int>> key_templates;
+  for (const auto& q : log->queries) {
+    for (const auto& op : q.ops) {
+      if (op.subtree_size >= 2) key_templates[op.structural_key].insert(q.template_id);
+    }
+  }
+  bool shared = false;
+  for (const auto& [key, templates] : key_templates) {
+    shared = shared || templates.size() > 1;
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST_F(WorkloadTest, TimeoutDropsSlowQueries) {
+  WorkloadConfig wc;
+  wc.templates = {1};
+  wc.queries_per_template = 2;
+  wc.timeout_ms = 0.0001;  // everything is slower than this
+  auto log = RunWorkload(db_, wc);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->queries.empty());
+}
+
+}  // namespace
+}  // namespace qpp
