@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_subplans.dir/fig4_subplans.cc.o"
+  "CMakeFiles/fig4_subplans.dir/fig4_subplans.cc.o.d"
+  "fig4_subplans"
+  "fig4_subplans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_subplans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

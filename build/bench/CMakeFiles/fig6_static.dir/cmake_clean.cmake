@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_static.dir/fig6_static.cc.o"
+  "CMakeFiles/fig6_static.dir/fig6_static.cc.o.d"
+  "fig6_static"
+  "fig6_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

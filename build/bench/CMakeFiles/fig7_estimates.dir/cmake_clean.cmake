@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_estimates.dir/fig7_estimates.cc.o"
+  "CMakeFiles/fig7_estimates.dir/fig7_estimates.cc.o.d"
+  "fig7_estimates"
+  "fig7_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

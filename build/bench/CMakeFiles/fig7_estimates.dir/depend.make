@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_estimates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_strategies.dir/fig8_strategies.cc.o"
+  "CMakeFiles/fig8_strategies.dir/fig8_strategies.cc.o.d"
+  "fig8_strategies"
+  "fig8_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

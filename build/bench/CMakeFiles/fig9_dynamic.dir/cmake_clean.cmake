@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dynamic.dir/fig9_dynamic.cc.o"
+  "CMakeFiles/fig9_dynamic.dir/fig9_dynamic.cc.o.d"
+  "fig9_dynamic"
+  "fig9_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_qpp.dir/micro_qpp.cc.o"
+  "CMakeFiles/micro_qpp.dir/micro_qpp.cc.o.d"
+  "micro_qpp"
+  "micro_qpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_qpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/qpp_bench_util.dir/bench_util.cc.o.d"
+  "libqpp_bench_util.a"
+  "libqpp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_picker.dir/plan_picker.cpp.o"
+  "CMakeFiles/plan_picker.dir/plan_picker.cpp.o.d"
+  "plan_picker"
+  "plan_picker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_picker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

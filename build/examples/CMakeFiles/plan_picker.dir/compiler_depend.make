@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for plan_picker.
+# This may be replaced when dependencies are built.

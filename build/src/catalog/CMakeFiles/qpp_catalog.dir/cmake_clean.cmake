@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_catalog.dir/database.cc.o"
+  "CMakeFiles/qpp_catalog.dir/database.cc.o.d"
+  "CMakeFiles/qpp_catalog.dir/stats.cc.o"
+  "CMakeFiles/qpp_catalog.dir/stats.cc.o.d"
+  "libqpp_catalog.a"
+  "libqpp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

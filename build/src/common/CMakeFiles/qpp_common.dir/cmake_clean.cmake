@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_common.dir/date.cc.o"
+  "CMakeFiles/qpp_common.dir/date.cc.o.d"
+  "CMakeFiles/qpp_common.dir/decimal.cc.o"
+  "CMakeFiles/qpp_common.dir/decimal.cc.o.d"
+  "CMakeFiles/qpp_common.dir/rng.cc.o"
+  "CMakeFiles/qpp_common.dir/rng.cc.o.d"
+  "CMakeFiles/qpp_common.dir/stats.cc.o"
+  "CMakeFiles/qpp_common.dir/stats.cc.o.d"
+  "CMakeFiles/qpp_common.dir/status.cc.o"
+  "CMakeFiles/qpp_common.dir/status.cc.o.d"
+  "libqpp_common.a"
+  "libqpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

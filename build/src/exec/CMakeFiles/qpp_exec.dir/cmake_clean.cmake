@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_exec.dir/driver.cc.o"
+  "CMakeFiles/qpp_exec.dir/driver.cc.o.d"
+  "CMakeFiles/qpp_exec.dir/executors.cc.o"
+  "CMakeFiles/qpp_exec.dir/executors.cc.o.d"
+  "libqpp_exec.a"
+  "libqpp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

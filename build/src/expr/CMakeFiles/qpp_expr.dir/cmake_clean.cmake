@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_expr.dir/aggregate.cc.o"
+  "CMakeFiles/qpp_expr.dir/aggregate.cc.o.d"
+  "CMakeFiles/qpp_expr.dir/expr.cc.o"
+  "CMakeFiles/qpp_expr.dir/expr.cc.o.d"
+  "libqpp_expr.a"
+  "libqpp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

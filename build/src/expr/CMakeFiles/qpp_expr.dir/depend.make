@@ -1,0 +1,2 @@
+# Empty dependencies file for qpp_expr.
+# This may be replaced when dependencies are built.

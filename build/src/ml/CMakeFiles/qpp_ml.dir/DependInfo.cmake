@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/feature_selection.cc" "src/ml/CMakeFiles/qpp_ml.dir/feature_selection.cc.o" "gcc" "src/ml/CMakeFiles/qpp_ml.dir/feature_selection.cc.o.d"
+  "/root/repo/src/ml/linreg.cc" "src/ml/CMakeFiles/qpp_ml.dir/linreg.cc.o" "gcc" "src/ml/CMakeFiles/qpp_ml.dir/linreg.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/qpp_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/qpp_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/qpp_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/qpp_ml.dir/svr.cc.o.d"
+  "/root/repo/src/ml/validation.cc" "src/ml/CMakeFiles/qpp_ml.dir/validation.cc.o" "gcc" "src/ml/CMakeFiles/qpp_ml.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

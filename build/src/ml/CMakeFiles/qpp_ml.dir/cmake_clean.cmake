@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_ml.dir/feature_selection.cc.o"
+  "CMakeFiles/qpp_ml.dir/feature_selection.cc.o.d"
+  "CMakeFiles/qpp_ml.dir/linreg.cc.o"
+  "CMakeFiles/qpp_ml.dir/linreg.cc.o.d"
+  "CMakeFiles/qpp_ml.dir/model.cc.o"
+  "CMakeFiles/qpp_ml.dir/model.cc.o.d"
+  "CMakeFiles/qpp_ml.dir/svr.cc.o"
+  "CMakeFiles/qpp_ml.dir/svr.cc.o.d"
+  "CMakeFiles/qpp_ml.dir/validation.cc.o"
+  "CMakeFiles/qpp_ml.dir/validation.cc.o.d"
+  "libqpp_ml.a"
+  "libqpp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/qpp_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/qpp_optimizer.dir/selectivity.cc.o"
+  "CMakeFiles/qpp_optimizer.dir/selectivity.cc.o.d"
+  "libqpp_optimizer.a"
+  "libqpp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_plan.dir/plan.cc.o"
+  "CMakeFiles/qpp_plan.dir/plan.cc.o.d"
+  "libqpp_plan.a"
+  "libqpp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_qpp.dir/features.cc.o"
+  "CMakeFiles/qpp_qpp.dir/features.cc.o.d"
+  "CMakeFiles/qpp_qpp.dir/hybrid.cc.o"
+  "CMakeFiles/qpp_qpp.dir/hybrid.cc.o.d"
+  "CMakeFiles/qpp_qpp.dir/online.cc.o"
+  "CMakeFiles/qpp_qpp.dir/online.cc.o.d"
+  "CMakeFiles/qpp_qpp.dir/operator_model.cc.o"
+  "CMakeFiles/qpp_qpp.dir/operator_model.cc.o.d"
+  "CMakeFiles/qpp_qpp.dir/plan_model.cc.o"
+  "CMakeFiles/qpp_qpp.dir/plan_model.cc.o.d"
+  "CMakeFiles/qpp_qpp.dir/predictor.cc.o"
+  "CMakeFiles/qpp_qpp.dir/predictor.cc.o.d"
+  "libqpp_qpp.a"
+  "libqpp_qpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_qpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

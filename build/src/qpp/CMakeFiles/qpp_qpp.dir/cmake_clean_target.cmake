@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqpp_qpp.a"
+)

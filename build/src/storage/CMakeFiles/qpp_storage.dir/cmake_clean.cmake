@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/qpp_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/qpp_storage.dir/table.cc.o"
+  "CMakeFiles/qpp_storage.dir/table.cc.o.d"
+  "CMakeFiles/qpp_storage.dir/value.cc.o"
+  "CMakeFiles/qpp_storage.dir/value.cc.o.d"
+  "libqpp_storage.a"
+  "libqpp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

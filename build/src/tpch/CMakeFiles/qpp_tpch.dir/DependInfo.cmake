@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dbgen.cc" "src/tpch/CMakeFiles/qpp_tpch.dir/dbgen.cc.o" "gcc" "src/tpch/CMakeFiles/qpp_tpch.dir/dbgen.cc.o.d"
+  "/root/repo/src/tpch/lists.cc" "src/tpch/CMakeFiles/qpp_tpch.dir/lists.cc.o" "gcc" "src/tpch/CMakeFiles/qpp_tpch.dir/lists.cc.o.d"
+  "/root/repo/src/tpch/schema.cc" "src/tpch/CMakeFiles/qpp_tpch.dir/schema.cc.o" "gcc" "src/tpch/CMakeFiles/qpp_tpch.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/qpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/qpp_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/qpp_tpch.dir/lists.cc.o"
+  "CMakeFiles/qpp_tpch.dir/lists.cc.o.d"
+  "CMakeFiles/qpp_tpch.dir/schema.cc.o"
+  "CMakeFiles/qpp_tpch.dir/schema.cc.o.d"
+  "libqpp_tpch.a"
+  "libqpp_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

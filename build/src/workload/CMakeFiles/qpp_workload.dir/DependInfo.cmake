@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/query_log.cc" "src/workload/CMakeFiles/qpp_workload.dir/query_log.cc.o" "gcc" "src/workload/CMakeFiles/qpp_workload.dir/query_log.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/qpp_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/qpp_workload.dir/runner.cc.o.d"
+  "/root/repo/src/workload/templates.cc" "src/workload/CMakeFiles/qpp_workload.dir/templates.cc.o" "gcc" "src/workload/CMakeFiles/qpp_workload.dir/templates.cc.o.d"
+  "/root/repo/src/workload/templates2.cc" "src/workload/CMakeFiles/qpp_workload.dir/templates2.cc.o" "gcc" "src/workload/CMakeFiles/qpp_workload.dir/templates2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optimizer/CMakeFiles/qpp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qpp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/qpp_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/qpp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qpp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qpp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_workload.dir/query_log.cc.o"
+  "CMakeFiles/qpp_workload.dir/query_log.cc.o.d"
+  "CMakeFiles/qpp_workload.dir/runner.cc.o"
+  "CMakeFiles/qpp_workload.dir/runner.cc.o.d"
+  "CMakeFiles/qpp_workload.dir/templates.cc.o"
+  "CMakeFiles/qpp_workload.dir/templates.cc.o.d"
+  "CMakeFiles/qpp_workload.dir/templates2.cc.o"
+  "CMakeFiles/qpp_workload.dir/templates2.cc.o.d"
+  "libqpp_workload.a"
+  "libqpp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

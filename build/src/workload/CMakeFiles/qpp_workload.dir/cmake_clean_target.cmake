@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqpp_workload.a"
+)

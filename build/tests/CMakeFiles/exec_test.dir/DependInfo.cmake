@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/exec_test.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qpp/CMakeFiles/qpp_qpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qpp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qpp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/qpp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/qpp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/qpp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qpp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/qpp_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/qpp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpp_test.dir/qpp_test.cc.o"
+  "CMakeFiles/qpp_test.dir/qpp_test.cc.o.d"
+  "qpp_test"
+  "qpp_test.pdb"
+  "qpp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
