@@ -1,0 +1,100 @@
+#include "bench/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace qpp::bench {
+namespace {
+
+struct BenchRecord {
+  std::string name;
+  int64_t iterations = 0;
+  double wall_ms = 0.0;
+  int64_t threads = 1;
+};
+
+/// Console reporter that additionally captures every per-iteration run for
+/// the JSON side channel (aggregates and errored runs are console-only).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<int64_t>(run.iterations);
+      // Total wall time / iterations, in milliseconds, independent of the
+      // benchmark's display time unit.
+      rec.wall_ms = run.iterations > 0
+                        ? run.real_accumulated_time * 1e3 /
+                              static_cast<double>(run.iterations)
+                        : run.real_accumulated_time * 1e3;
+      rec.threads = run.threads;
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const char* bench_name,
+               const std::vector<BenchRecord>& records) {
+  const char* dir_env = std::getenv("QPP_BENCH_JSON_DIR");
+  std::string dir = dir_env != nullptr ? dir_env : ".";
+  if (dir_env != nullptr && *dir_env == '\0') return;  // explicitly disabled
+  const std::string path = dir + "/BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", JsonEscape(bench_name).c_str());
+  std::fprintf(f, "  \"qpp_threads\": %d,\n",
+               ThreadPool::Global()->num_threads());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"wall_ms\": %.6f, \"threads\": %lld}%s\n",
+                 JsonEscape(r.name).c_str(),
+                 static_cast<long long>(r.iterations), r.wall_ms,
+                 static_cast<long long>(r.threads),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu results)\n", path.c_str(), records.size());
+}
+
+}  // namespace
+
+int RunBenchmarksWithJson(const char* bench_name, int* argc, char** argv) {
+  benchmark::Initialize(argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(*argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  WriteJson(bench_name, reporter.records());
+  return 0;
+}
+
+}  // namespace qpp::bench

@@ -1,0 +1,29 @@
+#pragma once
+
+// Machine-readable output for the micro benchmark binaries: alongside the
+// normal console table, each binary writes BENCH_<name>.json so the perf
+// trajectory is trackable across PRs (see DESIGN.md "Threading model &
+// benchmark telemetry").
+//
+//   QPP_BENCH_JSON_DIR  directory for the JSON file (default: cwd;
+//                       set empty to disable the JSON side channel)
+
+#include <benchmark/benchmark.h>
+
+namespace qpp::bench {
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: runs all registered
+/// benchmarks with the usual console reporter, then writes
+/// BENCH_<bench_name>.json with one record per benchmark run:
+///   {name, iterations, wall_ms, threads}
+/// plus the training-pool width the process ran with. Returns the process
+/// exit code.
+int RunBenchmarksWithJson(const char* bench_name, int* argc, char** argv);
+
+}  // namespace qpp::bench
+
+/// BENCHMARK_MAIN() variant that also emits BENCH_<name>.json.
+#define QPP_BENCHMARK_MAIN_WITH_JSON(bench_name)                          \
+  int main(int argc, char** argv) {                                       \
+    return qpp::bench::RunBenchmarksWithJson(bench_name, &argc, argv);    \
+  }

@@ -130,21 +130,34 @@ CvPredictions CrossValidatedPredictions(const QueryLog& log,
   for (const auto& q : log.queries) strata.push_back(q.template_id);
   Rng rng(seed);
   const auto fold_set = StratifiedKFold(strata, folds, &rng);
-  CvPredictions out;
-  for (const auto& fold : fold_set) {
+  // Folds train and predict independently; per-fold outputs are concatenated
+  // in fold order afterwards so the result matches a serial run exactly.
+  std::vector<std::vector<double>> fold_pred(fold_set.size());
+  Status st = ThreadPool::Global()->ParallelFor(fold_set.size(), [&](size_t f) {
+    const Fold& fold = fold_set[f];
     QueryLog train;
     for (size_t i : fold.train) train.queries.push_back(log.queries[i]);
     QueryPerformancePredictor predictor(config);
-    Status st = predictor.Train(train);
-    if (!st.ok()) {
-      std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
-      std::exit(1);
-    }
+    QPP_RETURN_NOT_OK(predictor.Train(train));
+    fold_pred[f].reserve(fold.test.size());
     for (size_t i : fold.test) {
       auto r = predictor.PredictLatencyMs(log.queries[i]);
+      fold_pred[f].push_back(r.ok() ? *r : 0.0);
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  CvPredictions out;
+  for (size_t f = 0; f < fold_set.size(); ++f) {
+    const Fold& fold = fold_set[f];
+    for (size_t t = 0; t < fold.test.size(); ++t) {
+      const size_t i = fold.test[t];
       out.template_ids.push_back(log.queries[i].template_id);
       out.actual.push_back(log.queries[i].latency_ms);
-      out.predicted.push_back(r.ok() ? *r : 0.0);
+      out.predicted.push_back(fold_pred[f][t]);
     }
   }
   return out;

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "catalog/database.h"
 #include "exec/driver.h"
 #include "optimizer/optimizer.h"
@@ -111,4 +112,4 @@ BENCHMARK(BM_OptimizeSixWayJoin);
 }  // namespace
 }  // namespace qpp
 
-BENCHMARK_MAIN();
+QPP_BENCHMARK_MAIN_WITH_JSON("micro_engine");

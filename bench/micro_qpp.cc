@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "catalog/database.h"
 #include "qpp/predictor.h"
 #include "tpch/dbgen.h"
@@ -92,4 +93,4 @@ BENCHMARK(BM_HybridTraining)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace qpp
 
-BENCHMARK_MAIN();
+QPP_BENCHMARK_MAIN_WITH_JSON("micro_qpp");

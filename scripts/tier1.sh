@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: standard build + full test suite, then the
+# concurrency-sensitive tests again under ThreadSanitizer (QPP_SANITIZE=thread
+# instruments the whole tree; see CMakeLists.txt).
+#
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "${1:-}" == "--skip-tsan" ]]; then
+  echo "tier1: OK (TSan pass skipped)"
+  exit 0
+fi
+
+# TSan pass: the thread-pool/CV determinism tests plus the ML suite that
+# drives the parallel training paths. QPP_THREADS>1 forces real concurrency
+# even on small CI machines.
+cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target concurrency_test ml_test
+QPP_THREADS=4 ./build-tsan/tests/concurrency_test
+QPP_THREADS=4 ./build-tsan/tests/ml_test
+echo "tier1: OK (including TSan concurrency pass)"

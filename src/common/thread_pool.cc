@@ -1,0 +1,150 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace qpp {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+Status RunGuarded(const std::function<Status()>& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("uncaught exception in pool task: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("uncaught non-std exception in pool task");
+  }
+}
+
+int GlobalWidth() {
+  const char* env = std::getenv("QPP_THREADS");
+  if (env != nullptr && *env != '\0') {
+    return std::max(1, std::atoi(env));
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> fn) {
+  auto task = std::make_shared<std::packaged_task<Status()>>(
+      [fn = std::move(fn)] { return RunGuarded(fn); });
+  std::future<Status> fut = task->get_future();
+  if (t_in_worker || workers_.empty()) {
+    (*task)();  // inline: no workers, or nested submit from a worker
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+
+  // Serial reference path: no workers, a single index, or a nested call from
+  // inside a worker (running inline avoids waiting on queue slots that only
+  // blocked workers could drain). Stops at the first failure like the
+  // parallel path's lowest-failing-index contract.
+  if (workers_.empty() || n == 1 || t_in_worker) {
+    for (size_t i = 0; i < n; ++i) {
+      Status st = RunGuarded([&] { return fn(i); });
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<SharedState>();
+  // One Status slot per index: failures are reported deterministically for
+  // the lowest index no matter which thread hit them first.
+  auto statuses = std::make_shared<std::vector<Status>>(n);
+
+  auto drain = [state, statuses, &fn, n] {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*statuses)[i] = RunGuarded([&] { return fn(i); });
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->m);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // Enqueue at most one helper task per worker; each drains indices until
+  // the counter is exhausted, so idle workers cost nothing.
+  const size_t helpers =
+      std::min(workers_.size(), n > 0 ? n - 1 : static_cast<size_t>(0));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) queue_.emplace_back(drain);
+  }
+  cv_.notify_all();
+
+  drain();  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(state->m);
+    state->all_done.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == n;
+    });
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!(*statuses)[i].ok()) return (*statuses)[i];
+  }
+  return Status::OK();
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool pool(GlobalWidth());
+  return &pool;
+}
+
+}  // namespace qpp

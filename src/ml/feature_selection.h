@@ -34,9 +34,19 @@ struct FeatureSelectionResult {
 /// best-first adds them in rank order, keeping a feature only when it
 /// improves cross-validated error; stops after `patience` consecutive
 /// rejections.
+///
+/// Candidate evaluations run speculatively in parallel on `pool`
+/// (ThreadPool::Global() when null): a batch of upcoming candidates is
+/// cross-validated against the current feature set concurrently, then
+/// accept/reject decisions replay serially in rank order; results computed
+/// under a stale feature set (anything after an accepted candidate) are
+/// discarded and re-evaluated. Every candidate draws folds from its own
+/// pre-forked RNG stream, so the selected features, fold predictions, and
+/// cv_error are bit-identical at any thread count.
 Result<FeatureSelectionResult> ForwardFeatureSelection(
     const RegressionModel& prototype, const FeatureMatrix& x,
-    const std::vector<double>& y, const FeatureSelectionConfig& config = {});
+    const std::vector<double>& y, const FeatureSelectionConfig& config = {},
+    ThreadPool* pool = nullptr);
 
 /// Ranks feature indices by |Pearson correlation| with the target,
 /// descending (exposed for tests and diagnostics).

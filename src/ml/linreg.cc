@@ -1,5 +1,6 @@
 #include "ml/linreg.h"
 
+#include <cassert>
 #include <cmath>
 #include <sstream>
 
@@ -108,9 +109,12 @@ Status LinearRegression::Fit(const FeatureMatrix& x,
 }
 
 double LinearRegression::Predict(const std::vector<double>& x) const {
+  // Width validated once at entry (mirrors SvRegression::Predict); the old
+  // std::min over the two sizes silently truncated mismatched rows.
+  assert(x.size() == coef_.size() && "linreg predict width != training width");
+  if (x.size() != coef_.size()) return intercept_;
   double out = intercept_;
-  const size_t d = std::min(x.size(), coef_.size());
-  for (size_t j = 0; j < d; ++j) out += coef_[j] * x[j];
+  for (size_t j = 0; j < coef_.size(); ++j) out += coef_[j] * x[j];
   return out;
 }
 

@@ -1,25 +1,75 @@
 #include "ml/svr.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <list>
 #include <sstream>
+#include <unordered_map>
 
 namespace qpp {
 namespace {
 
+// Feature widths are validated once at Fit/Predict entry; by the time these
+// run, both operands are known equal-length. The old std::min over the two
+// sizes silently zero-padded width bugs away.
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
   double s = 0;
-  const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;
 }
 
 double SqDist(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
   double s = 0;
-  const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
   return s;
 }
+
+/// \brief Bounded LRU cache of kernel-matrix rows, in the spirit of libsvm's
+/// Cache: the dual solver touches a shrinking working set of rows as it
+/// converges, so hot rows stay resident while the memory footprint is capped
+/// (the old code materialized the full n x n matrix up front).
+///
+/// Rows are only *computed* for coordinates whose dual variable actually
+/// moves; with the epsilon-insensitive loss most coordinates go quiet after
+/// the first sweeps, so the row count evaluated is typically far below n.
+class KernelRowCache {
+ public:
+  KernelRowCache(size_t n, size_t max_bytes)
+      : capacity_rows_(std::max<size_t>(
+            2, max_bytes / std::max<size_t>(1, n * sizeof(double)))) {}
+
+  /// Returns the cached row for i, or null.
+  const std::vector<double>* Get(size_t i) {
+    auto it = index_.find(i);
+    if (it == index_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return &it->second->row;
+  }
+
+  /// Inserts a freshly computed row (evicting the least recently used row
+  /// when at capacity) and returns a pointer valid until the next Insert.
+  const std::vector<double>* Insert(size_t i, std::vector<double> row) {
+    if (lru_.size() >= capacity_rows_) {
+      index_.erase(lru_.back().index);
+      lru_.pop_back();
+    }
+    lru_.push_front(Entry{i, std::move(row)});
+    index_[i] = lru_.begin();
+    return &lru_.front().row;
+  }
+
+ private:
+  struct Entry {
+    size_t index;
+    std::vector<double> row;
+  };
+  size_t capacity_rows_;
+  std::list<Entry> lru_;
+  std::unordered_map<size_t, std::list<Entry>::iterator> index_;
+};
 
 }  // namespace
 
@@ -31,10 +81,10 @@ double SvRegression::Kernel(const std::vector<double>& a,
 }
 
 std::vector<double> SvRegression::ScaleRow(const std::vector<double>& x) const {
+  assert(x.size() == feat_min_.size());
   std::vector<double> out(feat_min_.size(), 0.0);
   for (size_t j = 0; j < feat_min_.size(); ++j) {
-    const double v = j < x.size() ? x[j] : 0.0;
-    out[j] = (v - feat_min_[j]) / feat_range_[j];
+    out[j] = (x[j] - feat_min_[j]) / feat_range_[j];
   }
   return out;
 }
@@ -74,15 +124,20 @@ Status SvRegression::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
     ys[i] = (y[i] - y_min_) / y_range_;
   }
 
-  // Precompute the kernel matrix (training sets here are small enough).
-  std::vector<double> k(n * n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i; j < n; ++j) {
-      const double v = Kernel(xs[i], xs[j]);
-      k[i * n + j] = v;
-      k[j * n + i] = v;
-    }
-  }
+  // The solver only ever reads the diagonal (cheap, precomputed) plus the
+  // full row of a coordinate whose dual variable moves. Rows are computed
+  // lazily and kept in a bounded LRU (libsvm's Cache strategy) instead of
+  // materializing the n x n matrix: as the sweep converges, updates
+  // concentrate on a small hot set of support-vector rows.
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = Kernel(xs[i], xs[i]);
+  KernelRowCache cache(n, config_.kernel_cache_bytes);
+  auto kernel_row = [&](size_t i) -> const std::vector<double>* {
+    if (const std::vector<double>* row = cache.Get(i)) return row;
+    std::vector<double> row(n);
+    for (size_t j = 0; j < n; ++j) row[j] = Kernel(xs[i], xs[j]);
+    return cache.Insert(i, std::move(row));
+  };
 
   // Cyclic coordinate descent on the bias-absorbed dual:
   //   min 0.5 b'Kb - b'y + eps*|b|_1,  |b_i| <= C.
@@ -91,10 +146,10 @@ Status SvRegression::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     double max_delta = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const double kii = k[i * n + i];
+      const double kii = diag[i];
       if (kii <= 0) continue;
       // Residual with beta_i removed.
-      const double r = ys[i] - (kb[i] - k[i * n + i] * beta[i]);
+      const double r = ys[i] - (kb[i] - kii * beta[i]);
       // Soft threshold by epsilon, then clip to the box.
       double nb = 0.0;
       if (r > config_.epsilon) {
@@ -105,7 +160,8 @@ Status SvRegression::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
       nb = std::clamp(nb, -config_.c, config_.c);
       const double delta = nb - beta[i];
       if (delta != 0.0) {
-        for (size_t j = 0; j < n; ++j) kb[j] += delta * k[i * n + j];
+        const std::vector<double>& row = *kernel_row(i);
+        for (size_t j = 0; j < n; ++j) kb[j] += delta * row[j];
         beta[i] = nb;
         max_delta = std::max(max_delta, std::abs(delta));
       }
@@ -126,6 +182,11 @@ Status SvRegression::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
 }
 
 double SvRegression::Predict(const std::vector<double>& x) const {
+  // Width is validated here once (Fit enforces it on the training side);
+  // in release builds a mismatched row degrades to the target floor rather
+  // than reading out of bounds or silently zero-padding.
+  assert(x.size() == feat_min_.size() && "SVR predict width != training width");
+  if (x.size() != feat_min_.size()) return y_min_;
   const std::vector<double> xs = ScaleRow(x);
   double f = 0.0;
   for (size_t i = 0; i < support_.size(); ++i) {

@@ -21,6 +21,11 @@ struct SvrConfig {
   int max_iterations = 300;
   /// Convergence threshold on the max dual update per sweep.
   double tolerance = 1e-5;
+  /// Budget for the LRU kernel-row cache used during training (libsvm's
+  /// cache_size, here in bytes). Rows of the kernel matrix are computed
+  /// lazily and evicted least-recently-used beyond this bound, so training
+  /// memory stays O(cache) instead of O(n^2).
+  size_t kernel_cache_bytes = 8u << 20;
 };
 
 /// \brief Epsilon-insensitive support-vector regression with RBF or linear

@@ -57,26 +57,47 @@ std::vector<Fold> StratifiedKFold(const std::vector<int>& strata, int k,
 Result<CvResult> CrossValidate(const RegressionModel& prototype,
                                const FeatureMatrix& x,
                                const std::vector<double>& y,
-                               const std::vector<Fold>& folds) {
+                               const std::vector<Fold>& folds,
+                               ThreadPool* pool) {
   if (x.size() != y.size() || x.empty()) {
     return Status::InvalidArgument("empty or mismatched data");
   }
-  CvResult result;
-  result.predictions.assign(x.size(), 0.0);
-  std::vector<double> actuals, estimates;
-  for (const Fold& fold : folds) {
-    if (fold.train.empty() || fold.test.empty()) continue;
+  if (pool == nullptr) pool = ThreadPool::Global();
+
+  // Each fold trains a private clone and writes only its own slot; the
+  // aggregation below happens on this thread in fold order, so the result is
+  // independent of scheduling.
+  std::vector<std::vector<double>> fold_preds(folds.size());
+  Status st = pool->ParallelFor(folds.size(), [&](size_t f) {
+    const Fold& fold = folds[f];
+    if (fold.train.empty() || fold.test.empty()) return Status::OK();
     FeatureMatrix train_x;
     std::vector<double> train_y;
     train_x.reserve(fold.train.size());
+    train_y.reserve(fold.train.size());
     for (size_t idx : fold.train) {
       train_x.push_back(x[idx]);
       train_y.push_back(y[idx]);
     }
     std::unique_ptr<RegressionModel> model = prototype.CloneUntrained();
     QPP_RETURN_NOT_OK(model->Fit(train_x, train_y));
+    fold_preds[f].reserve(fold.test.size());
     for (size_t idx : fold.test) {
-      const double pred = model->Predict(x[idx]);
+      fold_preds[f].push_back(model->Predict(x[idx]));
+    }
+    return Status::OK();
+  });
+  QPP_RETURN_NOT_OK(st);
+
+  CvResult result;
+  result.predictions.assign(x.size(), 0.0);
+  std::vector<double> actuals, estimates;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const Fold& fold = folds[f];
+    if (fold.train.empty() || fold.test.empty()) continue;
+    for (size_t t = 0; t < fold.test.size(); ++t) {
+      const size_t idx = fold.test[t];
+      const double pred = fold_preds[f][t];
       result.predictions[idx] = pred;
       actuals.push_back(y[idx]);
       estimates.push_back(pred);

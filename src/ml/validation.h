@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/model.h"
 
 namespace qpp {
@@ -32,9 +33,14 @@ struct CvResult {
 
 /// Trains a fresh clone of `prototype` on each fold's training part and
 /// predicts its test part; the paper's accuracy-estimation procedure.
+///
+/// Folds train concurrently on `pool` (ThreadPool::Global() when null); each
+/// fold's fit is self-contained and results are merged on the caller in fold
+/// order, so predictions and the error are bit-identical at any thread count.
 Result<CvResult> CrossValidate(const RegressionModel& prototype,
                                const FeatureMatrix& x,
                                const std::vector<double>& y,
-                               const std::vector<Fold>& folds);
+                               const std::vector<Fold>& folds,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace qpp

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/thread_pool.h"
+
 namespace qpp {
 namespace {
 
@@ -55,14 +57,26 @@ double HybridModel::PredictQuery(const QueryRecord& query,
 
 double HybridModel::EvaluateTrainingError(
     const std::vector<const QueryRecord*>& queries) const {
-  double total = 0.0;
-  size_t n = 0;
-  for (const QueryRecord* q : queries) {
-    if (q->latency_ms <= 0) continue;
+  // Per-query prediction is a pure read of the trained models; errors land
+  // in per-index slots and are reduced on this thread in query order, so the
+  // sum is bit-identical at any thread count.
+  std::vector<double> errs(queries.size(), 0.0);
+  std::vector<char> counted(queries.size(), 0);
+  (void)ThreadPool::Global()->ParallelFor(queries.size(), [&](size_t i) {
+    const QueryRecord* q = queries[i];
+    if (q->latency_ms <= 0) return Status::OK();
     const double pred =
         op_models_.PredictQuery(*q, config_.plan_config.feature_mode,
                                 MakeOverride(*q, config_.plan_config.feature_mode));
-    total += RelErr(q->latency_ms, pred);
+    errs[i] = RelErr(q->latency_ms, pred);
+    counted[i] = 1;
+    return Status::OK();
+  });
+  double total = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!counted[i]) continue;
+    total += errs[i];
     ++n;
   }
   return n == 0 ? 0.0 : total / static_cast<double>(n);
@@ -105,14 +119,20 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
     if (current_error <= config_.target_error) break;
 
     // Refresh per-candidate errors under the current model set, skipping
-    // already-modeled, rejected, rare, and well-predicted plans.
-    const Candidate* chosen = nullptr;
-    double best_rank = 0.0;
+    // already-modeled, rejected, rare, and well-predicted plans. The error
+    // of each surviving candidate is an independent read of the trained
+    // models, so the refresh fans out; the arg-max below stays serial and
+    // scans in map (key) order, preserving the serial tie-breaks.
+    std::vector<Candidate*> eligible;
     for (auto& [key, cand] : candidates) {
       if (rejected.count(key) || plan_models_.count(key)) continue;
       if (static_cast<int>(cand.occurrences.size()) < config_.min_occurrences) {
         continue;
       }
+      eligible.push_back(&cand);
+    }
+    (void)ThreadPool::Global()->ParallelFor(eligible.size(), [&](size_t c) {
+      Candidate& cand = *eligible[c];
       double err = 0.0;
       size_t n = 0;
       for (const PlanOccurrence& occ : cand.occurrences) {
@@ -125,6 +145,13 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
         ++n;
       }
       cand.avg_error = n == 0 ? 0.0 : err / static_cast<double>(n);
+      return Status::OK();
+    });
+
+    const Candidate* chosen = nullptr;
+    double best_rank = 0.0;
+    for (Candidate* cand_ptr : eligible) {
+      Candidate& cand = *cand_ptr;
       if (cand.avg_error < config_.skip_error_threshold) continue;
 
       double rank = 0.0;

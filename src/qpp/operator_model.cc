@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace qpp {
 namespace {
 
@@ -76,19 +78,20 @@ Status OperatorModelSet::FitAllTypes(
           std::max(0.0, op.actual.run_time_ms - f[6] - f[8]));
     }
   }
-  for (int t = 0; t < kNumPlanOps; ++t) {
-    TypeModels& tm = models_[static_cast<size_t>(t)];
+  // Operator types train independently (disjoint models_ slots, read-only
+  // shared training arrays), so the per-type fits fan out across the
+  // training pool. Feature selection inside each fit degrades to its serial
+  // path when it lands on a pool worker, keeping the parallel axis here.
+  return ThreadPool::Global()->ParallelFor(kNumPlanOps, [&](size_t t) {
+    TypeModels& tm = models_[t];
     tm = TypeModels{};
-    if (static_cast<int>(xs[static_cast<size_t>(t)].size()) <
-        config_.min_samples) {
-      continue;
+    if (static_cast<int>(xs[t].size()) < config_.min_samples) {
+      return Status::OK();
     }
-    const FeatureMatrix& x = xs[static_cast<size_t>(t)];
+    const FeatureMatrix& x = xs[t];
     std::unique_ptr<RegressionModel> prototype = MakeModel(config_.model_type);
     for (int which = 0; which < 2; ++which) {
-      const std::vector<double>& y = which == 0
-                                         ? start_ys[static_cast<size_t>(t)]
-                                         : run_ys[static_cast<size_t>(t)];
+      const std::vector<double>& y = which == 0 ? start_ys[t] : run_ys[t];
       QPP_ASSIGN_OR_RETURN(
           FeatureSelectionResult fs,
           ForwardFeatureSelection(*prototype, x, y,
@@ -104,7 +107,7 @@ Status OperatorModelSet::FitAllTypes(
       auto model = MakeModel(config_.model_type);
       QPP_RETURN_NOT_OK(model->Fit(SelectColumns(x, fs.selected), y));
       double max_target = 0.0;
-      for (double t : y) max_target = std::max(max_target, t);
+      for (double target : y) max_target = std::max(max_target, target);
       if (which == 0) {
         tm.start_model = std::move(model);
         tm.start_features = fs.selected;
@@ -115,8 +118,8 @@ Status OperatorModelSet::FitAllTypes(
         tm.max_run_target = max_target;
       }
     }
-  }
-  return Status::OK();
+    return Status::OK();
+  });
 }
 
 Status OperatorModelSet::Train(const std::vector<const QueryRecord*>& queries) {
