@@ -3,10 +3,13 @@
 // interactive or a batch queue based on *predicted* latency, so that
 // interactive QoS targets are met without executing anything first.
 //
-// The example trains a predictor, then simulates an arrival stream and
-// reports routing quality: how often the predicted class (fast/slow)
-// matches the true class, and what the interactive queue's latencies look
-// like with and without prediction-based routing.
+// This example runs the full serving stack from src/serve/: the trained
+// predictor is published into a ModelRegistry, arriving queries are routed
+// by an AdmissionController over a PredictionService, and every executed
+// query is fed back through the FeedbackLoop (which would hot-swap in a
+// retrained model if the workload drifted). The trained model is also saved
+// to and re-loaded from a checksummed bundle, the way a real deployment
+// separates training from serving.
 
 #include <algorithm>
 #include <cstdio>
@@ -15,7 +18,11 @@
 #include "catalog/database.h"
 #include "common/stats.h"
 #include "exec/driver.h"
-#include "qpp/predictor.h"
+#include "serve/admission.h"
+#include "serve/feedback.h"
+#include "serve/model_store.h"
+#include "serve/registry.h"
+#include "serve/service.h"
 #include "tpch/dbgen.h"
 #include "workload/runner.h"
 #include "workload/templates.h"
@@ -40,14 +47,37 @@ int main() {
   PredictorConfig cfg;
   cfg.method = PredictionMethod::kHybrid;
   cfg.hybrid.max_iterations = 8;
-  QueryPerformancePredictor predictor(cfg);
-  if (!predictor.Train(*log).ok()) return 1;
+  QueryPerformancePredictor trained(cfg);
+  if (!trained.Train(*log).ok()) return 1;
 
-  // Route queries whose predicted latency exceeds the SLO to the batch
-  // queue; everything else goes to the interactive queue.
-  const double slo_ms = 60.0;
+  // Deploy through the serving stack: persist the trained model, load it
+  // back (verifying the checksum), and publish it into the registry.
+  const std::string bundle_path = "admission_model.qppb";
+  if (!serve::SaveModelBundle(trained, bundle_path).ok()) return 1;
+  auto deployed = serve::LoadModelBundle(bundle_path, cfg);
+  if (!deployed.ok()) {
+    std::printf("model load failed: %s\n", deployed.status().ToString().c_str());
+    return 1;
+  }
+  serve::ModelRegistry registry;
+  registry.Publish(
+      std::make_shared<QueryPerformancePredictor>(std::move(*deployed)),
+      bundle_path);
+  serve::PredictionService service(&registry);
+
+  serve::AdmissionConfig acfg;
+  acfg.slo_ms = 60.0;
+  serve::AdmissionController admission(&service, acfg);
+
+  serve::FeedbackConfig fcfg;
+  fcfg.retrain_config = cfg;
+  serve::FeedbackLoop feedback(&registry, fcfg);
+
+  std::printf("Serving model v%llu from %s\n",
+              static_cast<unsigned long long>(registry.current_version()),
+              bundle_path.c_str());
   std::printf("Interactive SLO: %.0f ms. Simulating 45 arrivals...\n\n",
-              slo_ms);
+              acfg.slo_ms);
 
   Optimizer opt(&db);
   Rng rng(77);
@@ -62,13 +92,18 @@ int main() {
     auto plan = tpch::GenerateTemplateQuery(tid, &ctx);
     if (!plan.ok()) continue;
     QueryRecord record = RecordFromPlan(*plan, 0.0);
-    auto predicted = predictor.PredictLatencyMs(record);
-    if (!predicted.ok()) continue;
+    auto decision = admission.Route(record);
+    if (!decision.ok()) continue;
     auto result = ExecutePlan(plan->root.get(), &db, {});
     if (!result.ok()) continue;
 
-    const bool predicted_slow = *predicted > slo_ms;
-    const bool actually_slow = result->latency_ms > slo_ms;
+    // Close the loop: the executed record (with observed latency) feeds the
+    // drift detector, which would retrain + hot-swap on a drifting workload.
+    record.latency_ms = result->latency_ms;
+    (void)feedback.Observe(record);
+
+    const bool predicted_slow = decision->route == serve::QueryRoute::kBatch;
+    const bool actually_slow = result->latency_ms > acfg.slo_ms;
     correct += predicted_slow == actually_slow;
     ++total;
     // Without routing every query hits the interactive queue.
@@ -78,6 +113,7 @@ int main() {
       violations_with_routing += actually_slow;
     }
   }
+  feedback.WaitForRetrain();
 
   std::printf("Routing accuracy (fast/slow classification): %d/%d (%.0f%%)\n",
               correct, total, 100.0 * correct / std::max(1, total));
@@ -89,5 +125,14 @@ int main() {
     std::printf("Interactive queue p95 latency with routing: %.1f ms\n",
                 Percentile(interactive_latencies, 95));
   }
+  const serve::AdmissionStats stats = admission.Stats();
+  std::printf(
+      "Routed: %llu interactive, %llu batch; windowed model error %.2f "
+      "(drift threshold %.2f, retrains: %llu)\n",
+      static_cast<unsigned long long>(stats.interactive),
+      static_cast<unsigned long long>(stats.batch), feedback.WindowedError(),
+      fcfg.drift_threshold,
+      static_cast<unsigned long long>(feedback.retrains_published()));
+  std::remove(bundle_path.c_str());
   return 0;
 }

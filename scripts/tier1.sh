@@ -16,11 +16,13 @@ if [[ "${1:-}" == "--skip-tsan" ]]; then
   exit 0
 fi
 
-# TSan pass: the thread-pool/CV determinism tests plus the ML suite that
-# drives the parallel training paths. QPP_THREADS>1 forces real concurrency
-# even on small CI machines.
+# TSan pass: the thread-pool/CV determinism tests, the ML suite that drives
+# the parallel training paths, and the serving suite (registry hot-swap under
+# concurrent Predict load, feedback-loop retrains). QPP_THREADS>1 forces real
+# concurrency even on small CI machines.
 cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target concurrency_test ml_test
+cmake --build build-tsan -j"$(nproc)" --target concurrency_test ml_test serve_test
 QPP_THREADS=4 ./build-tsan/tests/concurrency_test
 QPP_THREADS=4 ./build-tsan/tests/ml_test
+QPP_THREADS=4 ./build-tsan/tests/serve_test
 echo "tier1: OK (including TSan concurrency pass)"

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace qpp {
+
+/// FNV-1a 64-bit hash of a byte string. Used to checksum persisted model
+/// payloads: cheap, dependency-free, and stable across platforms — the goal
+/// is corruption/truncation detection for files we wrote ourselves, not
+/// cryptographic integrity.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Fixed-width (16 char) lowercase hex rendering of a checksum.
+std::string ChecksumHex(uint64_t checksum);
+
+/// Parses ChecksumHex output back into a value.
+Result<uint64_t> ParseChecksumHex(const std::string& hex);
+
+}  // namespace qpp

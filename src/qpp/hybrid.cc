@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "common/thread_pool.h"
 
@@ -203,6 +204,53 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
   }
   final_error_ = current_error;
   return Status::OK();
+}
+
+std::string HybridModel::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "hybridmodel v1\n";
+  out << "errors " << initial_error_ << " " << final_error_ << "\n";
+  out << "=== ops\n" << op_models_.Serialize() << "=== end\n";
+  for (const auto& [key, model] : plan_models_) {
+    out << "=== plan\n" << model.Serialize() << "=== end\n";
+  }
+  out << "=== endhybrid\n";
+  return out.str();
+}
+
+Result<HybridModel> HybridModel::Deserialize(const std::string& text,
+                                             HybridConfig config) {
+  HybridModel hybrid(config);
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "hybridmodel v1") {
+    return Status::InvalidArgument("not a hybrid model payload");
+  }
+  while (std::getline(in, line) && line != "=== endhybrid") {
+    if (line.rfind("errors ", 0) == 0) {
+      std::istringstream es(line.substr(7));
+      es >> hybrid.initial_error_ >> hybrid.final_error_;
+    } else if (line == "=== ops" || line == "=== plan") {
+      const bool is_ops = line == "=== ops";
+      std::string payload;
+      while (std::getline(in, line) && line != "=== end") {
+        payload += line + "\n";
+      }
+      if (is_ops) {
+        QPP_ASSIGN_OR_RETURN(hybrid.op_models_,
+                             OperatorModelSet::Deserialize(payload));
+      } else {
+        QPP_ASSIGN_OR_RETURN(PlanLevelModel model,
+                             PlanLevelModel::Deserialize(payload));
+        hybrid.AddPlanModel(std::move(model));
+      }
+    }
+  }
+  if (!hybrid.op_models_.trained()) {
+    return Status::InvalidArgument("hybrid payload missing operator models");
+  }
+  return hybrid;
 }
 
 }  // namespace qpp

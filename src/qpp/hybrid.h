@@ -86,6 +86,16 @@ class HybridModel {
   /// Adds an externally built plan-level model (used by the online builder).
   void AddPlanModel(PlanLevelModel model);
 
+  /// Multi-line text serialization of the trained stack (operator model set
+  /// plus every kept plan-level model, terminated by "=== endhybrid").
+  /// Training history is not persisted; errors are, for inspection.
+  std::string Serialize() const;
+
+  /// Restores a stack persisted by Serialize(). `config` supplies the
+  /// non-persisted training configuration (used only if retrained later).
+  static Result<HybridModel> Deserialize(const std::string& text,
+                                         HybridConfig config = HybridConfig{});
+
  private:
   double EvaluateTrainingError(
       const std::vector<const QueryRecord*>& queries) const;

@@ -31,7 +31,12 @@ OnlinePredictor::OnlinePredictor(std::vector<const QueryRecord*> training,
   }
 }
 
-const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) {
+int OnlinePredictor::models_built() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_built_;
+}
+
+const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) const {
   auto cached = cache_.find(key);
   if (cached != cache_.end()) {
     return cached->second.has_value() ? &*cached->second : nullptr;
@@ -69,7 +74,10 @@ const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) {
 }
 
 double OnlinePredictor::PredictQuery(const QueryRecord& query,
-                                     FeatureMode mode) {
+                                     FeatureMode mode) const {
+  // One lock over build + compose: predictions serialize, but the cache is
+  // consistent for the whole query and builds stay once-per-structure.
+  std::lock_guard<std::mutex> lock(mu_);
   // Build (or fetch) models for every sub-plan of this query first, so the
   // override below is a pure lookup.
   for (const OperatorRecord& op : query.ops) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,12 @@ namespace qpp {
 ///
 /// Built models are cached by structural key, so later queries sharing
 /// sub-plans pay nothing — the "custom model" cost is incurred once.
+///
+/// PredictQuery is const and thread-safe: the model cache is an internal
+/// detail guarded by a mutex, so immutable predictor snapshots can be served
+/// concurrently (see serve/registry.h). Concurrent predictions serialize on
+/// the cache lock; the occasional on-demand model build happens under it,
+/// which keeps "built exactly once per structure" trivially true.
 class OnlinePredictor {
  public:
   /// `training` must outlive the predictor. `op_models` are the pre-built
@@ -28,26 +35,35 @@ class OnlinePredictor {
 
   /// Prediction for a (possibly unforeseen) query, building sub-plan models
   /// online as needed.
-  double PredictQuery(const QueryRecord& query, FeatureMode mode);
+  double PredictQuery(const QueryRecord& query, FeatureMode mode) const;
 
   /// Number of plan-level models built so far (cached across queries).
-  int models_built() const { return models_built_; }
+  int models_built() const;
+
+  /// Re-points the operator-model set. Needed when the owner holding both
+  /// this predictor and the (by-value) model set is moved: the set's address
+  /// changes with the move, the cached training data does not.
+  void set_op_models(const OperatorModelSet* op_models) {
+    op_models_ = op_models;
+  }
 
  private:
   /// Returns the cached (possibly absent) model for a structural key,
-  /// building and gating it on first request.
-  const PlanLevelModel* GetOrBuild(const std::string& key);
+  /// building and gating it on first request. Caller must hold mu_.
+  const PlanLevelModel* GetOrBuild(const std::string& key) const;
 
   std::vector<const QueryRecord*> training_;
   const OperatorModelSet* op_models_;
   PlanModelConfig plan_config_;
   int min_occurrences_;
-  /// Occurrence index over the training data.
+  /// Occurrence index over the training data (immutable after construction).
   std::map<std::string, std::vector<PlanOccurrence>> occurrences_;
+
+  mutable std::mutex mu_;
   /// Cache: key -> accepted model, or nullopt when building was attempted
-  /// and rejected.
-  std::map<std::string, std::optional<PlanLevelModel>> cache_;
-  int models_built_ = 0;
+  /// and rejected. Guarded by mu_.
+  mutable std::map<std::string, std::optional<PlanLevelModel>> cache_;
+  mutable int models_built_ = 0;
 };
 
 }  // namespace qpp

@@ -18,6 +18,36 @@ const char* PredictionMethodName(PredictionMethod m) {
   return "?";
 }
 
+QueryPerformancePredictor::QueryPerformancePredictor(
+    QueryPerformancePredictor&& other) noexcept
+    : config_(std::move(other.config_)),
+      trained_(other.trained_),
+      training_log_(std::move(other.training_log_)),
+      training_refs_(std::move(other.training_refs_)),
+      hybrid_(std::move(other.hybrid_)),
+      global_plan_model_(std::move(other.global_plan_model_)),
+      cost_baseline_(std::move(other.cost_baseline_)),
+      online_(std::move(other.online_)) {
+  other.trained_ = false;
+  if (online_ != nullptr) online_->set_op_models(&hybrid_.operator_models());
+}
+
+QueryPerformancePredictor& QueryPerformancePredictor::operator=(
+    QueryPerformancePredictor&& other) noexcept {
+  if (this == &other) return *this;
+  config_ = std::move(other.config_);
+  trained_ = other.trained_;
+  other.trained_ = false;
+  training_log_ = std::move(other.training_log_);
+  training_refs_ = std::move(other.training_refs_);
+  hybrid_ = std::move(other.hybrid_);
+  global_plan_model_ = std::move(other.global_plan_model_);
+  cost_baseline_ = std::move(other.cost_baseline_);
+  online_ = std::move(other.online_);
+  if (online_ != nullptr) online_->set_op_models(&hybrid_.operator_models());
+  return *this;
+}
+
 Status QueryPerformancePredictor::Train(const QueryLog& log) {
   if (log.queries.empty()) {
     return Status::InvalidArgument("empty training log");
@@ -81,7 +111,7 @@ Status QueryPerformancePredictor::Train(const QueryLog& log) {
 }
 
 Result<double> QueryPerformancePredictor::PredictLatencyMs(
-    const QueryRecord& query) {
+    const QueryRecord& query) const {
   if (!trained_) return Status::InvalidArgument("predictor not trained");
   if (query.ops.empty()) return Status::InvalidArgument("empty query record");
   switch (config_.method) {
@@ -98,12 +128,12 @@ Result<double> QueryPerformancePredictor::PredictLatencyMs(
   return Status::Internal("unreachable");
 }
 
-Status QueryPerformancePredictor::SaveModels(const std::string& path) const {
+Result<std::string> QueryPerformancePredictor::SerializeModels() const {
   if (!trained_) return Status::InvalidArgument("predictor not trained");
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
-  out << "qpp models v1\n";
+  std::ostringstream out;
+  out << "qpp models v2\n";
   out << "method " << static_cast<int>(config_.method) << "\n";
+  out << "feature_mode " << static_cast<int>(config_.feature_mode) << "\n";
   switch (config_.method) {
     case PredictionMethod::kOptimizerCost:
       out << "costmodel " << cost_baseline_->Serialize() << "\n";
@@ -113,34 +143,70 @@ Status QueryPerformancePredictor::SaveModels(const std::string& path) const {
       break;
     case PredictionMethod::kOperatorLevel:
     case PredictionMethod::kHybrid:
-      out << "=== ops\n" << hybrid_.operator_models().Serialize() << "=== end\n";
-      for (const auto& [key, model] : hybrid_.plan_models()) {
-        out << "=== plan\n" << model.Serialize() << "=== end\n";
-      }
+      out << hybrid_.Serialize();
       break;
     case PredictionMethod::kOnline:
-      return Status::NotImplemented("online models are built per query");
+      // Operator models plus the training corpus: the online sub-plan model
+      // cache is rebuilt deterministically (seeded training) on demand, so
+      // a reloaded predictor gives bitwise-identical predictions.
+      out << hybrid_.Serialize();
+      out << "=== log\n";
+      training_log_.WriteTo(out);
+      out << "=== endlog\n";
+      break;
   }
-  if (!out.good()) return Status::IOError("write failed");
-  return Status::OK();
+  return out.str();
 }
 
-Status QueryPerformancePredictor::LoadModels(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
+Status QueryPerformancePredictor::LoadModelsFromText(
+    const std::string& text, const std::string& source_name) {
+  std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "qpp models v1") {
-    return Status::IOError("not a qpp model file");
+  if (!std::getline(in, line) ||
+      (line != "qpp models v2" && line != "qpp models v1")) {
+    return Status::IOError(source_name + ": not a qpp model payload");
   }
   if (!std::getline(in, line) || line.rfind("method ", 0) != 0) {
-    return Status::IOError("missing method line");
+    return Status::IOError(source_name + ": missing method line");
   }
-  config_.method = static_cast<PredictionMethod>(std::stoi(line.substr(7)));
+  const int method_int = std::atoi(line.c_str() + 7);
+  if (method_int < static_cast<int>(PredictionMethod::kOptimizerCost) ||
+      method_int > static_cast<int>(PredictionMethod::kOnline)) {
+    return Status::IOError(source_name + ": unknown prediction method " +
+                           std::to_string(method_int));
+  }
+  config_.method = static_cast<PredictionMethod>(method_int);
+  trained_ = false;
+  online_.reset();
+  cost_baseline_.reset();
   hybrid_ = HybridModel(config_.hybrid);
+  bool have_log = false;
   while (std::getline(in, line)) {
-    if (line.rfind("costmodel ", 0) == 0) {
+    if (line.rfind("feature_mode ", 0) == 0) {
+      config_.feature_mode =
+          static_cast<FeatureMode>(std::atoi(line.c_str() + 13));
+    } else if (line.rfind("costmodel ", 0) == 0) {
       QPP_ASSIGN_OR_RETURN(cost_baseline_, DeserializeModel(line.substr(10)));
+    } else if (line == "hybridmodel v1") {
+      std::string payload = line + "\n";
+      while (std::getline(in, line)) {
+        payload += line + "\n";
+        if (line == "=== endhybrid") break;
+      }
+      QPP_ASSIGN_OR_RETURN(hybrid_,
+                           HybridModel::Deserialize(payload, config_.hybrid));
+    } else if (line == "=== log") {
+      std::string payload;
+      while (std::getline(in, line) && line != "=== endlog") {
+        payload += line + "\n";
+      }
+      std::istringstream log_in(payload);
+      QPP_ASSIGN_OR_RETURN(
+          training_log_,
+          QueryLog::LoadFromStream(log_in, source_name + " (embedded log)"));
+      have_log = true;
     } else if (line == "=== ops" || line == "=== plan") {
+      // Bare sections: v1 files and the kPlanLevel global model.
       const bool is_ops = line == "=== ops";
       std::string payload;
       while (std::getline(in, line) && line != "=== end") {
@@ -161,8 +227,63 @@ Status QueryPerformancePredictor::LoadModels(const std::string& path) {
       }
     }
   }
+  switch (config_.method) {
+    case PredictionMethod::kOptimizerCost:
+      if (cost_baseline_ == nullptr) {
+        return Status::IOError(source_name + ": missing costmodel line");
+      }
+      break;
+    case PredictionMethod::kPlanLevel:
+      if (!global_plan_model_.trained()) {
+        return Status::IOError(source_name + ": missing plan model section");
+      }
+      break;
+    case PredictionMethod::kOperatorLevel:
+    case PredictionMethod::kHybrid:
+      if (!hybrid_.operator_models().trained()) {
+        return Status::IOError(source_name +
+                               ": missing operator model section");
+      }
+      break;
+    case PredictionMethod::kOnline: {
+      if (!hybrid_.operator_models().trained()) {
+        return Status::IOError(source_name +
+                               ": missing operator model section");
+      }
+      if (!have_log || training_log_.queries.empty()) {
+        return Status::IOError(source_name +
+                               ": online method needs an embedded log");
+      }
+      training_refs_.clear();
+      training_refs_.reserve(training_log_.queries.size());
+      for (const QueryRecord& q : training_log_.queries) {
+        training_refs_.push_back(&q);
+      }
+      online_ = std::make_unique<OnlinePredictor>(
+          training_refs_, &hybrid_.operator_models(),
+          config_.hybrid.plan_config, config_.hybrid.min_occurrences);
+      break;
+    }
+  }
   trained_ = true;
   return Status::OK();
+}
+
+Status QueryPerformancePredictor::SaveModels(const std::string& path) const {
+  QPP_ASSIGN_OR_RETURN(const std::string text, SerializeModels());
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << text;
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status QueryPerformancePredictor::LoadModels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadModelsFromText(buf.str(), path);
 }
 
 }  // namespace qpp

@@ -45,11 +45,27 @@ struct PredictorConfig {
 ///   QueryPerformancePredictor predictor(config);
 ///   predictor.Train(training_log);
 ///   double ms = *predictor.PredictLatencyMs(record_of_new_plan);
+///
+/// PredictLatencyMs is const and safe to call from multiple threads on a
+/// predictor that is no longer being mutated (Train/LoadModels complete);
+/// the serving layer (serve/registry.h) relies on exactly this to share
+/// immutable predictor snapshots across request threads.
 class QueryPerformancePredictor {
  public:
   QueryPerformancePredictor() = default;
   explicit QueryPerformancePredictor(PredictorConfig config)
       : config_(config) {}
+
+  /// Movable, not copyable. The move is member-wise except that the online
+  /// builder's pointer to the (by-value) operator-model set is re-pointed at
+  /// the destination; pointers into the training log survive the move of
+  /// the vector's heap buffer as-is.
+  QueryPerformancePredictor(QueryPerformancePredictor&& other) noexcept;
+  QueryPerformancePredictor& operator=(
+      QueryPerformancePredictor&& other) noexcept;
+  QueryPerformancePredictor(const QueryPerformancePredictor&) = delete;
+  QueryPerformancePredictor& operator=(const QueryPerformancePredictor&) =
+      delete;
 
   /// Trains the configured model stack. The log is copied; the predictor is
   /// self-contained afterwards.
@@ -58,7 +74,7 @@ class QueryPerformancePredictor {
   /// Predicted execution latency in ms for a query described by its
   /// operator records (estimates suffice; actuals are not read in
   /// kEstimate mode).
-  Result<double> PredictLatencyMs(const QueryRecord& query);
+  Result<double> PredictLatencyMs(const QueryRecord& query) const;
 
   bool trained() const { return trained_; }
   const PredictorConfig& config() const { return config_; }
@@ -66,12 +82,23 @@ class QueryPerformancePredictor {
   /// Underlying hybrid stack (operator + plan models), for inspection.
   const HybridModel& hybrid() const { return hybrid_; }
 
-  /// Persists the materialized models (operator set + plan-level models) so
-  /// future sessions can predict without retraining.
+  /// Serializes the materialized models to text (the payload SaveModels
+  /// writes). Every method is supported; kOnline persists its operator
+  /// models plus the training log, from which sub-plan models are rebuilt
+  /// deterministically on demand after loading.
+  Result<std::string> SerializeModels() const;
+
+  /// Restores models from SerializeModels() output. `source_name` labels
+  /// parse errors (a file path, "<memory>", ...).
+  Status LoadModelsFromText(const std::string& text,
+                            const std::string& source_name = "<memory>");
+
+  /// Persists the materialized models so future sessions (or other
+  /// processes — see serve/model_store.h for the checksummed bundle format)
+  /// can predict without retraining.
   Status SaveModels(const std::string& path) const;
 
-  /// Restores models persisted by SaveModels. Not supported for kOnline
-  /// (whose models are built per query) — train instead.
+  /// Restores models persisted by SaveModels.
   Status LoadModels(const std::string& path);
 
  private:

@@ -1,0 +1,45 @@
+#include "serve/admission.h"
+
+namespace qpp::serve {
+
+const char* QueryRouteName(QueryRoute r) {
+  switch (r) {
+    case QueryRoute::kInteractive: return "interactive";
+    case QueryRoute::kBatch: return "batch";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(PredictionService* service,
+                                         AdmissionConfig config)
+    : service_(service), config_(config) {}
+
+Result<AdmissionController::Decision> AdmissionController::Route(
+    const QueryRecord& query) const {
+  auto predicted = service_->Predict(query);
+  if (!predicted.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return predicted.status();
+  }
+  Decision d;
+  d.predicted_ms = predicted->predicted_ms;
+  d.model_version = predicted->model_version;
+  d.route = d.predicted_ms > config_.slo_ms ? QueryRoute::kBatch
+                                            : QueryRoute::kInteractive;
+  if (d.route == QueryRoute::kBatch) {
+    batch_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    interactive_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+AdmissionStats AdmissionController::Stats() const {
+  AdmissionStats s;
+  s.interactive = interactive_.load(std::memory_order_relaxed);
+  s.batch = batch_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace qpp::serve

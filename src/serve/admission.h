@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/service.h"
+
+namespace qpp::serve {
+
+/// Where an arriving query should execute.
+enum class QueryRoute {
+  /// Predicted to meet the interactive SLO.
+  kInteractive,
+  /// Predicted to exceed it — routed to the batch queue.
+  kBatch,
+};
+
+const char* QueryRouteName(QueryRoute r);
+
+struct AdmissionConfig {
+  /// Latency SLO of the interactive queue, ms. Predictions above it route
+  /// to batch.
+  double slo_ms = 60.0;
+};
+
+/// Routing counters since construction.
+struct AdmissionStats {
+  uint64_t interactive = 0;
+  uint64_t batch = 0;
+  /// Requests that could not be routed (no model, malformed record); the
+  /// caller decides the fail-open/fail-closed policy for these.
+  uint64_t errors = 0;
+};
+
+/// \brief The paper's motivating use case (Section 1) as a serving
+/// component: a resource manager that routes each arriving query to the
+/// interactive or batch queue from its *predicted* latency, before anything
+/// executes. Thread-safe; routing consumes the PredictionService (and so
+/// always sees the registry's current hot-swapped model).
+class AdmissionController {
+ public:
+  /// One routing decision, with the evidence it was made on.
+  struct Decision {
+    QueryRoute route = QueryRoute::kInteractive;
+    double predicted_ms = 0.0;
+    /// Model version the decision was based on.
+    uint64_t model_version = 0;
+  };
+
+  /// `service` must outlive the controller.
+  AdmissionController(PredictionService* service, AdmissionConfig config);
+
+  /// Routes one arriving query.
+  Result<Decision> Route(const QueryRecord& query) const;
+
+  AdmissionStats Stats() const;
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  PredictionService* service_;
+  AdmissionConfig config_;
+  mutable std::atomic<uint64_t> interactive_{0};
+  mutable std::atomic<uint64_t> batch_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace qpp::serve

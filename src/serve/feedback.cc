@@ -1,0 +1,139 @@
+#include "serve/feedback.h"
+
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace qpp::serve {
+namespace {
+
+double RelErr(double actual, double estimate) {
+  if (actual == 0.0) return 0.0;
+  return std::abs(actual - estimate) / std::abs(actual);
+}
+
+}  // namespace
+
+FeedbackLoop::FeedbackLoop(ModelRegistry* registry, FeedbackConfig config,
+                           ThreadPool* pool)
+    : registry_(registry),
+      pool_(pool != nullptr ? pool : ThreadPool::Global()),
+      config_(std::move(config)) {}
+
+FeedbackLoop::~FeedbackLoop() { WaitForRetrain(); }
+
+void FeedbackLoop::WaitForRetrain() {
+  // Loop instead of a single wait: a trigger marks the retrain in-flight
+  // before its future lands in retrain_future_, so drain until both the
+  // stored future is consumed and no retrain is marked in-flight.
+  while (true) {
+    std::future<Status> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (retrain_future_.valid()) pending = std::move(retrain_future_);
+    }
+    if (pending.valid()) {
+      pending.wait();
+      continue;
+    }
+    if (!retrain_in_flight_.load()) return;
+    std::this_thread::yield();
+  }
+}
+
+Status FeedbackLoop::Observe(const QueryRecord& executed) {
+  // Score the current published model on this observation. A prediction
+  // failure (no model yet, unforeseen shape) contributes no error sample but
+  // the record still feeds the retrain corpus.
+  auto snapshot = registry_->Current();
+  std::optional<QueryLog> retrain_corpus;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snapshot != nullptr && executed.latency_ms > 0) {
+      auto predicted = snapshot->predictor->PredictLatencyMs(executed);
+      if (predicted.ok()) {
+        window_.push_back(RelErr(executed.latency_ms, *predicted));
+        while (window_.size() > config_.window_size) window_.pop_front();
+      }
+    }
+    corpus_.queries.push_back(executed);
+    while (corpus_.queries.size() > config_.max_retained_queries) {
+      corpus_.queries.erase(corpus_.queries.begin());
+    }
+    retrain_corpus = MaybeBeginRetrainLocked();
+  }
+  if (retrain_corpus.has_value()) {
+    auto future = pool_->Submit(
+        [this, corpus = std::move(*retrain_corpus)]() mutable {
+          return RetrainAndPublish(std::move(corpus));
+        });
+    std::lock_guard<std::mutex> lock(mu_);
+    retrain_future_ = std::move(future);
+  }
+  if (!config_.log_path.empty()) {
+    return AppendRecordToFile(executed, config_.log_path);
+  }
+  return Status::OK();
+}
+
+double FeedbackLoop::WindowedError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.empty()) return 0.0;
+  double total = 0.0;
+  for (double e : window_) total += e;
+  return total / static_cast<double>(window_.size());
+}
+
+size_t FeedbackLoop::window_fill() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.size();
+}
+
+size_t FeedbackLoop::corpus_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corpus_.queries.size();
+}
+
+Status FeedbackLoop::last_retrain_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_retrain_status_;
+}
+
+std::optional<QueryLog> FeedbackLoop::MaybeBeginRetrainLocked() {
+  if (retrain_in_flight_.load()) return std::nullopt;
+  if (window_.size() < config_.min_observations) return std::nullopt;
+  if (corpus_.queries.size() < config_.min_retrain_queries) return std::nullopt;
+  double total = 0.0;
+  for (double e : window_) total += e;
+  const double mean = total / static_cast<double>(window_.size());
+  if (mean <= config_.drift_threshold) return std::nullopt;
+
+  retrain_in_flight_.store(true);
+  retrains_triggered_.fetch_add(1);
+  // Snapshot the corpus for the background task; training works on the
+  // copy, so Observe keeps accumulating meanwhile.
+  return corpus_;
+}
+
+Status FeedbackLoop::RetrainAndPublish(QueryLog corpus) {
+  auto predictor =
+      std::make_shared<QueryPerformancePredictor>(config_.retrain_config);
+  Status st = predictor->Train(corpus);
+  if (st.ok()) {
+    const uint64_t published = retrains_published_.fetch_add(1) + 1;
+    registry_->Publish(std::move(predictor),
+                       "retrain#" + std::to_string(published));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_retrain_status_ = st;
+    if (st.ok()) {
+      // Restart drift measurement against the freshly published model.
+      window_.clear();
+    }
+  }
+  retrain_in_flight_.store(false);
+  return st;
+}
+
+}  // namespace qpp::serve

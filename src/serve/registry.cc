@@ -1,0 +1,23 @@
+#include "serve/registry.h"
+
+#include <cassert>
+
+namespace qpp::serve {
+
+uint64_t ModelRegistry::Publish(
+    std::shared_ptr<const QueryPerformancePredictor> predictor,
+    std::string source) {
+  assert(predictor != nullptr && predictor->trained());
+  auto version = std::make_shared<ModelVersion>();
+  version->source = std::move(source);
+  version->predictor = std::move(predictor);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  version->version = publishes_.fetch_add(1) + 1;
+  const uint64_t v = version->version;
+  const ModelVersion* raw = version.get();
+  history_.push_back(std::move(version));
+  current_.store(raw, std::memory_order_release);
+  return v;
+}
+
+}  // namespace qpp::serve

@@ -1,0 +1,97 @@
+#include "serve/service.h"
+
+#include <chrono>
+
+namespace qpp::serve {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+PredictionService::PredictionService(ModelRegistry* registry, ThreadPool* pool)
+    : registry_(registry),
+      pool_(pool != nullptr ? pool : ThreadPool::Global()) {}
+
+void PredictionService::RecordLatency(uint64_t ns) const {
+  latency_ns_total_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t prev = latency_ns_max_.load(std::memory_order_relaxed);
+  while (ns > prev &&
+         !latency_ns_max_.compare_exchange_weak(prev, ns,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+Result<PredictionService::Prediction> PredictionService::PredictOnSnapshot(
+    const ModelVersion& snapshot, const QueryRecord& query) const {
+  const uint64_t t0 = NowNs();
+  auto predicted = snapshot.predictor->PredictLatencyMs(query);
+  const uint64_t elapsed = NowNs() - t0;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RecordLatency(elapsed);
+  last_version_.store(snapshot.version, std::memory_order_relaxed);
+  if (!predicted.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return predicted.status();
+  }
+  return Prediction{*predicted, snapshot.version};
+}
+
+Result<PredictionService::Prediction> PredictionService::Predict(
+    const QueryRecord& query) const {
+  auto snapshot = registry_->Current();
+  if (snapshot == nullptr) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("no model published yet");
+  }
+  return PredictOnSnapshot(*snapshot, query);
+}
+
+Result<std::vector<PredictionService::Prediction>>
+PredictionService::PredictBatch(const std::vector<QueryRecord>& queries) const {
+  auto snapshot = registry_->Current();
+  if (snapshot == nullptr) {
+    requests_.fetch_add(queries.size(), std::memory_order_relaxed);
+    errors_.fetch_add(queries.size(), std::memory_order_relaxed);
+    return Status::NotFound("no model published yet");
+  }
+  std::vector<Prediction> out(queries.size());
+  Status st = pool_->ParallelFor(queries.size(), [&](size_t i) {
+    QPP_ASSIGN_OR_RETURN(out[i], PredictOnSnapshot(*snapshot, queries[i]));
+    return Status::OK();
+  });
+  QPP_RETURN_NOT_OK(st);
+  return out;
+}
+
+ServiceStats PredictionService::Stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  const double total_us =
+      static_cast<double>(latency_ns_total_.load(std::memory_order_relaxed)) /
+      1e3;
+  s.mean_latency_us =
+      s.requests == 0 ? 0.0 : total_us / static_cast<double>(s.requests);
+  s.max_latency_us =
+      static_cast<double>(latency_ns_max_.load(std::memory_order_relaxed)) /
+      1e3;
+  s.last_version = last_version_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PredictionService::ResetStats() {
+  requests_.store(0);
+  errors_.store(0);
+  latency_ns_total_.store(0);
+  latency_ns_max_.store(0);
+  last_version_.store(0);
+}
+
+}  // namespace qpp::serve

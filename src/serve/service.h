@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/registry.h"
+
+namespace qpp::serve {
+
+/// Point-in-time counters of a PredictionService (all since construction or
+/// the last ResetStats).
+struct ServiceStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  /// Mean / max per-request prediction latency, microseconds.
+  double mean_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Model version served by the most recent request (0 if none yet).
+  uint64_t last_version = 0;
+};
+
+/// \brief Concurrent query-performance prediction front end — the
+/// "prediction at query arrival time" interface the paper's resource-manager
+/// use case needs (Section 1).
+///
+/// Predict() is safe to call from any number of threads: each request takes
+/// an immutable registry snapshot (never blocked by a concurrent hot-swap),
+/// predicts against it, and updates lock-free counters. PredictBatch fans a
+/// batch out over the shared ThreadPool, with every element served from one
+/// consistent snapshot.
+class PredictionService {
+ public:
+  /// One answered prediction request.
+  struct Prediction {
+    double predicted_ms = 0.0;
+    /// The model version that served the request (for staleness tracking).
+    uint64_t model_version = 0;
+  };
+
+  /// `registry` must outlive the service. `pool` is used by PredictBatch
+  /// only; null means ThreadPool::Global().
+  explicit PredictionService(ModelRegistry* registry,
+                             ThreadPool* pool = nullptr);
+
+  /// Predicts latency for one query against the current model snapshot.
+  /// Fails (and counts an error) when no model has been published yet or
+  /// the record is malformed.
+  Result<Prediction> Predict(const QueryRecord& query) const;
+
+  /// Predicts a whole batch in parallel on the thread pool, all elements
+  /// against the same snapshot. Fails wholesale when no model is published;
+  /// per-element failures fail the batch with the first error.
+  Result<std::vector<Prediction>> PredictBatch(
+      const std::vector<QueryRecord>& queries) const;
+
+  ServiceStats Stats() const;
+  void ResetStats();
+
+  ModelRegistry* registry() const { return registry_; }
+
+ private:
+  Result<Prediction> PredictOnSnapshot(const ModelVersion& snapshot,
+                                       const QueryRecord& query) const;
+  void RecordLatency(uint64_t ns) const;
+
+  ModelRegistry* registry_;
+  ThreadPool* pool_;
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> latency_ns_total_{0};
+  mutable std::atomic<uint64_t> latency_ns_max_{0};
+  mutable std::atomic<uint64_t> last_version_{0};
+};
+
+}  // namespace qpp::serve

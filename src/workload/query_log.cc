@@ -1,5 +1,6 @@
 #include "workload/query_log.h"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -58,6 +59,95 @@ std::string KeyOf(const QueryRecord& q, int node_index,
   return key;
 }
 
+/// Reversible escaping for free-text fields embedded in the '|'-separated
+/// format: '\' -> "\\", '|' -> "\p", newline -> "\n", CR -> "\r". Strings
+/// without backslashes (all logs written before escaping existed) unescape
+/// to themselves, so old files keep loading unchanged.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '|': out += "\\p"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\': out += '\\'; break;
+      case 'p': out += '|'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:  // unknown escape: keep verbatim (forward compatibility)
+        out += '\\';
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Splits on '|' keeping empty fields (including a trailing one), unlike
+/// std::getline-in-a-loop which silently drops a trailing empty field and
+/// made records with an empty final column unreadable.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+}
+
+Status ParseError(const std::string& source, int line_no,
+                  const std::string& what) {
+  return Status::IOError(source + ":" + std::to_string(line_no) + ": " + what);
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+void WriteRecord(std::ostream& out, const QueryRecord& q) {
+  out << "Q|" << q.template_id << "|" << q.latency_ms << "|"
+      << EscapeField(q.param_desc) << "\n";
+  for (const auto& o : q.ops) {
+    out << "O|" << o.node_id << "|" << o.parent_id << "|" << o.left_child
+        << "|" << o.right_child << "|" << static_cast<int>(o.op) << "|"
+        << static_cast<int>(o.join_type) << "|" << EscapeField(o.relation)
+        << "|" << o.est.startup_cost << "|" << o.est.total_cost << "|"
+        << o.est.rows << "|" << o.est.width << "|" << o.est.pages << "|"
+        << o.est.selectivity << "|" << (o.actual.valid ? 1 : 0) << "|"
+        << o.actual.start_time_ms << "|" << o.actual.run_time_ms << "|"
+        << o.actual.rows << "|" << o.actual.pages << "\n";
+  }
+}
+
 }  // namespace
 
 int QueryRecord::IndexOfNode(int node_id) const {
@@ -88,79 +178,118 @@ void RecomputeStructuralKeys(QueryRecord* record) {
   }
 }
 
+void QueryLog::WriteTo(std::ostream& out) const {
+  out.precision(17);
+  out << "# qpp query log v2\n";
+  for (const auto& q : queries) WriteRecord(out, q);
+}
+
 Status QueryLog::SaveToFile(const std::string& path) const {
   std::ofstream out(path);
   if (!out.is_open()) return Status::IOError("cannot open " + path);
-  out.precision(17);
-  out << "# qpp query log v1\n";
-  for (const auto& q : queries) {
-    std::string param = q.param_desc;
-    for (char& c : param) {
-      if (c == '|' || c == '\n') c = ';';
-    }
-    out << "Q|" << q.template_id << "|" << q.latency_ms << "|" << param << "\n";
-    for (const auto& o : q.ops) {
-      out << "O|" << o.node_id << "|" << o.parent_id << "|" << o.left_child
-          << "|" << o.right_child << "|" << static_cast<int>(o.op) << "|"
-          << static_cast<int>(o.join_type) << "|" << o.relation << "|"
-          << o.est.startup_cost << "|" << o.est.total_cost << "|" << o.est.rows
-          << "|" << o.est.width << "|" << o.est.pages << "|"
-          << o.est.selectivity << "|" << (o.actual.valid ? 1 : 0) << "|"
-          << o.actual.start_time_ms << "|" << o.actual.run_time_ms << "|"
-          << o.actual.rows << "|" << o.actual.pages << "\n";
-    }
-  }
+  WriteTo(out);
   if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status AppendRecordToFile(const QueryRecord& record, const std::string& path) {
+  const bool exists = [&] {
+    std::ifstream probe(path);
+    return probe.is_open();
+  }();
+  std::ofstream out(path, std::ios::app);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out.precision(17);
+  if (!exists) out << "# qpp query log v2\n";
+  WriteRecord(out, record);
+  if (!out.good()) return Status::IOError("append failed: " + path);
   return Status::OK();
 }
 
 Result<QueryLog> QueryLog::LoadFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return LoadFromStream(in, path);
+}
+
+Result<QueryLog> QueryLog::LoadFromStream(std::istream& in,
+                                          const std::string& source_name) {
   QueryLog log;
   std::string line;
+  int line_no = 0;
+  std::vector<int> q_lines;  // source line of each Q record, for diagnostics
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::vector<std::string> fields;
-    std::stringstream ss(line);
-    std::string field;
-    while (std::getline(ss, field, '|')) fields.push_back(field);
-    if (fields.empty()) continue;
+    const std::vector<std::string> fields = SplitFields(line);
     if (fields[0] == "Q") {
-      if (fields.size() < 4) return Status::IOError("malformed Q line");
+      if (fields.size() != 4) {
+        return ParseError(source_name, line_no,
+                          "Q line needs 4 fields, got " +
+                              std::to_string(fields.size()));
+      }
       QueryRecord q;
-      q.template_id = std::stoi(fields[1]);
-      q.latency_ms = std::stod(fields[2]);
-      q.param_desc = fields[3];
+      if (!ParseInt(fields[1], &q.template_id)) {
+        return ParseError(source_name, line_no,
+                          "bad template id '" + fields[1] + "'");
+      }
+      if (!ParseDouble(fields[2], &q.latency_ms)) {
+        return ParseError(source_name, line_no,
+                          "bad latency '" + fields[2] + "'");
+      }
+      q.param_desc = UnescapeField(fields[3]);
       log.queries.push_back(std::move(q));
+      q_lines.push_back(line_no);
     } else if (fields[0] == "O") {
-      if (fields.size() < 19) return Status::IOError("malformed O line");
-      if (log.queries.empty()) return Status::IOError("O line before Q line");
+      if (fields.size() != 19) {
+        return ParseError(source_name, line_no,
+                          "O line needs 19 fields, got " +
+                              std::to_string(fields.size()));
+      }
+      if (log.queries.empty()) {
+        return ParseError(source_name, line_no, "O line before any Q line");
+      }
       OperatorRecord o;
-      o.node_id = std::stoi(fields[1]);
-      o.parent_id = std::stoi(fields[2]);
-      o.left_child = std::stoi(fields[3]);
-      o.right_child = std::stoi(fields[4]);
-      o.op = static_cast<PlanOp>(std::stoi(fields[5]));
-      o.join_type = static_cast<JoinType>(std::stoi(fields[6]));
-      o.relation = fields[7];
-      o.est.startup_cost = std::stod(fields[8]);
-      o.est.total_cost = std::stod(fields[9]);
-      o.est.rows = std::stod(fields[10]);
-      o.est.width = std::stod(fields[11]);
-      o.est.pages = std::stod(fields[12]);
-      o.est.selectivity = std::stod(fields[13]);
-      o.actual.valid = fields[14] == "1";
-      o.actual.start_time_ms = std::stod(fields[15]);
-      o.actual.run_time_ms = std::stod(fields[16]);
-      o.actual.rows = std::stod(fields[17]);
-      o.actual.pages = std::stod(fields[18]);
+      int op_int = 0, join_int = 0, valid_int = 0;
+      const bool ints_ok =
+          ParseInt(fields[1], &o.node_id) && ParseInt(fields[2], &o.parent_id) &&
+          ParseInt(fields[3], &o.left_child) &&
+          ParseInt(fields[4], &o.right_child) && ParseInt(fields[5], &op_int) &&
+          ParseInt(fields[6], &join_int) && ParseInt(fields[14], &valid_int);
+      const bool doubles_ok = ParseDouble(fields[8], &o.est.startup_cost) &&
+                              ParseDouble(fields[9], &o.est.total_cost) &&
+                              ParseDouble(fields[10], &o.est.rows) &&
+                              ParseDouble(fields[11], &o.est.width) &&
+                              ParseDouble(fields[12], &o.est.pages) &&
+                              ParseDouble(fields[13], &o.est.selectivity) &&
+                              ParseDouble(fields[15], &o.actual.start_time_ms) &&
+                              ParseDouble(fields[16], &o.actual.run_time_ms) &&
+                              ParseDouble(fields[17], &o.actual.rows) &&
+                              ParseDouble(fields[18], &o.actual.pages);
+      if (!ints_ok || !doubles_ok) {
+        return ParseError(source_name, line_no, "unparseable number in O line");
+      }
+      if (op_int < 0 || op_int >= kNumPlanOps) {
+        return ParseError(source_name, line_no,
+                          "operator type " + std::to_string(op_int) +
+                              " out of range");
+      }
+      o.op = static_cast<PlanOp>(op_int);
+      o.join_type = static_cast<JoinType>(join_int);
+      o.relation = UnescapeField(fields[7]);
+      o.actual.valid = valid_int == 1;
       log.queries.back().ops.push_back(std::move(o));
+    } else {
+      return ParseError(source_name, line_no,
+                        "unknown record tag '" + fields[0] + "'");
     }
   }
-  for (auto& q : log.queries) {
-    if (q.ops.empty()) return Status::IOError("query with no operators");
-    RecomputeStructuralKeys(&q);
+  for (size_t i = 0; i < log.queries.size(); ++i) {
+    if (log.queries[i].ops.empty()) {
+      return ParseError(source_name, q_lines[i],
+                        "query " + std::to_string(i) + " has no operators");
+    }
+    RecomputeStructuralKeys(&log.queries[i]);
   }
   return log;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -53,9 +54,24 @@ struct QueryLog {
   /// Persists to a '|'-separated text file.
   Status SaveToFile(const std::string& path) const;
 
+  /// Writes the file format (header plus Q/O lines) to a stream.
+  void WriteTo(std::ostream& out) const;
+
   /// Reloads a log written by SaveToFile (structural keys recomputed).
+  /// Malformed input is reported as "<path>:<line>: <what>".
   static Result<QueryLog> LoadFromFile(const std::string& path);
+
+  /// Parses the file format from a stream; `source_name` labels parse
+  /// errors (a file path, or e.g. "<model bundle>" for embedded logs).
+  static Result<QueryLog> LoadFromStream(std::istream& in,
+                                         const std::string& source_name);
 };
+
+/// Appends one executed query to a log file in SaveToFile format, creating
+/// the file (with header) when absent. This is the serving-side durable
+/// feedback channel: each process appends records as queries finish, and a
+/// retrainer can LoadFromFile the accumulated log later.
+Status AppendRecordToFile(const QueryRecord& record, const std::string& path);
 
 /// Flattens an executed plan into a QueryRecord (pre-order, structural keys
 /// and subtree sizes computed).

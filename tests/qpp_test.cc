@@ -353,14 +353,27 @@ TEST_F(QppTest, PredictorModelMaterializationRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST_F(QppTest, OnlineModelsNotMaterializable) {
+TEST_F(QppTest, OnlineModelsMaterializeViaEmbeddedLog) {
+  // Online models build per-query sub-plan models on demand, so persistence
+  // serializes the operator models plus the training log and rebuilds the
+  // cache deterministically on load (seeded Rng, order-independent pool).
   PredictorConfig cfg;
   cfg.method = PredictionMethod::kOnline;
   cfg.hybrid.min_occurrences = 6;
   QueryPerformancePredictor predictor(cfg);
   ASSERT_TRUE(predictor.Train(*log_).ok());
-  EXPECT_EQ(predictor.SaveModels("/tmp/x").code(),
-            StatusCode::kNotImplemented);
+  const std::string path = ::testing::TempDir() + "/qpp_online_models.txt";
+  ASSERT_TRUE(predictor.SaveModels(path).ok());
+
+  QueryPerformancePredictor restored(cfg);
+  ASSERT_TRUE(restored.LoadModels(path).ok());
+  for (const QueryRecord& q : log_->queries) {
+    auto a = predictor.PredictLatencyMs(q);
+    auto b = restored.PredictLatencyMs(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,487 @@
+// Tests for the prediction serving subsystem (src/serve/): checksummed
+// model persistence, RCU-style registry hot-swap under concurrent load,
+// the feedback/retrain loop, and admission control on top of the service.
+//
+// Everything here runs on a fast synthetic workload (no TPC-H generation or
+// query execution) because this test is also part of the TSan tier-1 pass.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+#include "serve/admission.h"
+#include "serve/feedback.h"
+#include "serve/model_store.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+
+namespace qpp {
+namespace {
+
+using serve::AdmissionConfig;
+using serve::AdmissionController;
+using serve::FeedbackConfig;
+using serve::FeedbackLoop;
+using serve::ModelRegistry;
+using serve::PredictionService;
+
+OperatorRecord MakeOp(int node_id, int parent, int left, int right, PlanOp op,
+                      const std::string& rel, double rows, double cost,
+                      double start_ms, double run_ms) {
+  OperatorRecord o;
+  o.node_id = node_id;
+  o.parent_id = parent;
+  o.left_child = left;
+  o.right_child = right;
+  o.op = op;
+  o.relation = rel;
+  o.est.startup_cost = cost * 0.1;
+  o.est.total_cost = cost;
+  o.est.rows = rows;
+  o.est.width = 32.0;
+  o.est.pages = rows / 50.0 + 1.0;
+  o.est.selectivity = 0.4;
+  o.actual.valid = true;
+  o.actual.rows = rows * 1.1;
+  o.actual.pages = o.est.pages;
+  o.actual.start_time_ms = start_ms;
+  o.actual.run_time_ms = run_ms;
+  return o;
+}
+
+/// One synthetic executed query of the given plan shape. Latencies are
+/// near-linear in the size knob with a little deterministic noise, so the
+/// operator/plan models actually learn the workload. `latency_scale`
+/// multiplies every observed time — scale 1 is the base distribution,
+/// scale k simulates post-deployment drift (same plans, slower system).
+QueryRecord SyntheticQuery(int shape, double s, Rng* rng,
+                           double latency_scale) {
+  const double n1 = rng->UniformDouble(-0.1, 0.1);
+  const double n2 = rng->UniformDouble(-0.1, 0.1);
+  QueryRecord q;
+  q.template_id = 900 + shape;
+  q.param_desc = "s=" + std::to_string(s);
+  switch (shape) {
+    case 0: {
+      // HashAggregate(SeqScan(lineitem))
+      const double scan_run = (2.0 * s + 0.5 + n1) * latency_scale;
+      const double agg_run = scan_run + (1.5 * s + 0.3 + n2) * latency_scale;
+      q.ops.push_back(MakeOp(0, -1, 1, -1, PlanOp::kHashAggregate, "",
+                             8.0, 90.0 * s + 30.0, agg_run * 0.9, agg_run));
+      q.ops.push_back(MakeOp(1, 0, -1, -1, PlanOp::kSeqScan, "lineitem",
+                             1000.0 * s, 50.0 * s + 10.0, scan_run * 0.05,
+                             scan_run));
+      break;
+    }
+    case 1: {
+      // Sort(HashJoin(SeqScan(orders), SeqScan(lineitem)))
+      const double o_run = (1.0 * s + 0.2 + n1) * latency_scale;
+      const double l_run = (3.0 * s + 0.4 + n2) * latency_scale;
+      const double j_run = o_run + l_run + (2.0 * s + 0.5) * latency_scale;
+      const double sort_run = j_run + (1.0 * s + 0.2) * latency_scale;
+      q.ops.push_back(MakeOp(0, -1, 1, -1, PlanOp::kSort, "", 300.0 * s,
+                             260.0 * s + 80.0, sort_run * 0.95, sort_run));
+      q.ops.push_back(MakeOp(1, 0, 2, 3, PlanOp::kHashJoin, "", 300.0 * s,
+                             200.0 * s + 60.0, o_run + 0.1, j_run));
+      q.ops.push_back(MakeOp(2, 1, -1, -1, PlanOp::kSeqScan, "orders",
+                             500.0 * s, 25.0 * s + 5.0, o_run * 0.05, o_run));
+      q.ops.push_back(MakeOp(3, 1, -1, -1, PlanOp::kSeqScan, "lineitem",
+                             1500.0 * s, 75.0 * s + 15.0, l_run * 0.05,
+                             l_run));
+      break;
+    }
+    default: {
+      // HashJoin(SeqScan(customer), IndexScan(orders))
+      const double c_run = (0.8 * s + 0.3 + n1) * latency_scale;
+      const double i_run = (1.2 * s + 0.2 + n2) * latency_scale;
+      const double j_run = c_run + i_run + (1.5 * s + 0.4) * latency_scale;
+      q.ops.push_back(MakeOp(0, -1, 1, 2, PlanOp::kHashJoin, "", 150.0 * s,
+                             120.0 * s + 40.0, c_run + 0.1, j_run));
+      q.ops.push_back(MakeOp(1, 0, -1, -1, PlanOp::kSeqScan, "customer",
+                             200.0 * s, 10.0 * s + 4.0, c_run * 0.05, c_run));
+      q.ops.push_back(MakeOp(2, 1, -1, -1, PlanOp::kIndexScan, "orders",
+                             180.0 * s, 9.0 * s + 6.0, i_run * 0.05, i_run));
+      break;
+    }
+  }
+  q.latency_ms = q.ops.front().actual.run_time_ms;
+  RecomputeStructuralKeys(&q);
+  return q;
+}
+
+QueryLog SyntheticLog(int n, double latency_scale = 1.0, uint64_t seed = 42) {
+  Rng rng(seed);
+  QueryLog log;
+  for (int i = 0; i < n; ++i) {
+    const int shape = i % 3;
+    const double s = 1.0 + static_cast<double>(i % 12);
+    log.queries.push_back(SyntheticQuery(shape, s, &rng, latency_scale));
+  }
+  return log;
+}
+
+PredictorConfig QuickConfig(PredictionMethod method) {
+  PredictorConfig cfg;
+  cfg.method = method;
+  cfg.hybrid.max_iterations = 3;
+  cfg.hybrid.min_occurrences = 6;
+  return cfg;
+}
+
+std::string TestDataDir() {
+  const std::string file = __FILE__;
+  return file.substr(0, file.find_last_of('/')) + "/testdata";
+}
+
+// ------------------------- persistence round-trips --------------------------
+
+class BundleMethodTest
+    : public ::testing::TestWithParam<PredictionMethod> {};
+
+TEST_P(BundleMethodTest, SaveLoadRoundTripIsBitwiseIdentical) {
+  const QueryLog log = SyntheticLog(120);
+  const PredictorConfig cfg = QuickConfig(GetParam());
+  QueryPerformancePredictor predictor(cfg);
+  ASSERT_TRUE(predictor.Train(log).ok());
+
+  const std::string path = ::testing::TempDir() + "/bundle_" +
+                           PredictionMethodName(GetParam()) + ".qppb";
+  ASSERT_TRUE(serve::SaveModelBundle(predictor, path).ok());
+  auto loaded = serve::LoadModelBundle(path, cfg);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->trained());
+  EXPECT_EQ(loaded->config().method, GetParam());
+
+  // Predict in lockstep (kOnline builds its model cache in request order,
+  // so interleaving keeps both caches on the same deterministic path), on
+  // training queries and on unseen ones. Bitwise equality, not tolerance.
+  const QueryLog unseen = SyntheticLog(30, 1.0, 777);
+  for (const QueryLog* probe : {&log, &unseen}) {
+    for (const QueryRecord& q : probe->queries) {
+      auto a = predictor.PredictLatencyMs(q);
+      auto b = loaded->PredictLatencyMs(q);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << PredictionMethodName(GetParam());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BundleMethodTest,
+                         ::testing::Values(PredictionMethod::kOptimizerCost,
+                                           PredictionMethod::kPlanLevel,
+                                           PredictionMethod::kOperatorLevel,
+                                           PredictionMethod::kHybrid,
+                                           PredictionMethod::kOnline));
+
+TEST(ModelStoreTest, HeaderIsReadableWithoutParsingModels) {
+  QueryPerformancePredictor predictor(QuickConfig(PredictionMethod::kHybrid));
+  ASSERT_TRUE(predictor.Train(SyntheticLog(60)).ok());
+  const std::string path = ::testing::TempDir() + "/bundle_header.qppb";
+  ASSERT_TRUE(serve::SaveModelBundle(predictor, path).ok());
+  auto info = serve::ReadModelBundleInfo(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->method, "hybrid");
+  EXPECT_GT(info->payload_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStoreTest, CorruptionAndTruncationAreDetected) {
+  QueryPerformancePredictor predictor(QuickConfig(PredictionMethod::kHybrid));
+  ASSERT_TRUE(predictor.Train(SyntheticLog(60)).ok());
+  const std::string path = ::testing::TempDir() + "/bundle_corrupt.qppb";
+  ASSERT_TRUE(serve::SaveModelBundle(predictor, path).ok());
+
+  // Flip one payload byte.
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  std::string corrupt = content;
+  corrupt[corrupt.size() - 10] ^= 0x20;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << corrupt;
+  }
+  auto st = serve::LoadModelBundle(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("checksum mismatch"),
+            std::string::npos);
+  EXPECT_NE(st.status().message().find(path), std::string::npos);
+
+  // Truncate the payload.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << content.substr(0, content.size() - 40);
+  }
+  st = serve::LoadModelBundle(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("truncated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// A committed golden bundle guards the persistence format: if Serialize or
+// the bundle layout drifts incompatibly, this fails even though fresh
+// save/load round-trips keep passing. Regenerate (after an intentional
+// format change) with:
+//   QPP_REGEN_GOLDEN=1 ./serve_test --gtest_filter='*Golden*'
+TEST(ModelStoreTest, GoldenBundleStillLoadsAndPredicts) {
+  const std::string bundle_path = TestDataDir() + "/golden_hybrid.qppb";
+  const std::string expected_path = TestDataDir() + "/golden_hybrid.expected";
+  const QueryLog probes = SyntheticLog(12, 1.0, 777);
+
+  if (std::getenv("QPP_REGEN_GOLDEN") != nullptr) {
+    QueryPerformancePredictor predictor(
+        QuickConfig(PredictionMethod::kHybrid));
+    ASSERT_TRUE(predictor.Train(SyntheticLog(120)).ok());
+    ASSERT_TRUE(serve::SaveModelBundle(predictor, bundle_path).ok());
+    std::ofstream exp(expected_path);
+    exp.precision(17);
+    for (const QueryRecord& q : probes.queries) {
+      exp << *predictor.PredictLatencyMs(q) << "\n";
+    }
+    GTEST_SKIP() << "regenerated golden bundle at " << bundle_path;
+  }
+
+  auto loaded = serve::LoadModelBundle(
+      bundle_path, QuickConfig(PredictionMethod::kHybrid));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::ifstream exp(expected_path);
+  ASSERT_TRUE(exp.is_open()) << "missing " << expected_path;
+  for (const QueryRecord& q : probes.queries) {
+    double want = 0.0;
+    ASSERT_TRUE(static_cast<bool>(exp >> want));
+    auto got = loaded->PredictLatencyMs(q);
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR(*got, want, std::abs(want) * 1e-9 + 1e-9);
+  }
+}
+
+// ------------------------------ registry -----------------------------------
+
+std::shared_ptr<const QueryPerformancePredictor> TrainShared(
+    PredictionMethod method, const QueryLog& log) {
+  auto p = std::make_shared<QueryPerformancePredictor>(QuickConfig(method));
+  Status st = p->Train(log);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return p;
+}
+
+TEST(RegistryTest, SnapshotsAreImmutableAcrossPublishes) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.current_version(), 0u);
+
+  const QueryLog log = SyntheticLog(60);
+  const uint64_t v1 =
+      registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log),
+                       "initial-train");
+  EXPECT_EQ(v1, 1u);
+  auto snap = registry.Current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 1u);
+  EXPECT_EQ(snap->source, "initial-train");
+  const double before = *snap->predictor->PredictLatencyMs(log.queries[0]);
+
+  const uint64_t v2 = registry.Publish(
+      TrainShared(PredictionMethod::kOperatorLevel, SyntheticLog(60, 3.0)),
+      "retrain");
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(registry.current_version(), 2u);
+  // The old snapshot is untouched by the hot swap.
+  EXPECT_EQ(snap->version, 1u);
+  EXPECT_EQ(*snap->predictor->PredictLatencyMs(log.queries[0]), before);
+  EXPECT_EQ(registry.Current()->version, 2u);
+}
+
+TEST(ServiceTest, HotSwapUnderConcurrentPredictLoad) {
+  const QueryLog log = SyntheticLog(90);
+  ModelRegistry registry;
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log),
+                   "initial");
+  PredictionService service(&registry);
+
+  constexpr int kReaders = 4;
+  constexpr int kPublishes = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> predictions{0};
+  std::vector<std::thread> readers;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last_seen = 0;
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load()) {
+        const QueryRecord& q = log.queries[i++ % log.queries.size()];
+        auto r = service.Predict(q);
+        if (!r.ok() || r->model_version < last_seen) {
+          failed.store(true);
+          return;
+        }
+        // Versions a single reader observes never go backwards.
+        last_seen = r->model_version;
+        predictions.fetch_add(1);
+      }
+    });
+  }
+  // Hot-swap while the readers hammer the service.
+  for (int p = 0; p < kPublishes; ++p) {
+    const uint64_t before = predictions.load();
+    while (predictions.load() < before + 50) std::this_thread::yield();
+    registry.Publish(TrainShared(PredictionMethod::kOperatorLevel,
+                                 SyntheticLog(90, 1.0 + p)),
+                     "swap#" + std::to_string(p));
+  }
+  // Give readers time to observe the last version, then stop them.
+  while (predictions.load() < kReaders * 200) std::this_thread::yield();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(failed.load());
+
+  // Every request issued after the final publish observes the final version.
+  auto r = service.Predict(log.queries[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->model_version, 1u + kPublishes);
+
+  const serve::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GE(stats.requests, predictions.load());
+  EXPECT_GT(stats.mean_latency_us, 0.0);
+  EXPECT_GE(stats.max_latency_us, stats.mean_latency_us);
+}
+
+TEST(ServiceTest, PredictBatchServesOneConsistentSnapshot) {
+  const QueryLog log = SyntheticLog(50);
+  ModelRegistry registry;
+  PredictionService service(&registry);
+
+  // Before any publish: the whole batch fails up front.
+  EXPECT_EQ(service.PredictBatch(log.queries).status().code(),
+            StatusCode::kNotFound);
+
+  registry.Publish(TrainShared(PredictionMethod::kHybrid, log), "initial");
+  auto batch = service.PredictBatch(log.queries);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), log.queries.size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    EXPECT_EQ((*batch)[i].model_version, 1u);
+    auto serial = service.Predict(log.queries[i]);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ((*batch)[i].predicted_ms, serial->predicted_ms);
+  }
+}
+
+// ------------------------------ feedback -----------------------------------
+
+TEST(FeedbackTest, DriftTriggersRetrainAndPublishReducesError) {
+  const QueryLog base = SyntheticLog(90);
+  ModelRegistry registry;
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, base),
+                   "initial");
+
+  const std::string log_path = ::testing::TempDir() + "/feedback_append.log";
+  std::remove(log_path.c_str());
+  FeedbackConfig cfg;
+  cfg.window_size = 24;
+  cfg.min_observations = 16;
+  cfg.drift_threshold = 0.4;
+  cfg.min_retrain_queries = 30;
+  cfg.log_path = log_path;
+  cfg.retrain_config = QuickConfig(PredictionMethod::kOperatorLevel);
+
+  FeedbackLoop loop(&registry, cfg);
+
+  // Simulate drift: the same plans now run 3x slower than the training
+  // distribution. Relative error vs the published model is ~2/3 > 0.4.
+  const QueryLog drifted = SyntheticLog(60, 3.0, 99);
+  int observed = 0;
+  for (const QueryRecord& q : drifted.queries) {
+    ASSERT_TRUE(loop.Observe(q).ok());
+    ++observed;
+  }
+  loop.WaitForRetrain();
+  EXPECT_GE(loop.retrains_triggered(), 1u);
+  EXPECT_GE(loop.retrains_published(), 1u);
+  EXPECT_TRUE(loop.last_retrain_status().ok())
+      << loop.last_retrain_status().ToString();
+  EXPECT_GT(registry.current_version(), 1u);
+  EXPECT_NE(registry.Current()->source.find("retrain"), std::string::npos);
+
+  // The published retrain fits the drifted distribution: windowed error on
+  // fresh drifted traffic lands well under the trigger threshold.
+  for (const QueryRecord& q : SyntheticLog(24, 3.0, 123).queries) {
+    ASSERT_TRUE(loop.Observe(q).ok());
+    ++observed;
+  }
+  EXPECT_GT(loop.window_fill(), 0u);
+  EXPECT_LT(loop.WindowedError(), cfg.drift_threshold);
+
+  // The durable feedback channel has every observation, reloadable.
+  auto reloaded = QueryLog::LoadFromFile(log_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->queries.size(), static_cast<size_t>(observed));
+  std::remove(log_path.c_str());
+}
+
+// ------------------------------ admission ----------------------------------
+
+TEST(AdmissionTest, RoutesBySloAndCountsDecisions) {
+  const QueryLog log = SyntheticLog(90);
+  ModelRegistry registry;
+  PredictionService service(&registry);
+
+  AdmissionConfig acfg;
+  acfg.slo_ms = 30.0;
+  AdmissionController admission(&service, acfg);
+
+  // No model yet: routing errors are counted, not silently swallowed.
+  EXPECT_FALSE(admission.Route(log.queries[0]).ok());
+  EXPECT_EQ(admission.Stats().errors, 1u);
+
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log),
+                   "initial");
+  int interactive = 0, batch = 0;
+  for (const QueryRecord& q : log.queries) {
+    auto d = admission.Route(q);
+    ASSERT_TRUE(d.ok());
+    auto p = service.Predict(q);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(d->route, p->predicted_ms > acfg.slo_ms
+                            ? serve::QueryRoute::kBatch
+                            : serve::QueryRoute::kInteractive);
+    EXPECT_EQ(d->model_version, 1u);
+    (d->route == serve::QueryRoute::kBatch ? batch : interactive)++;
+  }
+  // The synthetic workload spans fast and slow queries across the SLO.
+  EXPECT_GT(interactive, 0);
+  EXPECT_GT(batch, 0);
+  const serve::AdmissionStats stats = admission.Stats();
+  EXPECT_EQ(stats.interactive, static_cast<uint64_t>(interactive));
+  EXPECT_EQ(stats.batch, static_cast<uint64_t>(batch));
+}
+
+// ------------------------------ checksum -----------------------------------
+
+TEST(ChecksumTest, Fnv1a64KnownVectorsAndHexRoundTrip) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  const uint64_t h = Fnv1a64("qpp model payload");
+  auto parsed = ParseChecksumHex(ChecksumHex(h));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, h);
+  EXPECT_FALSE(ParseChecksumHex("nothex").ok());
+  EXPECT_FALSE(ParseChecksumHex("zz00000000000000").ok());
+}
+
+}  // namespace
+}  // namespace qpp

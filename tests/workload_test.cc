@@ -196,6 +196,82 @@ TEST_F(WorkloadTest, LoadRejectsMissingAndMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST_F(WorkloadTest, LoadErrorsNameFileAndLine) {
+  const std::string path = ::testing::TempDir() + "/qpp_badline_log.txt";
+  {
+    std::ofstream out(path);
+    out << "# qpp query log v2\n"
+        << "Q|6|12.5|ok params\n"
+        << "O|0|-1|-1|-1|0|0|t|1|2|3|4|5|0.5|1|0.1|12.5|10|5\n"
+        << "O|not_an_int|-1|-1|-1|0|0|t|1|2|3|4|5|0.5|1|1|1|1|1\n";
+  }
+  auto log = QueryLog::LoadFromFile(path);
+  ASSERT_FALSE(log.ok());
+  // The diagnostic pinpoints the byte the operator typed wrong: file, line 4.
+  EXPECT_NE(log.status().message().find(path + ":4"), std::string::npos)
+      << log.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadTest, FieldsWithDelimitersSurviveRoundTrip) {
+  // param_desc and relation used to be lossily sanitized ('|' and newlines
+  // replaced by ';'); the escaped format must round-trip them exactly.
+  QueryRecord q;
+  q.template_id = 3;
+  q.latency_ms = 7.5;
+  q.param_desc = "a|b\nc\\d\re|";
+  OperatorRecord op;
+  op.op = PlanOp::kSeqScan;
+  op.relation = "weird|rel\nname\\";
+  op.est.rows = 10.0;
+  op.actual.valid = true;
+  op.actual.run_time_ms = 7.5;
+  q.ops.push_back(op);
+  RecomputeStructuralKeys(&q);
+
+  QueryLog log;
+  log.queries.push_back(q);
+  const std::string path = ::testing::TempDir() + "/qpp_escape_log.txt";
+  ASSERT_TRUE(log.SaveToFile(path).ok());
+  auto restored = QueryLog::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->queries.size(), 1u);
+  EXPECT_EQ(restored->queries[0].param_desc, q.param_desc);
+  EXPECT_EQ(restored->queries[0].ops[0].relation, op.relation);
+  std::remove(path.c_str());
+}
+
+TEST_F(WorkloadTest, AppendRecordToFileBuildsLoadableLog) {
+  QueryLog log;
+  for (int i = 0; i < 3; ++i) {
+    QueryRecord q;
+    q.template_id = i;
+    q.latency_ms = 1.0 + i;
+    q.param_desc = "p" + std::to_string(i);
+    OperatorRecord op;
+    op.op = PlanOp::kSeqScan;
+    op.relation = "t";
+    op.actual.valid = true;
+    op.actual.run_time_ms = q.latency_ms;
+    q.ops.push_back(op);
+    RecomputeStructuralKeys(&q);
+    log.queries.push_back(q);
+  }
+  const std::string path = ::testing::TempDir() + "/qpp_append_log.txt";
+  std::remove(path.c_str());
+  for (const QueryRecord& q : log.queries) {
+    ASSERT_TRUE(AppendRecordToFile(q, path).ok());
+  }
+  auto restored = QueryLog::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->queries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(restored->queries[i].template_id, static_cast<int>(i));
+    EXPECT_EQ(restored->queries[i].param_desc, "p" + std::to_string(i));
+  }
+  std::remove(path.c_str());
+}
+
 TEST_F(WorkloadTest, SharedSubplansAcrossTemplates) {
   // The Figure 4 premise: queries of different templates share sub-plan
   // structures (e.g. the orders/lineitem join core).
