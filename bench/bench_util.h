@@ -19,6 +19,8 @@
 #include "qpp/predictor.h"
 #include "workload/query_log.h"
 
+#include "bench/check.h"
+
 namespace qpp::bench {
 
 double SmallScaleFactor();

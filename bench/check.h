@@ -1,0 +1,20 @@
+#pragma once
+
+// Abort-on-error helper for benchmark fixtures. A benchmark that silently
+// continues after a failed setup step measures a half-initialized fixture
+// and reports plausible-looking garbage; fail fast instead.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace qpp::bench {
+
+inline void CheckOk(const Status& st, const char* what) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace qpp::bench

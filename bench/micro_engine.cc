@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_json.h"
+#include "bench/check.h"
 #include "catalog/database.h"
 #include "exec/driver.h"
 #include "optimizer/optimizer.h"
@@ -18,8 +19,9 @@ std::unique_ptr<Database>& SharedDb() {
     cfg.scale_factor = 0.005;
     auto d = std::make_unique<Database>();
     auto tables = tpch::Dbgen(cfg).Generate();
-    (void)d->AdoptTables(std::move(*tables));
-    (void)d->AnalyzeAll();
+    bench::CheckOk(tables.status(), "dbgen");
+    bench::CheckOk(d->AdoptTables(std::move(*tables)), "AdoptTables");
+    bench::CheckOk(d->AnalyzeAll(), "AnalyzeAll");
     return d;
   }();
   return db;

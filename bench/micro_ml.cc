@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_json.h"
+#include "bench/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "ml/feature_selection.h"
@@ -46,7 +47,7 @@ void BM_LinRegPredict(benchmark::State& state) {
   std::vector<double> y;
   MakeData(500, 9, &x, &y);
   LinearRegression m;
-  (void)m.Fit(x, y);
+  bench::CheckOk(m.Fit(x, y), "LinearRegression::Fit");
   for (auto _ : state) {
     benchmark::DoNotOptimize(m.Predict(x[0]));
   }
@@ -69,7 +70,7 @@ void BM_SvrPredict(benchmark::State& state) {
   std::vector<double> y;
   MakeData(200, 31, &x, &y);
   SvRegression m;
-  (void)m.Fit(x, y);
+  bench::CheckOk(m.Fit(x, y), "SvRegression::Fit");
   for (auto _ : state) {
     benchmark::DoNotOptimize(m.Predict(x[0]));
   }

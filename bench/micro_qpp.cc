@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_json.h"
+#include "bench/check.h"
 #include "catalog/database.h"
 #include "qpp/predictor.h"
 #include "tpch/dbgen.h"
@@ -28,23 +29,25 @@ Fixture& SharedFixture() {
     cfg.scale_factor = 0.005;
     fx.db = std::make_unique<Database>();
     auto tables = tpch::Dbgen(cfg).Generate();
-    (void)fx.db->AdoptTables(std::move(*tables));
-    (void)fx.db->AnalyzeAll();
+    bench::CheckOk(tables.status(), "dbgen");
+    bench::CheckOk(fx.db->AdoptTables(std::move(*tables)), "AdoptTables");
+    bench::CheckOk(fx.db->AnalyzeAll(), "AnalyzeAll");
     WorkloadConfig wc;
     wc.templates = {1, 3, 4, 6, 10, 12, 14};
     wc.queries_per_template = 10;
     auto log = RunWorkload(fx.db.get(), wc);
+    bench::CheckOk(log.status(), "RunWorkload");
     fx.log = std::move(*log);
     PredictorConfig hc;
     hc.method = PredictionMethod::kHybrid;
     hc.hybrid.max_iterations = 6;
     hc.hybrid.min_occurrences = 6;
     fx.hybrid = QueryPerformancePredictor(hc);
-    (void)fx.hybrid.Train(fx.log);
+    bench::CheckOk(fx.hybrid.Train(fx.log), "hybrid Train");
     PredictorConfig pc;
     pc.method = PredictionMethod::kPlanLevel;
     fx.plan_level = QueryPerformancePredictor(pc);
-    (void)fx.plan_level.Train(fx.log);
+    bench::CheckOk(fx.plan_level.Train(fx.log), "plan-level Train");
     return fx;
   }();
   return f;

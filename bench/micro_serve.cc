@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench/bench_json.h"
+#include "bench/check.h"
 #include "common/rng.h"
 #include "qpp/predictor.h"
 #include "serve/registry.h"
@@ -106,10 +107,11 @@ struct Fixture {
 Fixture& SharedFixture() {
   // Leaked intentionally: ModelRegistry is neither movable nor copyable.
   static Fixture* f = [] {
+    // qpp-lint: allow(naked-new): shared benchmark fixture, leaked on purpose
     auto* fx = new Fixture;
     fx->log = SyntheticLog(120);
     auto p = std::make_unique<QueryPerformancePredictor>(ServeConfig());
-    (void)p->Train(fx->log);
+    bench::CheckOk(p->Train(fx->log), "Train");
     fx->registry.Publish(std::move(p), "bench-initial");
     fx->service = std::make_unique<serve::PredictionService>(&fx->registry);
     return fx;

@@ -35,8 +35,9 @@ int main() {
   gen_cfg.scale_factor = 0.01;
   Database db;
   auto tables = tpch::Dbgen(gen_cfg).Generate();
-  (void)db.AdoptTables(std::move(*tables));
-  (void)db.AnalyzeAll();
+  if (!tables.ok()) return 1;
+  if (!db.AdoptTables(std::move(*tables)).ok()) return 1;
+  if (!db.AnalyzeAll().ok()) return 1;
 
   WorkloadConfig wc;
   wc.templates = {1, 3, 4, 5, 6, 10, 12, 14, 19};
@@ -100,7 +101,13 @@ int main() {
     // Close the loop: the executed record (with observed latency) feeds the
     // drift detector, which would retrain + hot-swap on a drifting workload.
     record.latency_ms = result->latency_ms;
-    (void)feedback.Observe(record);
+    // A failed Observe means the durable feedback log dropped this record:
+    // surface it instead of silently starving the retrain corpus.
+    if (Status st = feedback.Observe(record); !st.ok()) {
+      std::fprintf(stderr, "feedback write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
 
     const bool predicted_slow = decision->route == serve::QueryRoute::kBatch;
     const bool actually_slow = result->latency_ms > acfg.slo_ms;

@@ -26,8 +26,9 @@ int main() {
   gen_cfg.scale_factor = 0.01;
   Database db;
   auto tables = tpch::Dbgen(gen_cfg).Generate();
-  (void)db.AdoptTables(std::move(*tables));
-  (void)db.AnalyzeAll();
+  if (!tables.ok()) return 1;
+  if (!db.AdoptTables(std::move(*tables)).ok()) return 1;
+  if (!db.AnalyzeAll().ok()) return 1;
 
   // Train on 8 templates; templates 3 and 14 are never seen in training.
   std::printf("Executing training workload (templates without 3 and 14)...\n");

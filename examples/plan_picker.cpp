@@ -28,8 +28,9 @@ int main() {
   gen_cfg.scale_factor = 0.01;
   Database db;
   auto tables = tpch::Dbgen(gen_cfg).Generate();
-  (void)db.AdoptTables(std::move(*tables));
-  (void)db.AnalyzeAll();
+  if (!tables.ok()) return 1;
+  if (!db.AdoptTables(std::move(*tables)).ok()) return 1;
+  if (!db.AnalyzeAll().ok()) return 1;
 
   WorkloadConfig wc;
   wc.templates = {1, 3, 4, 5, 6, 10, 12, 14, 19};

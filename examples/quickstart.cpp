@@ -31,8 +31,14 @@ int main() {
     std::fprintf(stderr, "%s\n", tables.status().ToString().c_str());
     return 1;
   }
-  (void)db.AdoptTables(std::move(*tables));
-  (void)db.AnalyzeAll();
+  if (Status st = db.AdoptTables(std::move(*tables)); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = db.AnalyzeAll(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
   // 2. Execute a training workload: queries drawn from TPC-H templates,
   //    cold-started, instrumented per operator.

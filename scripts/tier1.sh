@@ -1,28 +1,67 @@
 #!/usr/bin/env bash
-# Tier-1 verification: standard build + full test suite, then the
-# concurrency-sensitive tests again under ThreadSanitizer (QPP_SANITIZE=thread
-# instruments the whole tree; see CMakeLists.txt).
+# Tier-1 verification: lint, warning-clean build (-Werror), full test suite,
+# then the sanitizer matrix — ASan+UBSan over the whole ctest suite and a
+# TSan pass over the concurrency-sensitive tests (QPP_SANITIZE instruments
+# the whole tree; see CMakeLists.txt).
 #
-# Usage: scripts/tier1.sh [--skip-tsan]
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan-ubsan] [--skip-lint]
+#        scripts/tier1.sh --asan   # only the ASan+UBSan suite (for repro)
+#        scripts/tier1.sh --ubsan  # alias for --asan (one combined build)
+#        scripts/tier1.sh --tsan   # only the TSan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure -j"$(nproc)")
+JOBS="$(nproc)"
+RUN_MAIN=1
+RUN_LINT=1
+RUN_ASAN_UBSAN=1
+RUN_TSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) RUN_TSAN=0 ;;
+    --skip-asan-ubsan) RUN_ASAN_UBSAN=0 ;;
+    --skip-lint) RUN_LINT=0 ;;
+    --asan|--ubsan) RUN_MAIN=0; RUN_LINT=0; RUN_TSAN=0 ;;
+    --tsan) RUN_MAIN=0; RUN_LINT=0; RUN_ASAN_UBSAN=0 ;;
+    *) echo "tier1: unknown flag $arg" >&2; exit 2 ;;
+  esac
+done
 
-if [[ "${1:-}" == "--skip-tsan" ]]; then
-  echo "tier1: OK (TSan pass skipped)"
-  exit 0
+# Repo-invariant linter first: it is fast and catches policy violations
+# (atomic<shared_ptr>, submit-under-lock, unseeded RNG, lossy float
+# serialization, naked new) before a long compile. clang-tidy runs too when
+# the binary exists; scripts/lint.sh degrades gracefully when it does not.
+if [[ $RUN_LINT -eq 1 ]]; then
+  scripts/lint.sh
+fi
+
+if [[ $RUN_MAIN -eq 1 ]]; then
+  # -Werror here, not in the default developer configure: tier-1 is the gate
+  # that must be warning-clean; local incremental builds stay friendly.
+  cmake -B build -S . -DQPP_WERROR=ON >/dev/null
+  cmake --build build -j"$JOBS"
+  (cd build && ctest --output-on-failure -j"$JOBS")
+fi
+
+# ASan+UBSan pass: the FULL suite. Address errors and UB abort the test
+# (-fno-sanitize-recover=all), so a green run means no heap misuse, no
+# signed overflow, no bad shifts/casts anywhere the tests reach.
+if [[ $RUN_ASAN_UBSAN -eq 1 ]]; then
+  cmake -B build-asan -S . -DQPP_SANITIZE=address+undefined >/dev/null
+  cmake --build build-asan -j"$JOBS"
+  (cd build-asan && ctest --output-on-failure -j"$JOBS")
 fi
 
 # TSan pass: the thread-pool/CV determinism tests, the ML suite that drives
 # the parallel training paths, and the serving suite (registry hot-swap under
 # concurrent Predict load, feedback-loop retrains). QPP_THREADS>1 forces real
 # concurrency even on small CI machines.
-cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target concurrency_test ml_test serve_test
-QPP_THREADS=4 ./build-tsan/tests/concurrency_test
-QPP_THREADS=4 ./build-tsan/tests/ml_test
-QPP_THREADS=4 ./build-tsan/tests/serve_test
-echo "tier1: OK (including TSan concurrency pass)"
+if [[ $RUN_TSAN -eq 1 ]]; then
+  cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test
+  QPP_THREADS=4 ./build-tsan/tests/concurrency_test
+  QPP_THREADS=4 ./build-tsan/tests/ml_test
+  QPP_THREADS=4 ./build-tsan/tests/serve_test
+fi
+
+echo "tier1: OK"

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace qpp {
 namespace {
@@ -29,13 +30,28 @@ Limbs ToLimbs(int64_t v) {
 }
 
 int64_t FromLimbs(const Limbs& l) {
-  // Saturates on overflow; TPC-H values stay far below this.
+  // Saturates on overflow; TPC-H values stay far below this. The explicit
+  // clamp matters: the straight cast would wrap, and negating the wrapped
+  // INT64_MIN is signed-overflow UB (caught by the UBSan tier-1 pass).
   uint64_t u = 0;
   for (int i = kNumLimbs - 1; i >= 0; --i) {
-    u = u * kLimbBase + static_cast<uint64_t>(l.d[i]);
+    const uint64_t next = u * kLimbBase + static_cast<uint64_t>(l.d[i]);
+    if (next < u) {  // wrapped past 2^64
+      u = std::numeric_limits<uint64_t>::max();
+      break;
+    }
+    u = next;
   }
-  int64_t v = static_cast<int64_t>(u);
-  return l.negative ? -v : v;
+  if (l.negative) {
+    const uint64_t lim =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1;
+    if (u >= lim) return std::numeric_limits<int64_t>::min();
+    return -static_cast<int64_t>(u);
+  }
+  if (u > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>(u);
 }
 
 // Schoolbook multiply of limb arrays; result truncated to kNumLimbs.
@@ -61,19 +77,24 @@ Limbs MulLimbs(const Limbs& a, const Limbs& b) {
   return r;
 }
 
-// Divides limb array by a small positive integer (< kLimbBase^2), returning
-// quotient; remainder out-param used for rounding.
-Limbs DivLimbsSmall(const Limbs& a, int64_t divisor, int64_t* remainder) {
+// Divides limb array by a positive integer divisor, returning quotient;
+// remainder out-param used for rounding. The partial remainder is bounded
+// by the divisor (up to ~2^63), so the running value rem * base + digit is
+// accumulated in 128 bits -- in 64 bits that product is signed-overflow UB
+// for large divisors (Div passes raw int64 denominators here).
+Limbs DivLimbsSmall(const Limbs& a, uint64_t divisor, uint64_t* remainder) {
   Limbs q;
   q.negative = a.negative;
   std::memset(q.d, 0, sizeof(q.d));
-  int64_t rem = 0;
+  unsigned __int128 rem = 0;
+  const auto div = static_cast<unsigned __int128>(divisor);
   for (int i = kNumLimbs - 1; i >= 0; --i) {
-    int64_t cur = rem * kLimbBase + a.d[i];
-    q.d[i] = static_cast<int32_t>(cur / divisor);
-    rem = cur % divisor;
+    const unsigned __int128 cur =
+        rem * kLimbBase + static_cast<unsigned __int128>(a.d[i]);
+    q.d[i] = static_cast<int32_t>(cur / div);
+    rem = cur % div;
   }
-  *remainder = rem;
+  *remainder = static_cast<uint64_t>(rem);
   bool zero = true;
   for (int i = 0; i < kNumLimbs; ++i) zero = zero && q.d[i] == 0;
   if (zero) q.negative = false;
@@ -151,6 +172,17 @@ int64_t AddSigned(int64_t x, int64_t y) {
   return FromLimbs(r);
 }
 
+// Rounds half away from zero: bumps |v| by one unit unless v already sits at
+// a saturation limit (incrementing past INT64_MAX/MIN would be UB).
+int64_t RoundAwayFromZero(int64_t v, bool negative) {
+  if (negative) {
+    if (v == std::numeric_limits<int64_t>::min()) return v;
+    return v - 1;
+  }
+  if (v == std::numeric_limits<int64_t>::max()) return v;
+  return v + 1;
+}
+
 }  // namespace
 
 Decimal Decimal::FromDouble(double v, int scale) {
@@ -158,6 +190,16 @@ Decimal Decimal::FromDouble(double v, int scale) {
   if (scale > kMaxScale) scale = kMaxScale;
   const double scaled = v * static_cast<double>(Pow10(scale));
   const double rounded = scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+  // Saturate instead of casting out-of-range (or NaN) doubles: that cast is
+  // UB. 2^63 is exactly representable as a double; INT64_MAX is not.
+  constexpr double kLim = 9223372036854775808.0;  // 2^63
+  if (std::isnan(rounded)) return Decimal(0, scale);
+  if (rounded >= kLim) {
+    return Decimal(std::numeric_limits<int64_t>::max(), scale);
+  }
+  if (rounded < -kLim) {
+    return Decimal(std::numeric_limits<int64_t>::min(), scale);
+  }
   return Decimal(static_cast<int64_t>(rounded), scale);
 }
 
@@ -188,7 +230,13 @@ Result<Decimal> Decimal::FromString(const std::string& s) {
       if (scale == kMaxScale) continue;  // truncate extra fractional digits
       ++scale;
     }
-    value = value * 10 + (c - '0');
+    // Reject instead of overflowing: value * 10 + digit past INT64_MAX is
+    // signed-overflow UB and would silently corrupt the parsed quantity.
+    const int digit = c - '0';
+    if (value > (std::numeric_limits<int64_t>::max() - digit) / 10) {
+      return Status::OutOfRange("decimal overflows 64 bits: " + s);
+    }
+    value = value * 10 + digit;
   }
   if (!seen_digit) return Status::InvalidArgument("malformed decimal: " + s);
   return Decimal(neg ? -value : value, scale);
@@ -199,17 +247,23 @@ double Decimal::ToDouble() const {
 }
 
 std::string Decimal::ToString() const {
-  int64_t v = value_;
-  const bool neg = v < 0;
-  if (neg) v = -v;
-  const int64_t p = Pow10(scale_);
-  const int64_t whole = v / p;
-  const int64_t frac = v % p;
+  // Take the magnitude in unsigned space: -INT64_MIN is signed-overflow UB.
+  const bool neg = value_ < 0;
+  const uint64_t v = neg ? ~static_cast<uint64_t>(value_) + 1
+                         : static_cast<uint64_t>(value_);
+  const uint64_t p = static_cast<uint64_t>(Pow10(scale_));
+  const uint64_t whole = v / p;
+  const uint64_t frac = v % p;
   std::string out = neg ? "-" : "";
   out += std::to_string(whole);
   if (scale_ > 0) {
+    // frac < 10^scale_ guarantees f.size() <= scale_, but pad defensively:
+    // an unsigned wrap in the pad width would ask for a ~2^64-char string.
     std::string f = std::to_string(frac);
-    out += "." + std::string(static_cast<size_t>(scale_) - f.size(), '0') + f;
+    const size_t width = static_cast<size_t>(scale_);
+    if (f.size() < width) f.insert(0, width - f.size(), '0');
+    out += '.';
+    out += f;
   }
   return out;
 }
@@ -222,12 +276,13 @@ Decimal Decimal::Rescale(int new_scale) const {
     Limbs l = MulLimbsSmall(ToLimbs(value_), Pow10(new_scale - scale_));
     return Decimal(FromLimbs(l), new_scale);
   }
-  const int64_t divisor = Pow10(scale_ - new_scale);
-  int64_t rem = 0;
+  const uint64_t divisor = static_cast<uint64_t>(Pow10(scale_ - new_scale));
+  uint64_t rem = 0;
   Limbs q = DivLimbsSmall(ToLimbs(value_), divisor, &rem);
   int64_t v = FromLimbs(q);
-  // Round half away from zero.
-  if (2 * rem >= divisor) v += value_ < 0 ? -1 : 1;
+  // Round half away from zero; rem >= divisor - rem avoids the 2 * rem
+  // signed overflow when rem is large.
+  if (rem >= divisor - rem) v = RoundAwayFromZero(v, value_ < 0);
   return Decimal(v, new_scale);
 }
 
@@ -238,7 +293,13 @@ Decimal Decimal::Add(const Decimal& other) const {
 
 Decimal Decimal::Sub(const Decimal& other) const {
   const int s = scale_ > other.scale_ ? scale_ : other.scale_;
-  return Decimal(AddSigned(Rescale(s).value_, -other.Rescale(s).value_), s);
+  // Saturating negate: -INT64_MIN is signed-overflow UB.
+  const int64_t o = other.Rescale(s).value_;
+  const int64_t neg_o =
+      o == std::numeric_limits<int64_t>::min()
+          ? std::numeric_limits<int64_t>::max()
+          : -o;
+  return Decimal(AddSigned(Rescale(s).value_, neg_o), s);
 }
 
 Decimal Decimal::Mul(const Decimal& other) const {
@@ -246,11 +307,11 @@ Decimal Decimal::Mul(const Decimal& other) const {
   const int out_scale = raw_scale > kMaxScale ? kMaxScale : raw_scale;
   Limbs product = MulLimbs(ToLimbs(value_), ToLimbs(other.value_));
   if (raw_scale > out_scale) {
-    const int64_t divisor = Pow10(raw_scale - out_scale);
-    int64_t rem = 0;
+    const uint64_t divisor = static_cast<uint64_t>(Pow10(raw_scale - out_scale));
+    uint64_t rem = 0;
     product = DivLimbsSmall(product, divisor, &rem);
     int64_t v = FromLimbs(product);
-    if (2 * rem >= divisor) v += product.negative ? -1 : 1;
+    if (rem >= divisor - rem) v = RoundAwayFromZero(v, product.negative);
     return Decimal(v, out_scale);
   }
   return Decimal(FromLimbs(product), out_scale);
@@ -276,12 +337,15 @@ Decimal Decimal::Div(const Decimal& other) const {
     }
     if (remaining > 0) num = MulLimbsSmall(num, Pow10(remaining));
   }
-  int64_t denom = other.value_ < 0 ? -other.value_ : other.value_;
-  int64_t rem = 0;
+  // Magnitude in unsigned space: -INT64_MIN is signed-overflow UB.
+  const uint64_t denom = other.value_ < 0
+                             ? ~static_cast<uint64_t>(other.value_) + 1
+                             : static_cast<uint64_t>(other.value_);
+  uint64_t rem = 0;
   Limbs q = DivLimbsSmall(num, denom, &rem);
   q.negative = (value_ < 0) != (other.value_ < 0);
   int64_t v = FromLimbs(q);
-  if (2 * rem >= denom) v += q.negative ? -1 : 1;
+  if (rem >= denom - rem) v = RoundAwayFromZero(v, q.negative);
   if (shift < 0) {
     Limbs scaled = MulLimbsSmall(ToLimbs(v), Pow10(-shift));
     v = FromLimbs(scaled);

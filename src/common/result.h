@@ -13,8 +13,11 @@ namespace qpp {
 /// A Result<T> holds either a T (success) or a non-OK Status (failure).
 /// Access to the value of a failed result aborts in debug builds; callers
 /// must check ok() first or use the QPP_ASSIGN_OR_RETURN macro.
+///
+/// [[nodiscard]] for the same reason as Status: a discarded Result is a
+/// dropped error (and a discarded computation).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -24,10 +27,10 @@ class Result {
     assert(!std::get<Status>(repr_).ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The failure status; Status::OK() when this result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }

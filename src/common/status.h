@@ -22,7 +22,12 @@ enum class StatusCode {
 /// \brief Lightweight error-or-success value returned by all fallible
 /// operations in the library. The library does not throw exceptions on
 /// expected failure paths.
-class Status {
+///
+/// The class is [[nodiscard]]: every call site must handle, propagate, or
+/// explicitly void-cast (with a comment saying why) a returned Status.
+/// Silently dropping an error on a training or serving write path corrupts
+/// downstream data without failing any test -- the compiler now refuses it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -53,9 +58,9 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
 
   /// Human-readable "<CODE>: <message>" string, "OK" for success.
   std::string ToString() const;

@@ -98,8 +98,9 @@ Status SvRegression::Fit(const FeatureMatrix& x, const std::vector<double>& y) {
   for (const auto& row : x) {
     if (row.size() != d) return Status::InvalidArgument("ragged feature matrix");
   }
-  gamma_ = config_.gamma > 0 ? config_.gamma
-                             : 1.0 / std::max<size_t>(1, d);
+  gamma_ = config_.gamma > 0
+               ? config_.gamma
+               : 1.0 / static_cast<double>(std::max<size_t>(1, d));
 
   // Min-max scale features and target to [0, 1].
   feat_min_.assign(d, 0.0);

@@ -56,14 +56,14 @@ double HybridModel::PredictQuery(const QueryRecord& query,
   return op_models_.PredictQuery(query, mode, MakeOverride(query, mode));
 }
 
-double HybridModel::EvaluateTrainingError(
-    const std::vector<const QueryRecord*>& queries) const {
+Status HybridModel::EvaluateTrainingError(
+    const std::vector<const QueryRecord*>& queries, double* out) const {
   // Per-query prediction is a pure read of the trained models; errors land
   // in per-index slots and are reduced on this thread in query order, so the
   // sum is bit-identical at any thread count.
   std::vector<double> errs(queries.size(), 0.0);
   std::vector<char> counted(queries.size(), 0);
-  (void)ThreadPool::Global()->ParallelFor(queries.size(), [&](size_t i) {
+  QPP_RETURN_NOT_OK(ThreadPool::Global()->ParallelFor(queries.size(), [&](size_t i) {
     const QueryRecord* q = queries[i];
     if (q->latency_ms <= 0) return Status::OK();
     const double pred =
@@ -72,7 +72,7 @@ double HybridModel::EvaluateTrainingError(
     errs[i] = RelErr(q->latency_ms, pred);
     counted[i] = 1;
     return Status::OK();
-  });
+  }));
   double total = 0.0;
   size_t n = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -80,7 +80,8 @@ double HybridModel::EvaluateTrainingError(
     total += errs[i];
     ++n;
   }
-  return n == 0 ? 0.0 : total / static_cast<double>(n);
+  *out = n == 0 ? 0.0 : total / static_cast<double>(n);
+  return Status::OK();
 }
 
 void HybridModel::AddPlanModel(PlanLevelModel model) {
@@ -94,7 +95,7 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
   history_.clear();
 
   const FeatureMode mode = config_.plan_config.feature_mode;
-  initial_error_ = EvaluateTrainingError(queries);
+  QPP_RETURN_NOT_OK(EvaluateTrainingError(queries, &initial_error_));
   double current_error = initial_error_;
 
   // Candidate sub-plans: every multi-operator plan structure with enough
@@ -132,7 +133,7 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
       }
       eligible.push_back(&cand);
     }
-    (void)ThreadPool::Global()->ParallelFor(eligible.size(), [&](size_t c) {
+    QPP_RETURN_NOT_OK(ThreadPool::Global()->ParallelFor(eligible.size(), [&](size_t c) {
       Candidate& cand = *eligible[c];
       double err = 0.0;
       size_t n = 0;
@@ -147,7 +148,7 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
       }
       cand.avg_error = n == 0 ? 0.0 : err / static_cast<double>(n);
       return Status::OK();
-    });
+    }));
 
     const Candidate* chosen = nullptr;
     double best_rank = 0.0;
@@ -190,7 +191,8 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
     }
     // Tentatively add, re-evaluate, keep only on sufficient improvement.
     plan_models_[chosen->key] = std::move(model);
-    const double new_error = EvaluateTrainingError(queries);
+    double new_error = 0.0;
+    QPP_RETURN_NOT_OK(EvaluateTrainingError(queries, &new_error));
     if (new_error + config_.epsilon <= current_error) {
       current_error = new_error;
       record.kept = true;

@@ -97,8 +97,11 @@ class HybridModel {
                                          HybridConfig config = HybridConfig{});
 
  private:
-  double EvaluateTrainingError(
-      const std::vector<const QueryRecord*>& queries) const;
+  /// Mean relative training error over `queries` under the current model
+  /// stack, written to `*out`. Fails (instead of silently under-counting)
+  /// when the thread pool reports a worker failure.
+  Status EvaluateTrainingError(const std::vector<const QueryRecord*>& queries,
+                               double* out) const;
 
   HybridConfig config_;
   OperatorModelSet op_models_;

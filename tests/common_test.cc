@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/date.h"
@@ -222,6 +223,67 @@ TEST(DecimalTest, CompareMixedScales) {
   EXPECT_TRUE(Decimal(150, 2) == Decimal(15, 1));  // 1.50 == 1.5
   EXPECT_TRUE(Decimal(-5, 0) < Decimal(0, 2));
   EXPECT_TRUE(Decimal(5, 0) > Decimal(-5, 0));
+}
+
+// Regression tests for extreme-value paths that previously hit signed
+// overflow / out-of-range float->int UB (caught by the UBSan gate). The
+// contract at the int64 boundary is saturation, not wraparound.
+
+TEST(DecimalTest, FromStringRejectsOverflow) {
+  // One digit past INT64_MAX's 19 digits must be a clean error, not a
+  // silently wrapped value.
+  EXPECT_FALSE(Decimal::FromString("9223372036854775808").ok());
+  EXPECT_FALSE(Decimal::FromString("-9223372036854775808.1").ok());
+  EXPECT_FALSE(Decimal::FromString("99999999999999999999999").ok());
+  auto max = Decimal::FromString("9223372036854775807");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->unscaled(), std::numeric_limits<int64_t>::max());
+}
+
+TEST(DecimalTest, FromDoubleSaturatesAndHandlesNan) {
+  EXPECT_EQ(Decimal::FromDouble(1e30, 2).unscaled(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(Decimal::FromDouble(-1e30, 2).unscaled(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(Decimal::FromDouble(std::nan(""), 2).unscaled(), 0);
+  EXPECT_EQ(Decimal::FromDouble(std::numeric_limits<double>::infinity(), 0)
+                .unscaled(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(DecimalTest, ArithmeticSaturatesAtInt64) {
+  const Decimal max(std::numeric_limits<int64_t>::max(), 0);
+  const Decimal min(std::numeric_limits<int64_t>::min(), 0);
+  EXPECT_EQ(max.Add(Decimal(1, 0)).unscaled(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(min.Sub(Decimal(1, 0)).unscaled(),
+            std::numeric_limits<int64_t>::min());
+  // Negating INT64_MIN saturates instead of overflowing.
+  EXPECT_EQ(Decimal(0, 0).Sub(min).unscaled(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(max.Mul(max).unscaled(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(max.Mul(Decimal(-2, 0)).unscaled(),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(DecimalTest, ToStringHandlesInt64Min) {
+  // |INT64_MIN| is not representable as int64; magnitude math must be
+  // unsigned.
+  EXPECT_EQ(Decimal(std::numeric_limits<int64_t>::min(), 0).ToString(),
+            "-9223372036854775808");
+  EXPECT_EQ(Decimal(std::numeric_limits<int64_t>::min(), 2).ToString(),
+            "-92233720368547758.08");
+}
+
+TEST(DecimalTest, DivByHugeDenominator) {
+  // Exercises the limb division path with a denominator far above the limb
+  // base; previously overflowed the partial remainder.
+  const Decimal num(1000, 2);  // 10.00
+  const Decimal denom(std::numeric_limits<int64_t>::max(), 0);
+  EXPECT_EQ(num.Div(denom).unscaled(), 0);
+  const Decimal big(4000000000000000000LL, 0);
+  const Decimal q = Decimal(8000000000000000000LL, 0).Div(big);
+  EXPECT_NEAR(q.ToDouble(), 2.0, 1e-9);
 }
 
 // Property sweep: decimal arithmetic agrees with double arithmetic to

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "catalog/database.h"
 #include "common/stats.h"
 #include "ml/validation.h"
@@ -19,7 +21,7 @@ class IntegrationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     tpch::DbgenConfig cfg;
     cfg.scale_factor = 0.01;
-    db_ = new Database();
+    db_ = std::make_unique<Database>();
     auto tables = tpch::Dbgen(cfg).Generate();
     ASSERT_TRUE(tables.ok());
     ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
@@ -27,13 +29,13 @@ class IntegrationTest : public ::testing::Test {
     WorkloadConfig wc;
     wc.templates = {1, 3, 4, 5, 6, 10, 12, 14, 19};
     wc.queries_per_template = 22;
-    auto log = RunWorkload(db_, wc);
+    auto log = RunWorkload(db_.get(), wc);
     ASSERT_TRUE(log.ok());
-    log_ = new QueryLog(std::move(*log));
+    log_ = std::make_unique<QueryLog>(std::move(*log));
   }
   static void TearDownTestSuite() {
-    delete log_;
-    delete db_;
+    log_.reset();
+    db_.reset();
   }
 
   /// Held-out mean relative error of one method under 4-fold stratified CV.
@@ -62,12 +64,12 @@ class IntegrationTest : public ::testing::Test {
     return MeanRelativeError(actual, pred);
   }
 
-  static Database* db_;
-  static QueryLog* log_;
+  static std::unique_ptr<Database> db_;
+  static std::unique_ptr<QueryLog> log_;
 };
 
-Database* IntegrationTest::db_ = nullptr;
-QueryLog* IntegrationTest::log_ = nullptr;
+std::unique_ptr<Database> IntegrationTest::db_;
+std::unique_ptr<QueryLog> IntegrationTest::log_;
 
 TEST_F(IntegrationTest, WorkloadCoversTemplatesAndOperators) {
   ASSERT_EQ(log_->queries.size(), 9u * 22u);

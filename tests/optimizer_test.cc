@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "catalog/database.h"
@@ -16,24 +17,21 @@ class OptimizerTest : public ::testing::Test {
   static void SetUpTestSuite() {
     tpch::DbgenConfig cfg;
     cfg.scale_factor = 0.003;
-    db_ = new Database();
+    db_ = std::make_unique<Database>();
     auto tables = tpch::Dbgen(cfg).Generate();
     ASSERT_TRUE(tables.ok());
     ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
     ASSERT_TRUE(db_->AnalyzeAll().ok());
   }
-  static void TearDownTestSuite() {
-    delete db_;
-    db_ = nullptr;
-  }
+  static void TearDownTestSuite() { db_.reset(); }
 
-  static Database* db_;
+  static std::unique_ptr<Database> db_;
 };
 
-Database* OptimizerTest::db_ = nullptr;
+std::unique_ptr<Database> OptimizerTest::db_;
 
 TEST_F(OptimizerTest, ScanEstimatesRowsAndPages) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("lineitem", "", nullptr);
   ASSERT_TRUE(scan.ok());
   const Table* li = db_->GetTable("lineitem");
@@ -44,7 +42,7 @@ TEST_F(OptimizerTest, ScanEstimatesRowsAndPages) {
 }
 
 TEST_F(OptimizerTest, ScanFilterReducesRowEstimate) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan(
       "lineitem", "",
       Lt(Col("l_shipdate"), LitDate("1994-01-01")));
@@ -59,7 +57,7 @@ TEST_F(OptimizerTest, ScanFilterReducesRowEstimate) {
 }
 
 TEST_F(OptimizerTest, SelectivityAndOfTwoFiltersMultiplies) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   std::vector<ExprPtr> conj;
   conj.push_back(Lt(Col("l_shipdate"), LitDate("1994-01-01")));
   conj.push_back(Eq(Col("l_returnflag"), LitStr("R")));
@@ -74,7 +72,7 @@ TEST_F(OptimizerTest, SelectivityAndOfTwoFiltersMultiplies) {
 }
 
 TEST_F(OptimizerTest, LikePrefixSelectivityFromHistogram) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("part", "", Like(Col("p_type"), "PROMO%"));
   ASSERT_TRUE(scan.ok());
   // PROMO is 1 of 6 first syllables: roughly 1/6.
@@ -83,7 +81,7 @@ TEST_F(OptimizerTest, LikePrefixSelectivityFromHistogram) {
 }
 
 TEST_F(OptimizerTest, InListSelectivityAddsUp) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan(
       "customer", "",
       In(Col("c_mktsegment"),
@@ -94,7 +92,7 @@ TEST_F(OptimizerTest, InListSelectivityAddsUp) {
 }
 
 TEST_F(OptimizerTest, ColumnVsColumnUsesDefault) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("lineitem", "",
                            Lt(Col("l_commitdate"), Col("l_receiptdate")));
   ASSERT_TRUE(scan.ok());
@@ -102,7 +100,7 @@ TEST_F(OptimizerTest, ColumnVsColumnUsesDefault) {
 }
 
 TEST_F(OptimizerTest, JoinBlockCoversAllRelations) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   JoinBlock block;
   block.AddRelation("customer");
   block.AddRelation("orders");
@@ -121,7 +119,7 @@ TEST_F(OptimizerTest, JoinBlockCoversAllRelations) {
 }
 
 TEST_F(OptimizerTest, JoinBlockExecutesCorrectly) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   JoinBlock block;
   block.AddRelation("nation");
   block.AddRelation("region");
@@ -129,27 +127,27 @@ TEST_F(OptimizerTest, JoinBlockExecutesCorrectly) {
   block.AddFilter(Eq(Col("r_name"), LitStr("ASIA")));
   auto plan = opt.OptimizeJoinBlock(std::move(block));
   ASSERT_TRUE(plan.ok());
-  auto res = ExecutePlan(plan->get(), db_, {});
+  auto res = ExecutePlan(plan->get(), db_.get(), {});
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->row_count, 5);  // 5 Asian nations
 }
 
 TEST_F(OptimizerTest, SelfJoinWithAliases) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   JoinBlock block;
   block.AddRelation("nation", "n1");
   block.AddRelation("nation", "n2");
   block.AddJoin("n1.n_regionkey", "n2.n_regionkey");
   auto plan = opt.OptimizeJoinBlock(std::move(block));
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
-  auto res = ExecutePlan(plan->get(), db_, {});
+  auto res = ExecutePlan(plan->get(), db_.get(), {});
   ASSERT_TRUE(res.ok());
   // 5 regions x 5 nations each -> 25 pairs per region = 125 rows.
   EXPECT_EQ(res->row_count, 125);
 }
 
 TEST_F(OptimizerTest, MultiRelationFilterAppliedOnce) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   JoinBlock block;
   block.AddRelation("nation", "n1");
   block.AddRelation("nation", "n2");
@@ -157,13 +155,13 @@ TEST_F(OptimizerTest, MultiRelationFilterAppliedOnce) {
   block.AddFilter(Ne(Col("n1.n_nationkey"), Col("n2.n_nationkey")));
   auto plan = opt.OptimizeJoinBlock(std::move(block));
   ASSERT_TRUE(plan.ok());
-  auto res = ExecutePlan(plan->get(), db_, {});
+  auto res = ExecutePlan(plan->get(), db_.get(), {});
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->row_count, 100);  // 125 minus the 25 self pairs
 }
 
 TEST_F(OptimizerTest, AvoidsCrossProductsWhenConnected) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   JoinBlock block;
   block.AddRelation("supplier");
   block.AddRelation("nation");
@@ -185,7 +183,7 @@ TEST_F(OptimizerTest, AvoidsCrossProductsWhenConnected) {
 }
 
 TEST_F(OptimizerTest, JoinCardinalityUsesKeyNDistinct) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto orders = opt.MakeScan("orders", "", nullptr);
   auto lineitem = opt.MakeScan("lineitem", "", nullptr);
   auto join = opt.MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
@@ -200,7 +198,7 @@ TEST_F(OptimizerTest, JoinCardinalityUsesKeyNDistinct) {
 }
 
 TEST_F(OptimizerTest, SemiAntiEstimatesComplementary) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto c1 = opt.MakeScan("customer", "", nullptr);
   auto o1 = opt.MakeScan("orders", "", nullptr);
   auto semi = opt.MakeJoin(PlanOp::kHashJoin, JoinType::kSemi, std::move(*c1),
@@ -220,7 +218,7 @@ TEST_F(OptimizerTest, SemiAntiEstimatesComplementary) {
 }
 
 TEST_F(OptimizerTest, MergeJoinRejectsNonInner) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto l = opt.MakeScan("customer", "", nullptr);
   auto r = opt.MakeScan("orders", "", nullptr);
   EXPECT_FALSE(opt.MakeJoin(PlanOp::kMergeJoin, JoinType::kSemi,
@@ -230,7 +228,7 @@ TEST_F(OptimizerTest, MergeJoinRejectsNonInner) {
 }
 
 TEST_F(OptimizerTest, AggregateGroupEstimate) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("orders", "", nullptr);
   std::vector<AggSpec> aggs;
   aggs.push_back(AggCountStar("cnt"));
@@ -245,7 +243,7 @@ TEST_F(OptimizerTest, AggregateGroupEstimate) {
 TEST_F(OptimizerTest, HavingUsesDefaultSelectivity) {
   // The paper's template-18 effect: HAVING over an aggregate output has no
   // statistics and falls back to DEFAULT_INEQ_SEL.
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("lineitem", "", nullptr);
   std::vector<AggSpec> aggs;
   aggs.push_back(AggSum(Col("l_quantity"), "sum_qty"));
@@ -263,7 +261,7 @@ TEST_F(OptimizerTest, HavingUsesDefaultSelectivity) {
 }
 
 TEST_F(OptimizerTest, SortAndLimitEstimates) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("customer", "", nullptr);
   auto sort = opt.MakeSort(std::move(*scan), {"c_acctbal"}, {true});
   ASSERT_TRUE(sort.ok());
@@ -300,7 +298,7 @@ TEST_F(OptimizerTest, AggResultTypes) {
 }
 
 TEST_F(OptimizerTest, CostsIncreaseWithPlanSize) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto scan = opt.MakeScan("lineitem", "", nullptr);
   const double scan_cost = (*scan)->est.total_cost;
   auto sort = opt.MakeSort(std::move(*scan), {"l_orderkey"}, {false});
@@ -309,17 +307,17 @@ TEST_F(OptimizerTest, CostsIncreaseWithPlanSize) {
 }
 
 TEST_F(OptimizerTest, EmptyBlockRejected) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   EXPECT_FALSE(opt.OptimizeJoinBlock(JoinBlock{}).ok());
 }
 
 TEST_F(OptimizerTest, UnknownTableRejected) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   EXPECT_FALSE(opt.MakeScan("nope", "", nullptr).ok());
 }
 
 TEST_F(OptimizerTest, BadJoinKeysRejected) {
-  Optimizer opt(db_);
+  Optimizer opt(db_.get());
   auto l = opt.MakeScan("nation", "", nullptr);
   auto r = opt.MakeScan("region", "", nullptr);
   EXPECT_FALSE(opt.MakeJoin(PlanOp::kHashJoin, JoinType::kInner, std::move(*l),

@@ -213,7 +213,7 @@ TEST_P(FilterPropertyTest, FilterCountMatchesBruteForceAndEstimateIsSane) {
   // Range-pair estimation should land within a factor of ~2.5 + slack for
   // uniform data of this size.
   const double est = (*scan)->est.rows;
-  EXPECT_LE(est, std::max<double>(ref * 2.5, 30.0));
+  EXPECT_LE(est, std::max<double>(static_cast<double>(ref) * 2.5, 30.0));
   EXPECT_GE(est, std::max<int64_t>(1, ref / 3));
 }
 

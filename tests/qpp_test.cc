@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "catalog/database.h"
 #include "common/stats.h"
@@ -21,7 +22,7 @@ class QppTest : public ::testing::Test {
   static void SetUpTestSuite() {
     tpch::DbgenConfig cfg;
     cfg.scale_factor = 0.004;
-    db_ = new Database();
+    db_ = std::make_unique<Database>();
     auto tables = tpch::Dbgen(cfg).Generate();
     ASSERT_TRUE(tables.ok());
     ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
@@ -29,26 +30,26 @@ class QppTest : public ::testing::Test {
     WorkloadConfig wc;
     wc.templates = {1, 3, 4, 6, 10, 12, 14};
     wc.queries_per_template = 12;
-    auto log = RunWorkload(db_, wc);
+    auto log = RunWorkload(db_.get(), wc);
     ASSERT_TRUE(log.ok()) << log.status().ToString();
-    log_ = new QueryLog(std::move(*log));
-    refs_ = new std::vector<const QueryRecord*>();
+    log_ = std::make_unique<QueryLog>(std::move(*log));
+    refs_ = std::make_unique<std::vector<const QueryRecord*>>();
     for (const auto& q : log_->queries) refs_->push_back(&q);
   }
   static void TearDownTestSuite() {
-    delete refs_;
-    delete log_;
-    delete db_;
+    refs_.reset();
+    log_.reset();
+    db_.reset();
   }
 
-  static Database* db_;
-  static QueryLog* log_;
-  static std::vector<const QueryRecord*>* refs_;
+  static std::unique_ptr<Database> db_;
+  static std::unique_ptr<QueryLog> log_;
+  static std::unique_ptr<std::vector<const QueryRecord*>> refs_;
 };
 
-Database* QppTest::db_ = nullptr;
-QueryLog* QppTest::log_ = nullptr;
-std::vector<const QueryRecord*>* QppTest::refs_ = nullptr;
+std::unique_ptr<Database> QppTest::db_;
+std::unique_ptr<QueryLog> QppTest::log_;
+std::unique_ptr<std::vector<const QueryRecord*>> QppTest::refs_;
 
 // --------------------------------- Features ---------------------------------
 

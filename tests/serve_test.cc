@@ -432,6 +432,28 @@ TEST(FeedbackTest, DriftTriggersRetrainAndPublishReducesError) {
   std::remove(log_path.c_str());
 }
 
+// Regression: a failed append to the durable feedback log must surface as a
+// non-OK Status from Observe, not vanish. The discard was compile-legal
+// before Status became [[nodiscard]]; a silently lossy feedback channel
+// corrupts the retrain corpus without failing any test.
+TEST(FeedbackTest, ObserveSurfacesAppendFailure) {
+  const QueryLog base = SyntheticLog(40);
+  ModelRegistry registry;
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, base),
+                   "initial");
+
+  FeedbackConfig cfg;
+  cfg.log_path = ::testing::TempDir() + "/no_such_dir_qpp/feedback.log";
+  FeedbackLoop loop(&registry, cfg);
+
+  const Status st = loop.Observe(base.queries.front());
+  EXPECT_FALSE(st.ok()) << "append into a missing directory must fail";
+
+  // The in-memory pipeline still absorbed the record (corpus accumulation is
+  // independent of the durable channel).
+  EXPECT_EQ(loop.corpus_size(), 1u);
+}
+
 // ------------------------------ admission ----------------------------------
 
 TEST(AdmissionTest, RoutesBySloAndCountsDecisions) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "tpch/dbgen.h"
 #include "tpch/lists.h"
@@ -18,18 +20,16 @@ class DbgenTest : public ::testing::Test {
     cfg.seed = 42;
     auto tables = Dbgen(cfg).Generate();
     ASSERT_TRUE(tables.ok()) << tables.status().ToString();
-    tables_ = new std::vector<std::unique_ptr<Table>>(std::move(*tables));
+    tables_ = std::make_unique<std::vector<std::unique_ptr<Table>>>(
+        std::move(*tables));
   }
-  static void TearDownTestSuite() {
-    delete tables_;
-    tables_ = nullptr;
-  }
+  static void TearDownTestSuite() { tables_.reset(); }
   static const Table& Get(TableId id) { return *(*tables_)[id]; }
 
-  static std::vector<std::unique_ptr<Table>>* tables_;
+  static std::unique_ptr<std::vector<std::unique_ptr<Table>>> tables_;
 };
 
-std::vector<std::unique_ptr<Table>>* DbgenTest::tables_ = nullptr;
+std::unique_ptr<std::vector<std::unique_ptr<Table>>> DbgenTest::tables_;
 
 TEST(TpchSchemaTest, TableNamesAndColumnCounts) {
   EXPECT_STREQ(TableName(kLineitem), "lineitem");

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "catalog/database.h"
@@ -21,24 +22,24 @@ class WorkloadTest : public ::testing::Test {
   static void SetUpTestSuite() {
     tpch::DbgenConfig cfg;
     cfg.scale_factor = 0.003;
-    db_ = new Database();
+    db_ = std::make_unique<Database>();
     auto tables = tpch::Dbgen(cfg).Generate();
     ASSERT_TRUE(tables.ok());
     ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
     ASSERT_TRUE(db_->AnalyzeAll().ok());
-    opt_ = new Optimizer(db_);
+    opt_ = std::make_unique<Optimizer>(db_.get());
   }
   static void TearDownTestSuite() {
-    delete opt_;
-    delete db_;
+    opt_.reset();
+    db_.reset();
   }
 
-  static Database* db_;
-  static Optimizer* opt_;
+  static std::unique_ptr<Database> db_;
+  static std::unique_ptr<Optimizer> opt_;
 };
 
-Database* WorkloadTest::db_ = nullptr;
-Optimizer* WorkloadTest::opt_ = nullptr;
+std::unique_ptr<Database> WorkloadTest::db_;
+std::unique_ptr<Optimizer> WorkloadTest::opt_;
 
 TEST_F(WorkloadTest, TemplateSetsAreConsistent) {
   EXPECT_EQ(tpch::AllTemplates().size(), 22u);
@@ -63,13 +64,13 @@ class AllTemplatesTest : public WorkloadTest,
 TEST_P(AllTemplatesTest, GeneratesAndExecutes) {
   const int tid = GetParam();
   Rng rng(static_cast<uint64_t>(100 + tid));
-  tpch::TemplateContext ctx{opt_, db_, &rng};
+  tpch::TemplateContext ctx{opt_.get(), db_.get(), &rng};
   auto plan = tpch::GenerateTemplateQuery(tid, &ctx);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->template_id, tid);
   EXPECT_GE(plan->NodeCount(), 2);
   EXPECT_FALSE(plan->parameter_desc.empty());
-  auto res = ExecutePlan(plan->root.get(), db_, {});
+  auto res = ExecutePlan(plan->root.get(), db_.get(), {});
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_GT(res->latency_ms, 0.0);
   // Every operator instrumented.
@@ -86,8 +87,8 @@ INSTANTIATE_TEST_SUITE_P(Templates, AllTemplatesTest,
 
 TEST_F(WorkloadTest, DifferentSeedsDifferentParameters) {
   Rng r1(1), r2(2);
-  tpch::TemplateContext c1{opt_, db_, &r1};
-  tpch::TemplateContext c2{opt_, db_, &r2};
+  tpch::TemplateContext c1{opt_.get(), db_.get(), &r1};
+  tpch::TemplateContext c2{opt_.get(), db_.get(), &r2};
   auto p1 = tpch::GenerateTemplateQuery(5, &c1);
   auto p2 = tpch::GenerateTemplateQuery(5, &c2);
   ASSERT_TRUE(p1.ok() && p2.ok());
@@ -96,8 +97,8 @@ TEST_F(WorkloadTest, DifferentSeedsDifferentParameters) {
 
 TEST_F(WorkloadTest, SameSeedSameParameters) {
   Rng r1(7), r2(7);
-  tpch::TemplateContext c1{opt_, db_, &r1};
-  tpch::TemplateContext c2{opt_, db_, &r2};
+  tpch::TemplateContext c1{opt_.get(), db_.get(), &r1};
+  tpch::TemplateContext c2{opt_.get(), db_.get(), &r2};
   auto p1 = tpch::GenerateTemplateQuery(3, &c1);
   auto p2 = tpch::GenerateTemplateQuery(3, &c2);
   ASSERT_TRUE(p1.ok() && p2.ok());
@@ -107,7 +108,7 @@ TEST_F(WorkloadTest, SameSeedSameParameters) {
 
 TEST_F(WorkloadTest, UnknownTemplateRejected) {
   Rng rng(1);
-  tpch::TemplateContext ctx{opt_, db_, &rng};
+  tpch::TemplateContext ctx{opt_.get(), db_.get(), &rng};
   EXPECT_FALSE(tpch::GenerateTemplateQuery(0, &ctx).ok());
   EXPECT_FALSE(tpch::GenerateTemplateQuery(23, &ctx).ok());
   EXPECT_FALSE(tpch::GenerateTemplateQuery(3, nullptr).ok());
@@ -119,7 +120,7 @@ TEST_F(WorkloadTest, RunWorkloadProducesLog) {
   wc.queries_per_template = 3;
   int callbacks = 0;
   wc.on_query = [&](int, int, double) { ++callbacks; };
-  auto log = RunWorkload(db_, wc);
+  auto log = RunWorkload(db_.get(), wc);
   ASSERT_TRUE(log.ok()) << log.status().ToString();
   EXPECT_EQ(log->queries.size(), 6u);
   EXPECT_EQ(callbacks, 6);
@@ -133,23 +134,27 @@ TEST_F(WorkloadTest, RunWorkloadProducesLog) {
 
 TEST_F(WorkloadTest, RunWorkloadRejectsEmptyTemplates) {
   WorkloadConfig wc;
-  EXPECT_FALSE(RunWorkload(db_, wc).ok());
+  EXPECT_FALSE(RunWorkload(db_.get(), wc).ok());
 }
 
 TEST_F(WorkloadTest, RecordFromPlanFlattensTree) {
   Rng rng(5);
-  tpch::TemplateContext ctx{opt_, db_, &rng};
+  tpch::TemplateContext ctx{opt_.get(), db_.get(), &rng};
   auto plan = tpch::GenerateTemplateQuery(3, &ctx);
   ASSERT_TRUE(plan.ok());
-  ASSERT_TRUE(ExecutePlan(plan->root.get(), db_, {}).ok());
+  ASSERT_TRUE(ExecutePlan(plan->root.get(), db_.get(), {}).ok());
   const QueryRecord rec = RecordFromPlan(*plan, 12.5);
   EXPECT_EQ(static_cast<int>(rec.ops.size()), plan->NodeCount());
   EXPECT_DOUBLE_EQ(rec.latency_ms, 12.5);
   // Tree links resolve and subtree sizes telescope.
   EXPECT_EQ(rec.ops[0].subtree_size, plan->NodeCount());
   for (const auto& op : rec.ops) {
-    if (op.left_child >= 0) EXPECT_GE(rec.IndexOfNode(op.left_child), 0);
-    if (op.right_child >= 0) EXPECT_GE(rec.IndexOfNode(op.right_child), 0);
+    if (op.left_child >= 0) {
+      EXPECT_GE(rec.IndexOfNode(op.left_child), 0);
+    }
+    if (op.right_child >= 0) {
+      EXPECT_GE(rec.IndexOfNode(op.right_child), 0);
+    }
     EXPECT_EQ(op.structural_key.empty(), false);
   }
   // Structural key of the record root matches the plan's.
@@ -160,7 +165,7 @@ TEST_F(WorkloadTest, QueryLogFileRoundTrip) {
   WorkloadConfig wc;
   wc.templates = {6, 14};
   wc.queries_per_template = 2;
-  auto log = RunWorkload(db_, wc);
+  auto log = RunWorkload(db_.get(), wc);
   ASSERT_TRUE(log.ok());
   const std::string path = ::testing::TempDir() + "/qpp_log_roundtrip.txt";
   ASSERT_TRUE(log->SaveToFile(path).ok());
@@ -278,7 +283,7 @@ TEST_F(WorkloadTest, SharedSubplansAcrossTemplates) {
   WorkloadConfig wc;
   wc.templates = {1, 3, 4, 5, 10, 12};
   wc.queries_per_template = 2;
-  auto log = RunWorkload(db_, wc);
+  auto log = RunWorkload(db_.get(), wc);
   ASSERT_TRUE(log.ok());
   std::map<std::string, std::set<int>> key_templates;
   for (const auto& q : log->queries) {
@@ -298,7 +303,7 @@ TEST_F(WorkloadTest, TimeoutDropsSlowQueries) {
   wc.templates = {1};
   wc.queries_per_template = 2;
   wc.timeout_ms = 0.0001;  // everything is slower than this
-  auto log = RunWorkload(db_, wc);
+  auto log = RunWorkload(db_.get(), wc);
   ASSERT_TRUE(log.ok());
   EXPECT_TRUE(log->queries.empty());
 }
