@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace qpp::bench {
 namespace {
@@ -80,7 +81,11 @@ void WriteJson(const char* bench_name,
                  static_cast<long long>(r.threads),
                  i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Whatever the benchmarked code pushed into the global registry rides
+  // along in the same telemetry file (already a JSON object).
+  std::fprintf(f, "  \"metrics\": %s\n", obs::DumpMetricsJson().c_str());
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s (%zu results)\n", path.c_str(), records.size());
 }

@@ -7,6 +7,7 @@
 #include "bench/check.h"
 #include "catalog/database.h"
 #include "exec/driver.h"
+#include "obs/metrics.h"
 #include "optimizer/optimizer.h"
 #include "tpch/dbgen.h"
 
@@ -47,6 +48,23 @@ void BM_SeqScanLineitem(benchmark::State& state) {
                           db->GetTable("lineitem")->num_rows());
 }
 BENCHMARK(BM_SeqScanLineitem);
+
+// The same scan with trace collection on. Tracing is assembled from the
+// actuals after the run, so the spread between this and BM_SeqScanLineitem
+// is the entire observability overhead (required < 2%).
+void BM_SeqScanLineitemTraced(benchmark::State& state) {
+  Database* db = SharedDb().get();
+  Optimizer opt(db);
+  auto plan = opt.MakeScan("lineitem", "", nullptr);
+  ExecutionOptions options;
+  options.collect_trace = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutePlan(plan->get(), db, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          db->GetTable("lineitem")->num_rows());
+}
+BENCHMARK(BM_SeqScanLineitemTraced);
 
 void BM_HashJoinOrdersLineitem(benchmark::State& state) {
   Database* db = SharedDb().get();
@@ -89,6 +107,31 @@ void BM_BufferPoolColdRead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BufferPoolColdRead);
+
+// Raw metric-update costs, to size the per-access overhead the pool and the
+// serving path pay (a relaxed fetch_add / a couple of relaxed stores).
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  obs::Counter* c =
+      obs::MetricsRegistry::Global()->GetCounter("bench.micro.counter");
+  for (auto _ : state) {
+    c->Increment();
+  }
+  benchmark::DoNotOptimize(c->Value());
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::Histogram* h = obs::MetricsRegistry::Global()->GetHistogram(
+      "bench.micro.histogram", obs::ExponentialBuckets(1.0, 2.0, 16));
+  double v = 0.5;
+  for (auto _ : state) {
+    h->Observe(v);
+    v += 1.0;
+    if (v > 60000.0) v = 0.5;
+  }
+  benchmark::DoNotOptimize(h->Count());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 void BM_OptimizeSixWayJoin(benchmark::State& state) {
   Database* db = SharedDb().get();

@@ -6,6 +6,9 @@
 //   3. Train a hybrid query-performance predictor.
 //   4. Predict the latency of new, unseen queries before running them, then
 //      run them and compare.
+//   5. Inspect one execution: EXPLAIN ANALYZE tree, a Chrome-traceable span
+//      JSON (chrome://tracing or https://ui.perfetto.dev), and the process
+//      metrics snapshot.
 //
 // Build: cmake --build build && ./build/examples/quickstart
 
@@ -13,6 +16,8 @@
 
 #include "catalog/database.h"
 #include "exec/driver.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
 #include "qpp/predictor.h"
 #include "tpch/dbgen.h"
 #include "workload/runner.h"
@@ -90,5 +95,30 @@ int main() {
                 plan->parameter_desc.substr(0, 24).c_str(), *predicted,
                 result->latency_ms, 100.0 * rel);
   }
+
+  // 5. Observability: re-run one template with tracing on and show what the
+  //    obs layer collects.
+  {
+    tpch::TemplateContext ctx{&opt, &db, &rng};
+    auto plan = tpch::GenerateTemplateQuery(3, &ctx);
+    if (plan.ok()) {
+      ExecutionOptions options;
+      options.collect_trace = true;
+      auto result = ExecutePlan(plan->root.get(), &db, options);
+      if (result.ok()) {
+        std::printf("\nEXPLAIN ANALYZE (TPC-H template 3):\n%s",
+                    obs::ExplainAnalyze(*plan->root).c_str());
+        const char* trace_path = "quickstart_trace.json";
+        if (std::FILE* f = std::fopen(trace_path, "w")) {
+          const std::string json = result->trace->ToChromeTraceJson();
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fclose(f);
+          std::printf("\nwrote %s (%zu spans; open in chrome://tracing)\n",
+                      trace_path, result->trace->spans.size());
+        }
+      }
+    }
+  }
+  std::printf("\nprocess metrics:\n%s\n", obs::DumpMetricsJson().c_str());
   return 0;
 }

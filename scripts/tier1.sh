@@ -53,15 +53,17 @@ if [[ $RUN_ASAN_UBSAN -eq 1 ]]; then
 fi
 
 # TSan pass: the thread-pool/CV determinism tests, the ML suite that drives
-# the parallel training paths, and the serving suite (registry hot-swap under
-# concurrent Predict load, feedback-loop retrains). QPP_THREADS>1 forces real
-# concurrency even on small CI machines.
+# the parallel training paths, the serving suite (registry hot-swap under
+# concurrent Predict load, feedback-loop retrains), and the obs suite (the
+# lock-free metrics registry under multi-threaded update load).
+# QPP_THREADS>1 forces real concurrency even on small CI machines.
 if [[ $RUN_TSAN -eq 1 ]]; then
   cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test
+  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test obs_test
   QPP_THREADS=4 ./build-tsan/tests/concurrency_test
   QPP_THREADS=4 ./build-tsan/tests/ml_test
   QPP_THREADS=4 ./build-tsan/tests/serve_test
+  QPP_THREADS=4 ./build-tsan/tests/obs_test
 fi
 
 echo "tier1: OK"

@@ -51,6 +51,11 @@ double Percentile(std::vector<double> v, double p) {
   return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
 }
 
+std::optional<double> RelativeError(double actual, double estimate) {
+  if (actual == 0.0) return std::nullopt;
+  return std::abs(actual - estimate) / std::abs(actual);
+}
+
 namespace {
 
 template <typename Fold>
@@ -61,9 +66,9 @@ double FoldRelativeErrors(const std::vector<double>& actual,
   double acc = init;
   size_t n = 0;
   for (size_t i = 0; i < actual.size(); ++i) {
-    if (actual[i] == 0.0) continue;
-    const double rel = std::abs(actual[i] - estimate[i]) / std::abs(actual[i]);
-    acc = fold(acc, rel);
+    const std::optional<double> rel = RelativeError(actual[i], estimate[i]);
+    if (!rel) continue;
+    acc = fold(acc, *rel);
     ++n;
   }
   if (n == 0) return 0.0;

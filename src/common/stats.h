@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 namespace qpp {
@@ -27,6 +28,16 @@ double PearsonCorrelation(const std::vector<double>& x,
 /// p-th percentile (p in [0, 100]) with linear interpolation; input need not
 /// be sorted.
 double Percentile(std::vector<double> v, double p);
+
+/// Relative error |actual - estimate| / |actual| for ONE pair — the
+/// per-sample building block of the paper's primary error metric. Returns
+/// nullopt when actual == 0, where relative error is undefined; callers
+/// must skip (or otherwise handle) such pairs explicitly. This is the
+/// single convention for the whole codebase: the aggregate helpers below
+/// skip undefined pairs, and the former per-file `RelErr` copies (online,
+/// hybrid, feedback) silently returned 0.0 instead — biasing windowed
+/// errors toward zero whenever a query measured 0 ms.
+std::optional<double> RelativeError(double actual, double estimate);
 
 /// Mean of |actual - estimate| / |actual| over all pairs — the paper's
 /// primary error metric (Section 5.1). Pairs with actual == 0 are skipped.

@@ -158,8 +158,18 @@ Result<ExecutionResult> ExecutePlan(PlanNode* root, Database* db,
   }
   exec->Close();
   result.latency_ms = root->actual.run_time_ms;
-  result.pool_hits = db->buffer_pool()->hits();
-  result.pool_misses = db->buffer_pool()->misses();
+  // Sum the per-operator attribution rather than reading the pool's global
+  // counters: the pool may be shared (InitPlans, interleaved runs), and the
+  // per-node counters were reset with the actuals above.
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(root, &nodes);
+  for (const PlanNode* n : nodes) {
+    result.pool_hits += n->actual.pool_hits;
+    result.pool_misses += n->actual.pool_misses;
+  }
+  if (options.collect_trace) {
+    result.trace = obs::BuildTrace(*root);
+  }
   return result;
 }
 

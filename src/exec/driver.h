@@ -1,9 +1,11 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "catalog/database.h"
 #include "exec/executors.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
 
 namespace qpp {
@@ -29,6 +31,12 @@ struct ExecutionOptions {
   bool cold_start = true;
   /// Keep result rows (disable for timing-only runs of large outputs).
   bool collect_rows = true;
+  /// Assemble a per-operator obs::Trace into ExecutionResult::trace after
+  /// the run. Off by default: tracing is zero-overhead when disabled
+  /// because spans are derived post-execution from the PlanActuals the
+  /// instrumented executor records anyway — no extra clock reads on the
+  /// tuple path either way, only the span assembly is skipped.
+  bool collect_trace = false;
 };
 
 /// Result of one query execution.
@@ -37,8 +45,14 @@ struct ExecutionResult {
   int64_t row_count = 0;
   /// End-to-end latency in ms (equals the root operator's run-time).
   double latency_ms = 0.0;
+  /// Buffer-pool activity of THIS execution, summed from the per-operator
+  /// attribution in PlanActuals (not read back from the pool's global
+  /// counters, so concurrent or interleaved work on a shared pool — e.g. a
+  /// subquery InitPlan executed midway — cannot leak into these).
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Per-operator span tree, present iff ExecutionOptions::collect_trace.
+  std::optional<obs::Trace> trace;
 };
 
 /// Binds, instruments and runs the plan against the database, filling

@@ -79,7 +79,11 @@ Result<bool> SeqScanExecutor::Next(Tuple* out) {
     const int64_t row = next_row_++;
     const int64_t page = table_->PageOfRow(row);
     if (page != last_page_) {
-      ctx_->pool->AccessSequential(table_->id(), page);
+      if (ctx_->pool->AccessSequential(table_->id(), page)) {
+        ++node_->actual.pool_hits;
+      } else {
+        ++node_->actual.pool_misses;
+      }
       last_page_ = page;
       node_->actual.pages += 1;
     }
@@ -113,7 +117,11 @@ Status IndexScanExecutor::Open() {
 Result<bool> IndexScanExecutor::Next(Tuple* out) {
   while (next_match_ < matches_->size()) {
     const int64_t row = (*matches_)[next_match_++];
-    ctx_->pool->AccessRandom(table_->id(), table_->PageOfRow(row));
+    if (ctx_->pool->AccessRandom(table_->id(), table_->PageOfRow(row))) {
+      ++node_->actual.pool_hits;
+    } else {
+      ++node_->actual.pool_misses;
+    }
     node_->actual.pages += 1;
     table_->GetRow(row, &scratch_);
     if (Accepts(predicate_, scratch_)) {

@@ -1,0 +1,88 @@
+#include "obs/explain.h"
+
+#include <cstdio>
+
+namespace qpp::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out->append(buf);
+}
+
+void ExplainRec(const PlanNode& node, int depth,
+                const ExplainAnalyzeOptions& opts, std::string* out) {
+  if (depth > 0) {
+    out->append(static_cast<size_t>(4 * (depth - 1)), ' ');
+    out->append("->  ");
+  }
+  out->append(PlanOpName(node.op));
+  if (!node.label.empty()) {
+    out->append(" on ");
+    out->append(node.label);
+  }
+  if (node.op == PlanOp::kHashJoin || node.op == PlanOp::kMergeJoin ||
+      node.op == PlanOp::kNestedLoopJoin) {
+    out->append(" [");
+    out->append(JoinTypeName(node.join_type));
+    out->append("]");
+  }
+
+  out->append("  (est rows=");
+  AppendF(out, "%.0f", node.est.rows);
+  out->append(" cost=");
+  AppendF(out, "%.2f", node.est.startup_cost);
+  out->append("..");
+  AppendF(out, "%.2f", node.est.total_cost);
+  if (node.est.pages > 0) {
+    out->append(" pages=");
+    AppendF(out, "%.0f", node.est.pages);
+  }
+  out->append(")");
+
+  if (node.actual.valid) {
+    out->append(" (act rows=");
+    AppendF(out, "%.0f", node.actual.rows);
+    if (opts.include_timing) {
+      out->append(" start=");
+      AppendF(out, "%.3f", node.actual.start_time_ms);
+      out->append("ms run=");
+      AppendF(out, "%.3f", node.actual.run_time_ms);
+      out->append("ms");
+    }
+    if (node.actual.pages > 0) {
+      out->append(" pages=");
+      AppendF(out, "%.0f", node.actual.pages);
+    }
+    if (opts.include_pool &&
+        (node.actual.pool_hits > 0 || node.actual.pool_misses > 0)) {
+      out->append(" pool hit=");
+      out->append(std::to_string(node.actual.pool_hits));
+      out->append(" miss=");
+      out->append(std::to_string(node.actual.pool_misses));
+    }
+    out->append(")");
+  } else {
+    out->append(" (never executed)");
+  }
+  if (node.predicate) {
+    out->append("  filter: ");
+    out->append(node.predicate->ToString());
+  }
+  out->append("\n");
+  for (const auto& c : node.children) {
+    ExplainRec(*c, depth + 1, opts, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const PlanNode& root,
+                           const ExplainAnalyzeOptions& options) {
+  std::string out;
+  ExplainRec(root, 0, options, &out);
+  return out;
+}
+
+}  // namespace qpp::obs

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace qpp::obs {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  // %.17g keeps max_digits10 for double, matching the repo's serialization
+  // precision policy.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  // Defensive normalization instead of a Status: metric construction
+  // happens in constructors and function-local statics where error
+  // propagation is not worth the plumbing.
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_.push_back(1.0);
+}
+
+void Histogram::Observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+double Histogram::Quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based); ceil so q=0.5 over one sample
+  // targets that sample.
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(total)));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double prev = static_cast<double>(cum);
+    cum += counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double frac = (target - prev) / static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return bounds_.back();
+}
+
+void Histogram::Reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(std::max(0, count)));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> LinearBuckets(double start, double width, int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(std::max(0, count)));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(start + width * i);
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return &registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(std::string(name)) || histograms_.count(std::string(name))) {
+    return nullptr;
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(std::string(name)) ||
+      histograms_.count(std::string(name))) {
+    return nullptr;
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(std::string(name)) || gauges_.count(std::string(name))) {
+    return nullptr;
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(&out, name);
+    out.append(": ");
+    out.append(std::to_string(c->Value()));
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(&out, name);
+    out.append(": ");
+    AppendDouble(&out, g->Value());
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(&out, name);
+    out.append(": {\"count\": ");
+    out.append(std::to_string(h->Count()));
+    out.append(", \"sum\": ");
+    AppendDouble(&out, h->Sum());
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"p50", 0.50},
+          {"p95", 0.95},
+          {"p99", 0.99}}) {
+      out.append(", \"");
+      out.append(label);
+      out.append("\": ");
+      AppendDouble(&out, h->Quantile(q));
+    }
+    out.append(", \"buckets\": [");
+    const std::vector<uint64_t> counts = h->BucketCounts();
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i) out.append(", ");
+      out.append("{\"le\": ");
+      if (i < bounds.size()) {
+        AppendDouble(&out, bounds[i]);
+      } else {
+        out.append("\"+Inf\"");
+      }
+      out.append(", \"count\": ");
+      out.append(std::to_string(counts[i]));
+      out.append("}");
+    }
+    out.append("]}");
+  }
+  out.append(first ? "}\n" : "\n  }\n");
+  out.append("}\n");
+  return out;
+}
+
+void MetricsRegistry::ResetAllValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string DumpMetricsJson() { return MetricsRegistry::Global()->DumpJson(); }
+
+}  // namespace qpp::obs

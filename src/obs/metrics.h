@@ -1,0 +1,150 @@
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qpp::obs {
+
+/// \brief Process-wide named metrics: counters, gauges and fixed-bucket
+/// histograms.
+///
+/// Registration (GetCounter / GetGauge / GetHistogram) takes a mutex and is
+/// meant for cold paths (constructors, function-local statics). The returned
+/// pointers are stable for the life of the process; all updates through them
+/// are lock-free relaxed atomics, the same discipline as the serving
+/// counters in PredictionService. Readers (DumpJson, Quantile) see a
+/// slightly torn but monotonically consistent view, which is all a metrics
+/// snapshot ever promises.
+///
+/// Naming scheme: `<layer>.<component>.<metric>`, lower_snake_case, units as
+/// a suffix when not obvious (`_ms`, `_us`, `_bytes`). See DESIGN.md
+/// "Observability".
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double value (stored as bits; lock-free on every target
+/// this project builds on).
+class Gauge {
+ public:
+  void Set(double v) noexcept {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double Value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void Reset() noexcept { Set(0.0); }
+
+ private:
+  // 0 is the bit pattern of +0.0, so default construction reads as 0.0.
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram over non-negative values (latencies, sizes).
+/// Bucket boundaries are frozen at construction; Observe is two relaxed
+/// increments plus a CAS-loop add to the running sum. Quantiles are
+/// estimated by linear interpolation inside the covering bucket
+/// (Prometheus-style): an empty histogram reports 0, a single sample
+/// reports its bucket's upper bound.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending and non-empty; an implicit
+  /// +inf overflow bucket is appended. Values <= upper_bounds[i] land in
+  /// bucket i (first match).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v) noexcept;
+
+  uint64_t Count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  /// q in [0, 1]. Returns 0 when empty. Values in the overflow bucket are
+  /// reported as the largest finite bound (the histogram cannot resolve
+  /// beyond its range).
+  double Quantile(double q) const noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative-free per-bucket counts, index-aligned with bounds() plus a
+  /// final overflow slot.
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Zeroes counts and sum (not a consistent snapshot under concurrent
+  /// Observe; meant for tests / stats resets).
+  void Reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// Evenly multiplied bounds: start, start*factor, ... (count values).
+std::vector<double> ExponentialBuckets(double start, double factor, int count);
+/// Evenly spaced bounds: start, start+width, ... (count values).
+std::vector<double> LinearBuckets(double start, double width, int count);
+
+/// \brief Name -> metric map. One process-wide instance (Global());
+/// separate instances are allowed for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry* Global();
+
+  /// Find-or-create by name. Pointers remain valid for the registry's
+  /// lifetime. A name identifies exactly one kind of metric; looking up an
+  /// existing name as a different kind returns nullptr (callers treat that
+  /// as a naming bug). For histograms, the bounds of the first registration
+  /// win; later calls ignore their `upper_bounds` argument.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds);
+
+  /// One JSON object with `counters`, `gauges` and `histograms` maps, keys
+  /// sorted, doubles at full precision. Histograms carry count/sum/
+  /// p50/p95/p99 plus per-bucket cumulative-free counts (`le` of the
+  /// overflow bucket is the string "+Inf").
+  std::string DumpJson() const;
+
+  /// Zeroes every registered metric's value (registrations and pointers
+  /// survive). Test hook.
+  void ResetAllValues();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; metric updates are lock-free
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Snapshot of the global registry, the form wired into bench/ telemetry
+/// and the examples.
+std::string DumpMetricsJson();
+
+}  // namespace qpp::obs

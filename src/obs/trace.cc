@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qpp::obs {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void BuildRec(const PlanNode& node, int parent_id, int depth,
+              double timeline_start_ms, Trace* trace) {
+  TraceSpan span;
+  span.node_id = node.node_id;
+  span.parent_id = parent_id;
+  span.depth = depth;
+  span.op = PlanOpName(node.op);
+  span.label = node.label;
+  span.timeline_start_ms = timeline_start_ms;
+  span.est_rows = node.est.rows;
+  span.est_startup_cost = node.est.startup_cost;
+  span.est_total_cost = node.est.total_cost;
+  span.est_pages = node.est.pages;
+  if (node.actual.valid) {
+    span.start_ms = node.actual.start_time_ms;
+    span.run_ms = node.actual.run_time_ms;
+    span.actual_rows = node.actual.rows;
+    span.actual_pages = node.actual.pages;
+    span.pool_hits = node.actual.pool_hits;
+    span.pool_misses = node.actual.pool_misses;
+  }
+  double children_ms = 0.0;
+  for (const auto& c : node.children) {
+    if (c->actual.valid) children_ms += c->actual.run_time_ms;
+  }
+  span.self_ms = std::max(0.0, span.run_ms - children_ms);
+  trace->pool_hits += span.pool_hits;
+  trace->pool_misses += span.pool_misses;
+
+  trace->spans.push_back(std::move(span));
+
+  // Children are laid out back to back inside the parent's interval;
+  // inclusive timing guarantees they fit.
+  double child_start = timeline_start_ms;
+  for (const auto& c : node.children) {
+    BuildRec(*c, node.node_id, depth + 1, child_start, trace);
+    if (c->actual.valid) child_start += c->actual.run_time_ms;
+  }
+}
+
+}  // namespace
+
+Trace BuildTrace(const PlanNode& root) {
+  Trace trace;
+  trace.spans.reserve(static_cast<size_t>(root.NodeCount()));
+  BuildRec(root, /*parent_id=*/-1, /*depth=*/0, /*timeline_start_ms=*/0.0,
+           &trace);
+  trace.total_ms = root.actual.valid ? root.actual.run_time_ms : 0.0;
+  return trace;
+}
+
+std::string Trace::ToChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i) out.append(",");
+    out.append("\n  {\"name\": ");
+    std::string name = s.op;
+    if (!s.label.empty()) name += " on " + s.label;
+    AppendQuoted(&out, name);
+    out.append(", \"cat\": \"operator\", \"ph\": \"X\", \"pid\": 1, "
+               "\"tid\": 1, \"ts\": ");
+    AppendDouble(&out, s.timeline_start_ms * 1e3);  // microseconds
+    out.append(", \"dur\": ");
+    AppendDouble(&out, s.run_ms * 1e3);
+    out.append(", \"args\": {\"node_id\": ");
+    out.append(std::to_string(s.node_id));
+    out.append(", \"parent_id\": ");
+    out.append(std::to_string(s.parent_id));
+    out.append(", \"est_rows\": ");
+    AppendDouble(&out, s.est_rows);
+    out.append(", \"actual_rows\": ");
+    AppendDouble(&out, s.actual_rows);
+    out.append(", \"est_total_cost\": ");
+    AppendDouble(&out, s.est_total_cost);
+    out.append(", \"start_ms\": ");
+    AppendDouble(&out, s.start_ms);
+    out.append(", \"self_ms\": ");
+    AppendDouble(&out, s.self_ms);
+    out.append(", \"pages\": ");
+    AppendDouble(&out, s.actual_pages);
+    out.append(", \"pool_hits\": ");
+    out.append(std::to_string(s.pool_hits));
+    out.append(", \"pool_misses\": ");
+    out.append(std::to_string(s.pool_misses));
+    out.append("}}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+}  // namespace qpp::obs

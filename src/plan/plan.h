@@ -68,6 +68,12 @@ struct PlanActuals {
   double rows = 0.0;
   /// Actual pages charged by this operator itself.
   double pages = 0.0;
+  /// Buffer-pool hits/misses charged by this operator itself (scans only;
+  /// composite operators never touch the pool directly). Summed per
+  /// execution into ExecutionResult and the trace spans, so a pool shared
+  /// with other work cannot leak into this run's accounting.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
 };
 
 /// \brief A node of a physical query plan.

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/stats.h"
 #include "common/thread_pool.h"
 
 namespace qpp {
@@ -16,11 +17,6 @@ struct Candidate {
   std::vector<PlanOccurrence> occurrences;
   double avg_error = 0.0;
 };
-
-double RelErr(double actual, double estimate) {
-  if (actual == 0.0) return 0.0;
-  return std::abs(actual - estimate) / std::abs(actual);
-}
 
 }  // namespace
 
@@ -69,7 +65,7 @@ Status HybridModel::EvaluateTrainingError(
     const double pred =
         op_models_.PredictQuery(*q, config_.plan_config.feature_mode,
                                 MakeOverride(*q, config_.plan_config.feature_mode));
-    errs[i] = RelErr(q->latency_ms, pred);
+    errs[i] = *RelativeError(q->latency_ms, pred);  // latency_ms > 0 above
     counted[i] = 1;
     return Status::OK();
   }));
@@ -143,7 +139,7 @@ Status HybridModel::Train(const std::vector<const QueryRecord*>& queries) {
         if (op.actual.run_time_ms <= 0) continue;
         const TimePrediction pred = op_models_.PredictSubplan(
             *occ.query, occ.op_index, mode, MakeOverride(*occ.query, mode));
-        err += RelErr(op.actual.run_time_ms, pred.run_ms);
+        err += *RelativeError(op.actual.run_time_ms, pred.run_ms);
         ++n;
       }
       cand.avg_error = n == 0 ? 0.0 : err / static_cast<double>(n);

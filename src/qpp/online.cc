@@ -3,15 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/stats.h"
+
 namespace qpp {
-namespace {
-
-double RelErr(double actual, double estimate) {
-  if (actual == 0.0) return 0.0;
-  return std::abs(actual - estimate) / std::abs(actual);
-}
-
-}  // namespace
 
 OnlinePredictor::OnlinePredictor(std::vector<const QueryRecord*> training,
                                  const OperatorModelSet* op_models,
@@ -55,7 +49,8 @@ const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) const 
     if (op.actual.run_time_ms <= 0) continue;
     const TimePrediction pred = op_models_->PredictSubplan(
         *occ.query, occ.op_index, plan_config_.feature_mode);
-    op_err += RelErr(op.actual.run_time_ms, pred.run_ms);
+    // run_time_ms > 0 was checked above, so the relative error is defined.
+    op_err += *RelativeError(op.actual.run_time_ms, pred.run_ms);
     ++n;
   }
   op_err = n == 0 ? 1e300 : op_err / static_cast<double>(n);

@@ -1,15 +1,39 @@
 #include "serve/feedback.h"
 
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <utility>
 
+#include "common/stats.h"
+#include "obs/metrics.h"
+
 namespace qpp::serve {
 namespace {
 
-double RelErr(double actual, double estimate) {
-  if (actual == 0.0) return 0.0;
-  return std::abs(actual - estimate) / std::abs(actual);
+// Registry pointers are stable for the process lifetime; resolve once.
+obs::Gauge* WindowedErrGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Global()->GetGauge(
+      "serve.feedback.windowed_rel_err");
+  return g;
+}
+
+obs::Counter* RetrainsTriggeredCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global()->GetCounter(
+      "serve.feedback.retrains_triggered");
+  return c;
+}
+
+obs::Counter* RetrainsPublishedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global()->GetCounter(
+      "serve.feedback.retrains_published");
+  return c;
+}
+
+obs::Histogram* RetrainMsHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global()->GetHistogram(
+      "serve.feedback.retrain_ms", obs::ExponentialBuckets(1.0, 2.0, 16));
+  return h;
 }
 
 }  // namespace
@@ -52,8 +76,13 @@ Status FeedbackLoop::Observe(const QueryRecord& executed) {
     if (snapshot != nullptr && executed.latency_ms > 0) {
       auto predicted = snapshot->predictor->PredictLatencyMs(executed);
       if (predicted.ok()) {
-        window_.push_back(RelErr(executed.latency_ms, *predicted));
+        // latency_ms > 0 was checked above, so the error is defined.
+        window_.push_back(*RelativeError(executed.latency_ms, *predicted));
         while (window_.size() > config_.window_size) window_.pop_front();
+        double total = 0.0;
+        for (double e : window_) total += e;
+        WindowedErrGauge()->Set(total /
+                                static_cast<double>(window_.size()));
       }
     }
     corpus_.queries.push_back(executed);
@@ -110,17 +139,24 @@ std::optional<QueryLog> FeedbackLoop::MaybeBeginRetrainLocked() {
 
   retrain_in_flight_.store(true);
   retrains_triggered_.fetch_add(1);
+  RetrainsTriggeredCounter()->Increment();
   // Snapshot the corpus for the background task; training works on the
   // copy, so Observe keeps accumulating meanwhile.
   return corpus_;
 }
 
 Status FeedbackLoop::RetrainAndPublish(QueryLog corpus) {
+  const auto t0 = std::chrono::steady_clock::now();
   auto predictor =
       std::make_shared<QueryPerformancePredictor>(config_.retrain_config);
   Status st = predictor->Train(corpus);
+  RetrainMsHistogram()->Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   if (st.ok()) {
     const uint64_t published = retrains_published_.fetch_add(1) + 1;
+    RetrainsPublishedCounter()->Increment();
     registry_->Publish(std::move(predictor),
                        "retrain#" + std::to_string(published));
   }

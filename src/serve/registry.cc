@@ -2,12 +2,20 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace qpp::serve {
 
 uint64_t ModelRegistry::Publish(
     std::shared_ptr<const QueryPerformancePredictor> predictor,
     std::string source) {
   assert(predictor != nullptr && predictor->trained());
+  // Process-wide swap telemetry; cheap enough to resolve per publish
+  // (publishing is rare and already takes a mutex).
+  static obs::Gauge* version_gauge =
+      obs::MetricsRegistry::Global()->GetGauge("serve.registry.version");
+  static obs::Counter* swap_counter =
+      obs::MetricsRegistry::Global()->GetCounter("serve.registry.swaps");
   auto version = std::make_shared<ModelVersion>();
   version->source = std::move(source);
   version->predictor = std::move(predictor);
@@ -17,6 +25,8 @@ uint64_t ModelRegistry::Publish(
   const ModelVersion* raw = version.get();
   history_.push_back(std::move(version));
   current_.store(raw, std::memory_order_release);
+  version_gauge->Set(static_cast<double>(v));
+  swap_counter->Increment();
   return v;
 }
 

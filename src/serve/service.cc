@@ -16,9 +16,15 @@ uint64_t NowNs() {
 
 PredictionService::PredictionService(ModelRegistry* registry, ThreadPool* pool)
     : registry_(registry),
-      pool_(pool != nullptr ? pool : ThreadPool::Global()) {}
+      pool_(pool != nullptr ? pool : ThreadPool::Global()),
+      // 1 us .. ~65 ms in powers of two; predictions are sub-millisecond so
+      // the low buckets carry the resolution.
+      latency_hist_(obs::MetricsRegistry::Global()->GetHistogram(
+          "serve.predict.latency_us",
+          obs::ExponentialBuckets(1.0, 2.0, 17))) {}
 
 void PredictionService::RecordLatency(uint64_t ns) const {
+  latency_hist_->Observe(static_cast<double>(ns) / 1e3);
   latency_ns_total_.fetch_add(ns, std::memory_order_relaxed);
   uint64_t prev = latency_ns_max_.load(std::memory_order_relaxed);
   while (ns > prev &&
@@ -70,7 +76,7 @@ PredictionService::PredictBatch(const std::vector<QueryRecord>& queries) const {
   return out;
 }
 
-ServiceStats PredictionService::Stats() const {
+ServiceStats PredictionService::Snapshot() const {
   ServiceStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
@@ -82,6 +88,9 @@ ServiceStats PredictionService::Stats() const {
   s.max_latency_us =
       static_cast<double>(latency_ns_max_.load(std::memory_order_relaxed)) /
       1e3;
+  s.p50_latency_us = latency_hist_->Quantile(0.50);
+  s.p95_latency_us = latency_hist_->Quantile(0.95);
+  s.p99_latency_us = latency_hist_->Quantile(0.99);
   s.last_version = last_version_.load(std::memory_order_relaxed);
   return s;
 }
@@ -92,6 +101,7 @@ void PredictionService::ResetStats() {
   latency_ns_total_.store(0);
   latency_ns_max_.store(0);
   last_version_.store(0);
+  latency_hist_->Reset();
 }
 
 }  // namespace qpp::serve

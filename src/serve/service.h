@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/registry.h"
 
 namespace qpp::serve {
@@ -17,6 +18,12 @@ struct ServiceStats {
   /// Mean / max per-request prediction latency, microseconds.
   double mean_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// Latency percentiles in microseconds, estimated from the shared
+  /// "serve.predict.latency_us" histogram in obs::MetricsRegistry (bucket
+  /// interpolation, so approximate; 0 when no request has been served).
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
   /// Model version served by the most recent request (0 if none yet).
   uint64_t last_version = 0;
 };
@@ -55,7 +62,15 @@ class PredictionService {
   Result<std::vector<Prediction>> PredictBatch(
       const std::vector<QueryRecord>& queries) const;
 
-  ServiceStats Stats() const;
+  /// Canonical stats accessor; percentiles come from the process-wide
+  /// "serve.predict.latency_us" histogram shared through
+  /// obs::MetricsRegistry::Global() (so they aggregate across every
+  /// PredictionService in the process).
+  ServiceStats Snapshot() const;
+  /// Back-compat alias for Snapshot().
+  ServiceStats Stats() const { return Snapshot(); }
+  /// Zeroes this service's counters AND resets the shared latency
+  /// histogram — process-wide, like the histogram itself. Test hook.
   void ResetStats();
 
   ModelRegistry* registry() const { return registry_; }
@@ -67,6 +82,8 @@ class PredictionService {
 
   ModelRegistry* registry_;
   ThreadPool* pool_;
+  /// Shared latency histogram (registry-owned, never null).
+  obs::Histogram* latency_hist_;
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> errors_{0};
   mutable std::atomic<uint64_t> latency_ns_total_{0};

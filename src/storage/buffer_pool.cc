@@ -1,8 +1,17 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace qpp {
 
-BufferPool::BufferPool(Config config) : config_(config) {
+BufferPool::BufferPool(Config config)
+    : config_(config),
+      metric_hits_(obs::MetricsRegistry::Global()->GetCounter(
+          "storage.buffer_pool.hits")),
+      metric_misses_(obs::MetricsRegistry::Global()->GetCounter(
+          "storage.buffer_pool.misses")),
+      metric_hit_rate_(obs::MetricsRegistry::Global()->GetGauge(
+          "storage.buffer_pool.hit_rate")) {
   uint64_t x = 0x2545F4914F6CDD1DULL;
   for (auto& w : scratch_) {
     x ^= x << 13;
@@ -12,24 +21,34 @@ BufferPool::BufferPool(Config config) : config_(config) {
   }
 }
 
-void BufferPool::AccessSequential(int table_id, int64_t page_index) {
-  Access(table_id, page_index, config_.io_work_passes);
+bool BufferPool::AccessSequential(int table_id, int64_t page_index) {
+  return Access(table_id, page_index, config_.io_work_passes);
 }
 
-void BufferPool::AccessRandom(int table_id, int64_t page_index) {
-  Access(table_id, page_index,
-         config_.io_work_passes * config_.random_multiplier);
+bool BufferPool::AccessRandom(int table_id, int64_t page_index) {
+  return Access(table_id, page_index,
+                config_.io_work_passes * config_.random_multiplier);
 }
 
-void BufferPool::Access(int table_id, int64_t page_index, int work_passes) {
+bool BufferPool::Access(int table_id, int64_t page_index, int work_passes) {
   const Key key = MakeKey(table_id, page_index);
   auto it = pages_.find(key);
   if (it != pages_.end()) {
     ++hits_;
+    ++lifetime_hits_;
+    metric_hits_->Increment();
+    metric_hit_rate_->Set(static_cast<double>(lifetime_hits_) /
+                          static_cast<double>(lifetime_hits_ +
+                                              lifetime_misses_));
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return true;
   }
   ++misses_;
+  ++lifetime_misses_;
+  metric_misses_->Increment();
+  metric_hit_rate_->Set(static_cast<double>(lifetime_hits_) /
+                        static_cast<double>(lifetime_hits_ +
+                                            lifetime_misses_));
   PerformReadWork(work_passes);
   lru_.push_front(key);
   pages_[key] = lru_.begin();
@@ -37,6 +56,7 @@ void BufferPool::Access(int table_id, int64_t page_index, int work_passes) {
     pages_.erase(lru_.back());
     lru_.pop_back();
   }
+  return false;
 }
 
 void BufferPool::PerformReadWork(int passes) {

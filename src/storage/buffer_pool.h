@@ -1,11 +1,17 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
 
 namespace qpp {
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
 
 /// \brief Simulated disk subsystem: an LRU buffer pool over logical 8 KB
 /// pages.
@@ -39,11 +45,13 @@ class BufferPool {
   explicit BufferPool(Config config);
 
   /// Sequential access to page `page_index` of table `table_id`. Performs
-  /// read work on a miss and updates recency.
-  void AccessSequential(int table_id, int64_t page_index);
+  /// read work on a miss and updates recency. Returns true on a hit, so
+  /// callers can attribute pool activity per operator without re-reading
+  /// the global counters.
+  bool AccessSequential(int table_id, int64_t page_index);
 
-  /// Random access (index lookups); costlier on miss.
-  void AccessRandom(int table_id, int64_t page_index);
+  /// Random access (index lookups); costlier on miss. Returns true on hit.
+  bool AccessRandom(int table_id, int64_t page_index);
 
   /// Drops all cached pages — the experiment harness calls this before each
   /// query to reproduce the paper's cold-start runs.
@@ -56,14 +64,31 @@ class BufferPool {
 
   const Config& config() const { return config_; }
 
- private:
-  using Key = uint64_t;  // (table_id << 40) | page_index
-  static Key MakeKey(int table_id, int64_t page_index) {
-    return (static_cast<uint64_t>(static_cast<uint32_t>(table_id)) << 40) |
-           static_cast<uint64_t>(page_index);
+  /// Key layout: bits [63:40] table id (24 bits), bits [39:0] page index
+  /// (40 bits, 8 EB of 8 KB pages per table). Both fields are masked so an
+  /// out-of-range page index can never bleed into the table-id bits and
+  /// silently alias a page of another table (the unmasked packing did
+  /// exactly that for page_index >= 2^40 or negative table ids); debug
+  /// builds additionally assert the precondition. Public for tests.
+  static constexpr int kTableIdBits = 24;
+  static constexpr int kPageIndexBits = 40;
+  static uint64_t MakeKey(int table_id, int64_t page_index) {
+    assert(table_id >= 0 &&
+           table_id < (1 << kTableIdBits) &&
+           page_index >= 0 &&
+           page_index < (int64_t{1} << kPageIndexBits));
+    constexpr uint64_t kPageMask = (uint64_t{1} << kPageIndexBits) - 1;
+    constexpr uint64_t kTableMask = (uint64_t{1} << kTableIdBits) - 1;
+    return ((static_cast<uint64_t>(static_cast<int64_t>(table_id)) &
+             kTableMask)
+            << kPageIndexBits) |
+           (static_cast<uint64_t>(page_index) & kPageMask);
   }
 
-  void Access(int table_id, int64_t page_index, int work_passes);
+ private:
+  using Key = uint64_t;
+
+  bool Access(int table_id, int64_t page_index, int work_passes);
   void PerformReadWork(int passes);
 
   Config config_;
@@ -71,6 +96,14 @@ class BufferPool {
   std::unordered_map<Key, std::list<Key>::iterator> pages_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Process-wide metrics (registry-owned, stable for process lifetime).
+  // Unlike hits_/misses_ these are never reset per execution, so the
+  // exported hit rate reflects the whole process.
+  obs::Counter* metric_hits_;
+  obs::Counter* metric_misses_;
+  obs::Gauge* metric_hit_rate_;
+  uint64_t lifetime_hits_ = 0;
+  uint64_t lifetime_misses_ = 0;
   // Scratch buffer the read work runs over; contents are irrelevant, the
   // pass is what costs time.
   uint64_t scratch_[kPageSize / sizeof(uint64_t)];

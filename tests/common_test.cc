@@ -437,6 +437,35 @@ TEST(StatsTest, RelativeErrorSkipsZeroActuals) {
   EXPECT_NEAR(MeanRelativeError({0, 10}, {5, 20}), 1.0, 1e-12);
 }
 
+// Regression for the deduped per-pair helper: the former per-file RelErr
+// copies returned 0.0 for actual == 0, silently biasing averages toward
+// zero; the shared helper makes the undefined case explicit instead.
+TEST(StatsTest, RelativeErrorSingle) {
+  ASSERT_TRUE(RelativeError(10.0, 5.0).has_value());
+  EXPECT_NEAR(*RelativeError(10.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(*RelativeError(-10.0, -5.0), 0.5, 1e-12);
+  EXPECT_NEAR(*RelativeError(4.0, 4.0), 0.0, 1e-12);
+  EXPECT_FALSE(RelativeError(0.0, 5.0).has_value());
+  EXPECT_FALSE(RelativeError(0.0, 0.0).has_value());
+}
+
+// The aggregate metrics must agree with folding the per-pair helper, zeros
+// skipped — one convention everywhere.
+TEST(StatsTest, RelativeErrorAggregatesMatchSingle) {
+  const std::vector<double> actual = {0, 10, 100};
+  const std::vector<double> est = {5, 5, 110};
+  double sum = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (auto rel = RelativeError(actual[i], est[i])) {
+      sum += *rel;
+      ++n;
+    }
+  }
+  ASSERT_EQ(n, 2);
+  EXPECT_NEAR(MeanRelativeError(actual, est), sum / n, 1e-12);
+}
+
 TEST(StatsTest, RSquaredPerfectFit) {
   const std::vector<double> y = {1, 2, 3};
   EXPECT_DOUBLE_EQ(RSquared(y, y), 1.0);

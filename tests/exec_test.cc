@@ -359,5 +359,107 @@ TEST_F(ExecTest, ExplainIncludesOperatorsAndActuals) {
   EXPECT_NE(text.find("filter:"), std::string::npos);
 }
 
+// Regression: ExecutionResult pool counters cover exactly this execution,
+// whatever cold_start says and whatever else touched the shared pool before.
+TEST_F(ExecTest, PoolCountersResetPerExecution) {
+  auto plan = Scan("sales", nullptr);
+  ExecutionOptions cold;
+  cold.cold_start = true;
+  auto r_cold = ExecutePlan(plan.get(), &db_, cold);
+  ASSERT_TRUE(r_cold.ok());
+  EXPECT_GT(r_cold->pool_misses, 0u);
+  EXPECT_EQ(r_cold->pool_hits, 0u);
+
+  // Warm run immediately after: every page the cold run touched must count
+  // as a hit of THIS run only — no carry-over from the cold run's misses.
+  ExecutionOptions warm;
+  warm.cold_start = false;
+  auto r_warm1 = ExecutePlan(plan.get(), &db_, warm);
+  ASSERT_TRUE(r_warm1.ok());
+  EXPECT_EQ(r_warm1->pool_misses, 0u);
+  EXPECT_EQ(r_warm1->pool_hits, r_cold->pool_misses);
+
+  // Repeating the warm run yields identical per-run counters (nothing
+  // accumulates across executions).
+  auto r_warm2 = ExecutePlan(plan.get(), &db_, warm);
+  ASSERT_TRUE(r_warm2.ok());
+  EXPECT_EQ(r_warm2->pool_hits, r_warm1->pool_hits);
+  EXPECT_EQ(r_warm2->pool_misses, r_warm1->pool_misses);
+}
+
+// The result counters are the sum of the per-operator attribution, and only
+// scan operators ever charge the pool.
+TEST_F(ExecTest, PoolCountersMatchPerOperatorAttribution) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  auto plan = std::move(*join);
+  auto res = Run(plan.get());
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(plan.get(), &nodes);
+  uint64_t hits = 0, misses = 0;
+  for (const PlanNode* n : nodes) {
+    if (n->op != PlanOp::kSeqScan && n->op != PlanOp::kIndexScan) {
+      EXPECT_EQ(n->actual.pool_hits, 0u) << PlanOpName(n->op);
+      EXPECT_EQ(n->actual.pool_misses, 0u) << PlanOpName(n->op);
+    }
+    hits += n->actual.pool_hits;
+    misses += n->actual.pool_misses;
+  }
+  EXPECT_EQ(res.pool_hits, hits);
+  EXPECT_EQ(res.pool_misses, misses);
+  EXPECT_GT(misses, 0u);  // cold start: the scans faulted their pages in
+}
+
+TEST_F(ExecTest, TraceCollectionOffByDefault) {
+  auto plan = Scan("users", nullptr);
+  auto res = Run(plan.get());
+  EXPECT_FALSE(res.trace.has_value());
+}
+
+TEST_F(ExecTest, TraceConsistentWithLatencyAndActuals) {
+  auto join = opt_->MakeJoin(PlanOp::kHashJoin, JoinType::kInner,
+                             Scan("users", nullptr), Scan("sales", nullptr),
+                             {{"uid", "uid2"}}, nullptr);
+  ASSERT_TRUE(join.ok());
+  auto plan = std::move(*join);
+  ExecutionOptions options;
+  options.collect_trace = true;
+  auto r = ExecutePlan(plan.get(), &db_, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->trace.has_value());
+  const obs::Trace& trace = *r->trace;
+
+  // One span per operator, root first, total == latency.
+  EXPECT_EQ(static_cast<int>(trace.spans.size()), plan->NodeCount());
+  ASSERT_FALSE(trace.spans.empty());
+  EXPECT_EQ(trace.spans[0].parent_id, -1);
+  EXPECT_DOUBLE_EQ(trace.total_ms, r->latency_ms);
+  EXPECT_DOUBLE_EQ(trace.spans[0].run_ms, r->latency_ms);
+
+  // Self times telescope: sum(self_ms) == root run time (exclusive times
+  // partition the inclusive root interval).
+  double self_sum = 0.0;
+  for (const auto& s : trace.spans) self_sum += s.self_ms;
+  EXPECT_NEAR(self_sum, r->latency_ms, 1e-9);
+
+  // Every child interval nests inside its parent's.
+  for (const auto& s : trace.spans) {
+    if (s.parent_id < 0) continue;
+    const auto parent = std::find_if(
+        trace.spans.begin(), trace.spans.end(),
+        [&](const obs::TraceSpan& p) { return p.node_id == s.parent_id; });
+    ASSERT_NE(parent, trace.spans.end());
+    EXPECT_GE(s.timeline_start_ms, parent->timeline_start_ms - 1e-9);
+    EXPECT_LE(s.timeline_start_ms + s.run_ms,
+              parent->timeline_start_ms + parent->run_ms + 1e-9);
+  }
+
+  // Pool attribution flows through unchanged.
+  EXPECT_EQ(trace.pool_hits, r->pool_hits);
+  EXPECT_EQ(trace.pool_misses, r->pool_misses);
+}
+
 }  // namespace
 }  // namespace qpp

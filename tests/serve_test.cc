@@ -16,6 +16,7 @@
 
 #include "common/checksum.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/feedback.h"
 #include "serve/model_store.h"
@@ -378,6 +379,59 @@ TEST(ServiceTest, PredictBatchServesOneConsistentSnapshot) {
     ASSERT_TRUE(serial.ok());
     EXPECT_EQ((*batch)[i].predicted_ms, serial->predicted_ms);
   }
+}
+
+TEST(ServiceTest, SnapshotReportsLatencyPercentilesFromRegistry) {
+  const QueryLog log = SyntheticLog(60);
+  ModelRegistry registry;
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log),
+                   "initial");
+  PredictionService service(&registry);
+  // The latency histogram is process-wide; start from a clean slate so this
+  // test sees only its own observations.
+  service.ResetStats();
+
+  for (int round = 0; round < 3; ++round) {
+    for (const QueryRecord& q : log.queries) {
+      ASSERT_TRUE(service.Predict(q).ok());
+    }
+  }
+  const serve::ServiceStats stats = service.Snapshot();
+  EXPECT_EQ(stats.requests, 3 * log.queries.size());
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+  EXPECT_LE(stats.p50_latency_us, stats.p95_latency_us);
+  EXPECT_LE(stats.p95_latency_us, stats.p99_latency_us);
+  // The histogram backing the percentiles is the shared registry one.
+  obs::Histogram* hist = obs::MetricsRegistry::Global()->GetHistogram(
+      "serve.predict.latency_us", {});
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Count(), stats.requests);
+  EXPECT_DOUBLE_EQ(hist->Quantile(0.50), stats.p50_latency_us);
+
+  // Stats() stays as an alias of Snapshot().
+  EXPECT_EQ(service.Stats().requests, stats.requests);
+
+  service.ResetStats();
+  const serve::ServiceStats cleared = service.Snapshot();
+  EXPECT_EQ(cleared.requests, 0u);
+  EXPECT_DOUBLE_EQ(cleared.p50_latency_us, 0.0);
+}
+
+TEST(RegistryTest, PublishUpdatesSwapMetrics) {
+  obs::Counter* swaps =
+      obs::MetricsRegistry::Global()->GetCounter("serve.registry.swaps");
+  obs::Gauge* version =
+      obs::MetricsRegistry::Global()->GetGauge("serve.registry.version");
+  const uint64_t swaps_before = swaps->Value();
+
+  const QueryLog log = SyntheticLog(60);
+  ModelRegistry registry;
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log), "a");
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log), "b");
+  EXPECT_EQ(swaps->Value(), swaps_before + 2);
+  // The gauge tracks the most recent publish's version (per registry; two
+  // registries share it, last write wins — this test uses one).
+  EXPECT_DOUBLE_EQ(version->Value(), 2.0);
 }
 
 // ------------------------------ feedback -----------------------------------

@@ -238,6 +238,44 @@ TEST(BufferPoolTest, FlushAllColdStart) {
   EXPECT_EQ(pool.misses(), 2u);
 }
 
+TEST(BufferPoolTest, AccessReturnsHitStatus) {
+  BufferPool pool;
+  EXPECT_FALSE(pool.AccessSequential(1, 0));  // cold: miss
+  EXPECT_TRUE(pool.AccessSequential(1, 0));   // cached: hit
+  EXPECT_FALSE(pool.AccessRandom(1, 7));
+  EXPECT_TRUE(pool.AccessRandom(1, 7));
+}
+
+// Regression for the key packing: the old (table_id << 40) | page_index
+// left page_index unmasked, so a page index with bits above 2^40 silently
+// aliased a page of a DIFFERENT table. The masked layout keeps the fields
+// in their own bit ranges.
+TEST(BufferPoolTest, MakeKeyFieldBoundaries) {
+  // In-range values round-trip into disjoint keys.
+  EXPECT_NE(BufferPool::MakeKey(1, 0), BufferPool::MakeKey(2, 0));
+  EXPECT_NE(BufferPool::MakeKey(1, 0), BufferPool::MakeKey(1, 1));
+
+  // Extremes of each field stay in their own bits.
+  const int max_table = (1 << BufferPool::kTableIdBits) - 1;
+  const int64_t max_page = (int64_t{1} << BufferPool::kPageIndexBits) - 1;
+  EXPECT_EQ(BufferPool::MakeKey(max_table, max_page), ~uint64_t{0});
+  EXPECT_EQ(BufferPool::MakeKey(0, max_page), (uint64_t{1} << 40) - 1);
+  EXPECT_EQ(BufferPool::MakeKey(max_table, 0),
+            ~uint64_t{0} << BufferPool::kPageIndexBits);
+
+#ifdef NDEBUG
+  // The old collision: table 1 with page 2^41 used to equal table 3 page 0
+  // ((1 << 40) | (1 << 41) == 3 << 40). With masking the out-of-range page
+  // wraps within table 1's range instead of bleeding into the table bits.
+  // Debug builds assert on this precondition violation, so the masked
+  // fallback is only observable (and only tested) with NDEBUG.
+  EXPECT_NE(BufferPool::MakeKey(1, int64_t{1} << 41),
+            BufferPool::MakeKey(3, 0));
+  EXPECT_EQ(BufferPool::MakeKey(1, int64_t{1} << 41),
+            BufferPool::MakeKey(1, 0));
+#endif
+}
+
 TEST(BufferPoolTest, ColdReadCostsMeasurableTime) {
   BufferPool::Config cfg;
   cfg.io_work_passes = 50;
