@@ -1,8 +1,10 @@
 #include "bench/bench_json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -16,6 +18,9 @@ struct BenchRecord {
   int64_t iterations = 0;
   double wall_ms = 0.0;
   int64_t threads = 1;
+  /// User counters attached via state.counters (sorted by name) — how the
+  /// serving benches report qps and latency quantiles per configuration.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Console reporter that additionally captures every per-iteration run for
@@ -35,6 +40,10 @@ class CapturingReporter : public benchmark::ConsoleReporter {
                               static_cast<double>(run.iterations)
                         : run.real_accumulated_time * 1e3;
       rec.threads = run.threads;
+      for (const auto& [name, counter] : run.counters) {
+        rec.counters.emplace_back(name, counter.value);
+      }
+      std::sort(rec.counters.begin(), rec.counters.end());
       records_.push_back(std::move(rec));
     }
     ConsoleReporter::ReportRuns(runs);
@@ -73,12 +82,21 @@ void WriteJson(const char* bench_name,
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
+    std::string counters;
+    for (size_t c = 0; c < r.counters.size(); ++c) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s\"%s\": %.6f", c > 0 ? ", " : "",
+                    JsonEscape(r.counters[c].first).c_str(),
+                    r.counters[c].second);
+      counters += buf;
+    }
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"iterations\": %lld, "
-                 "\"wall_ms\": %.6f, \"threads\": %lld}%s\n",
+                 "\"wall_ms\": %.6f, \"threads\": %lld, "
+                 "\"counters\": {%s}}%s\n",
                  JsonEscape(r.name).c_str(),
                  static_cast<long long>(r.iterations), r.wall_ms,
-                 static_cast<long long>(r.threads),
+                 static_cast<long long>(r.threads), counters.c_str(),
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -10,85 +10,17 @@
 
 #include "bench/bench_json.h"
 #include "bench/check.h"
-#include "common/rng.h"
 #include "qpp/predictor.h"
 #include "serve/registry.h"
 #include "serve/service.h"
-#include "workload/query_log.h"
+#include "workload/synthetic.h"
 
 namespace qpp {
 namespace {
 
-// Compact deterministic workload (same latency structure as the serve_test
-// generator): three plan shapes with latencies linear in a size knob.
-QueryRecord SyntheticQuery(int shape, double s, Rng* rng) {
-  auto op = [](int id, int parent, int left, int right, PlanOp type,
-               const char* rel, double rows, double cost, double run) {
-    OperatorRecord o;
-    o.node_id = id;
-    o.parent_id = parent;
-    o.left_child = left;
-    o.right_child = right;
-    o.op = type;
-    o.relation = rel;
-    o.est.startup_cost = cost * 0.1;
-    o.est.total_cost = cost;
-    o.est.rows = rows;
-    o.est.width = 32.0;
-    o.est.pages = rows / 50.0 + 1.0;
-    o.est.selectivity = 0.4;
-    o.actual.valid = true;
-    o.actual.rows = rows * 1.1;
-    o.actual.pages = o.est.pages;
-    o.actual.start_time_ms = run * 0.1;
-    o.actual.run_time_ms = run;
-    return o;
-  };
-  const double n1 = rng->UniformDouble(-0.1, 0.1);
-  QueryRecord q;
-  q.template_id = 900 + shape;
-  if (shape == 0) {
-    const double scan = 2.0 * s + 0.5 + n1;
-    q.ops.push_back(op(0, -1, 1, -1, PlanOp::kHashAggregate, "", 8.0,
-                       90.0 * s + 30.0, scan + 1.5 * s + 0.3));
-    q.ops.push_back(op(1, 0, -1, -1, PlanOp::kSeqScan, "lineitem", 1000.0 * s,
-                       50.0 * s + 10.0, scan));
-  } else if (shape == 1) {
-    const double o_run = 1.0 * s + 0.2 + n1;
-    const double l_run = 3.0 * s + 0.4;
-    const double j_run = o_run + l_run + 2.0 * s + 0.5;
-    q.ops.push_back(op(0, -1, 1, -1, PlanOp::kSort, "", 300.0 * s,
-                       260.0 * s + 80.0, j_run + 1.0 * s + 0.2));
-    q.ops.push_back(op(1, 0, 2, 3, PlanOp::kHashJoin, "", 300.0 * s,
-                       200.0 * s + 60.0, j_run));
-    q.ops.push_back(op(2, 1, -1, -1, PlanOp::kSeqScan, "orders", 500.0 * s,
-                       25.0 * s + 5.0, o_run));
-    q.ops.push_back(op(3, 1, -1, -1, PlanOp::kSeqScan, "lineitem",
-                       1500.0 * s, 75.0 * s + 15.0, l_run));
-  } else {
-    const double c_run = 0.8 * s + 0.3 + n1;
-    const double i_run = 1.2 * s + 0.2;
-    q.ops.push_back(op(0, -1, 1, 2, PlanOp::kHashJoin, "", 150.0 * s,
-                       120.0 * s + 40.0, c_run + i_run + 1.5 * s + 0.4));
-    q.ops.push_back(op(1, 0, -1, -1, PlanOp::kSeqScan, "customer", 200.0 * s,
-                       10.0 * s + 4.0, c_run));
-    q.ops.push_back(op(2, 1, -1, -1, PlanOp::kIndexScan, "orders", 180.0 * s,
-                       9.0 * s + 6.0, i_run));
-  }
-  q.latency_ms = q.ops.front().actual.run_time_ms;
-  RecomputeStructuralKeys(&q);
-  return q;
-}
-
-QueryLog SyntheticLog(int n) {
-  Rng rng(42);
-  QueryLog log;
-  for (int i = 0; i < n; ++i) {
-    log.queries.push_back(
-        SyntheticQuery(i % 3, 1.0 + static_cast<double>(i % 12), &rng));
-  }
-  return log;
-}
+// Shared deterministic serving workload — the same generator serve_test,
+// net_test and micro_net use (src/workload/synthetic.h).
+QueryLog SyntheticLog(int n) { return SyntheticServingLog(n); }
 
 PredictorConfig ServeConfig() {
   PredictorConfig cfg;

@@ -32,6 +32,20 @@ knowledge rather than language knowledge:
   naked-new           Raw new/delete/malloc/free are forbidden outside
                       src/storage (the only layer that manages raw
                       memory).  Use std::make_unique / containers.
+  net-unbounded-queue In src/net/ every push onto a member container
+                      (trailing-underscore name) must be dominated by a
+                      capacity check -- a comparison against a max/
+                      capacity bound within the preceding 30 lines --
+                      because an unbounded queue fed by the network is a
+                      memory-exhaustion DoS.  Bounded-by-construction
+                      queues carry an allow() naming the bound.
+  net-blocking-reactor
+                      src/net/server* is the epoll reactor thread: it
+                      may block only in epoll_wait.  Sleeps are
+                      forbidden, bare accept() is forbidden (accept4
+                      with SOCK_NONBLOCK), and socket()/accept4()/
+                      eventfd() must create non-blocking fds -- one
+                      blocking fd stalls every connection.
 
 Suppression: a finding on line N is suppressed by a comment on line N or
 line N-1 of the form
@@ -283,12 +297,117 @@ def rule_naked_new(path, raw, code):
     return out
 
 
+# --- src/net rules -------------------------------------------------------
+# The serving reactor has invariants of its own: queues fed by untrusted
+# network peers must be visibly bounded, and the single reactor thread must
+# never block outside epoll_wait.
+
+NET_PREFIX = "src/net/"
+NET_REACTOR_PREFIX = "src/net/server"
+
+# How far back a capacity check may sit from the push it dominates.  The
+# admission gate in server.cc HandleFrame is ~22 lines above its push.
+NET_CAPACITY_WINDOW_LINES = 30
+
+MEMBER_PUSH_RE = re.compile(
+    r"\b(\w+_)\s*\.\s*(?:push_back|emplace_back|push_front|push)\s*\(")
+# A comparison operator that is not ->, <<, >>, or a template bracket pair.
+COMPARISON_RE = re.compile(r"(?<![-<>])[<>]=?(?![<>])")
+CAPACITY_TOKEN_RE = re.compile(r"\bk?[Mm]ax\w*|\bcapacity\b")
+
+
+def rule_net_unbounded_queue(path, raw, code):
+    """A push onto a long-lived (member) container in src/net/ is a DoS
+    vector unless a capacity comparison dominates it.  Heuristic: some
+    line within the preceding window must compare against a max/capacity
+    bound.  Queues bounded by construction (e.g. one entry per admitted
+    request) carry an allow() naming the bound."""
+    del raw
+    if not path.startswith(NET_PREFIX):
+        return []
+    lines = code.splitlines()
+    out = []
+    for m in MEMBER_PUSH_RE.finditer(code):
+        line = _line_of(code, m.start())
+        lo = max(0, line - 1 - NET_CAPACITY_WINDOW_LINES)
+        window = lines[lo:line]  # includes the push line itself
+        if any(COMPARISON_RE.search(ln) and CAPACITY_TOKEN_RE.search(ln)
+               for ln in window):
+            continue
+        out.append(Violation(
+            path, line, "net-unbounded-queue",
+            f"member queue '{m.group(1)}' grows with no capacity check in "
+            f"the preceding {NET_CAPACITY_WINDOW_LINES} lines; every "
+            "long-lived queue in src/net must be bounded (admission caps, "
+            "see server.cc HandleFrame) or carry an allow() naming the "
+            "bound"))
+    return out
+
+
+SLEEP_RE = re.compile(
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|(?<![\w.])usleep\s*\(|"
+    r"(?<![\w.])nanosleep\s*\(|(?<![\w.:])sleep\s*\(")
+BARE_ACCEPT_RE = re.compile(r"(?<![\w.])accept\s*\(")
+NONBLOCK_FD_RE = re.compile(r"(?<![\w.])(socket|accept4|eventfd)\s*\(")
+NONBLOCK_FLAG = {"socket": "SOCK_NONBLOCK", "accept4": "SOCK_NONBLOCK",
+                 "eventfd": "EFD_NONBLOCK"}
+
+
+def _call_args(code, open_paren_pos):
+    """Returns the argument text of the call whose '(' is at
+    open_paren_pos (balanced-paren scan; truncated calls return the
+    tail)."""
+    depth = 0
+    for i in range(open_paren_pos, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren_pos:i]
+    return code[open_paren_pos:]
+
+
+def rule_net_blocking_reactor(path, raw, code):
+    """The reactor (src/net/server*) is one thread multiplexing every
+    connection; any blocking call stalls them all.  It may block only in
+    epoll_wait.  Client-side code (src/net/client*) uses blocking sockets
+    deliberately and is out of scope."""
+    del raw
+    if not path.startswith(NET_REACTOR_PREFIX):
+        return []
+    out = []
+    for m in SLEEP_RE.finditer(code):
+        out.append(Violation(
+            path, _line_of(code, m.start()), "net-blocking-reactor",
+            "sleep on the reactor thread; the epoll loop may only block in "
+            "epoll_wait -- pace work with the epoll_wait timeout "
+            "(NextTimeoutMs), never a sleep"))
+    for m in BARE_ACCEPT_RE.finditer(code):
+        out.append(Violation(
+            path, _line_of(code, m.start()), "net-blocking-reactor",
+            "bare accept() on the reactor thread; use "
+            "accept4(..., SOCK_NONBLOCK | SOCK_CLOEXEC) so a new "
+            "connection can never hand the reactor a blocking fd"))
+    for m in NONBLOCK_FD_RE.finditer(code):
+        fn = m.group(1)
+        if NONBLOCK_FLAG[fn] not in _call_args(code, m.end() - 1):
+            out.append(Violation(
+                path, _line_of(code, m.start()), "net-blocking-reactor",
+                f"{fn}() without {NONBLOCK_FLAG[fn]} on the reactor "
+                "thread; a blocking fd in the epoll loop stalls every "
+                "connection"))
+    return out
+
+
 RULES = {
     "atomic-shared-ptr": rule_atomic_shared_ptr,
     "submit-under-lock": rule_submit_under_lock,
     "nondeterministic-source": rule_nondeterministic_source,
     "float-precision": rule_float_precision,
     "naked-new": rule_naked_new,
+    "net-unbounded-queue": rule_net_unbounded_queue,
+    "net-blocking-reactor": rule_net_blocking_reactor,
 }
 
 

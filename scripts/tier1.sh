@@ -29,7 +29,8 @@ done
 
 # Repo-invariant linter first: it is fast and catches policy violations
 # (atomic<shared_ptr>, submit-under-lock, unseeded RNG, lossy float
-# serialization, naked new) before a long compile. clang-tidy runs too when
+# serialization, naked new, unbounded net queues, blocking calls on the
+# reactor thread) before a long compile. clang-tidy runs too when
 # the binary exists; scripts/lint.sh degrades gracefully when it does not.
 if [[ $RUN_LINT -eq 1 ]]; then
   scripts/lint.sh
@@ -54,16 +55,19 @@ fi
 
 # TSan pass: the thread-pool/CV determinism tests, the ML suite that drives
 # the parallel training paths, the serving suite (registry hot-swap under
-# concurrent Predict load, feedback-loop retrains), and the obs suite (the
-# lock-free metrics registry under multi-threaded update load).
+# concurrent Predict load, feedback-loop retrains), the obs suite (the
+# lock-free metrics registry under multi-threaded update load), and the net
+# suite (reactor thread vs pool batch workers vs client threads: completion
+# queue handoff, eventfd wakeups, graceful drain).
 # QPP_THREADS>1 forces real concurrency even on small CI machines.
 if [[ $RUN_TSAN -eq 1 ]]; then
   cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test obs_test
+  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test obs_test net_test
   QPP_THREADS=4 ./build-tsan/tests/concurrency_test
   QPP_THREADS=4 ./build-tsan/tests/ml_test
   QPP_THREADS=4 ./build-tsan/tests/serve_test
   QPP_THREADS=4 ./build-tsan/tests/obs_test
+  QPP_THREADS=4 ./build-tsan/tests/net_test
 fi
 
 echo "tier1: OK"

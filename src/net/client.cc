@@ -1,0 +1,269 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace qpp::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Nearest-rank quantile over a sorted sample (exact, unlike the server's
+/// bucketed histogram — the two sides are expected to differ slightly).
+double SampleQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+PredictionClient::~PredictionClient() { Close(); }
+
+Status PredictionClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::Internal("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IOError(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IOError(Errno("connect"));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void PredictionClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status PredictionClient::WriteAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PredictionClient::Send(const QueryRecord& record,
+                                        uint32_t deadline_us) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = next_request_id_++;
+  frame.payload = EncodeRequestPayload(deadline_us, record);
+  QPP_RETURN_NOT_OK(WriteAll(EncodeFrame(frame)));
+  return frame.request_id;
+}
+
+Result<ClientReply> PredictionClient::Receive() {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  while (true) {
+    if (auto frame = decoder_.Next()) {
+      ClientReply reply;
+      reply.request_id = frame->request_id;
+      if (frame->type == FrameType::kResponse) {
+        QPP_ASSIGN_OR_RETURN(auto resp, DecodeResponsePayload(frame->payload));
+        reply.predicted_ms = resp.predicted_ms;
+        reply.model_version = resp.model_version;
+        return reply;
+      }
+      if (frame->type == FrameType::kError) {
+        QPP_ASSIGN_OR_RETURN(auto err, DecodeErrorPayload(frame->payload));
+        reply.error = err.code;
+        reply.error_message = std::move(err.message);
+        return reply;
+      }
+      return Status::InvalidArgument(
+          std::string("unexpected ") + FrameTypeName(frame->type) +
+          " frame from server");
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      QPP_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed connection" +
+                             std::string(decoder_.buffered_bytes() > 0
+                                             ? " mid-frame"
+                                             : ""));
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("recv"));
+  }
+}
+
+Result<ClientReply> PredictionClient::Predict(const QueryRecord& record,
+                                              uint32_t deadline_us) {
+  QPP_ASSIGN_OR_RETURN(uint64_t id, Send(record, deadline_us));
+  // Single-threaded sync use: the next reply is necessarily ours, but
+  // verify the id to catch protocol bugs early.
+  QPP_ASSIGN_OR_RETURN(ClientReply reply, Receive());
+  if (reply.request_id != id) {
+    return Status::Internal("reply id " + std::to_string(reply.request_id) +
+                            " does not match request id " +
+                            std::to_string(id));
+  }
+  return reply;
+}
+
+Status PredictionClient::FinishSending() {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  if (::shutdown(fd_, SHUT_WR) < 0) return Status::IOError(Errno("shutdown"));
+  return Status::OK();
+}
+
+Result<LoadGenReport> RunLoadGenerator(const std::string& host, uint16_t port,
+                                       const QueryLog& workload,
+                                       const LoadGenOptions& options) {
+  if (workload.queries.empty()) {
+    return Status::InvalidArgument("load generator needs a non-empty workload");
+  }
+  if (options.connections < 1 || options.requests_per_connection < 1 ||
+      options.window < 1) {
+    return Status::InvalidArgument(
+        "connections, requests_per_connection and window must be >= 1");
+  }
+  struct WorkerResult {
+    Status status = Status::OK();
+    uint64_t ok = 0;
+    uint64_t overloaded = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t other_errors = 0;
+    std::vector<double> latencies_us;
+  };
+  std::vector<WorkerResult> results(static_cast<size_t>(options.connections));
+  const auto t0 = Clock::now();
+  {
+    // Plain threads, not the ThreadPool: workers block on socket IO, which
+    // would starve the pool the *server* needs for prediction batches when
+    // both run in one process (tests, benches).
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(options.connections));
+    for (int w = 0; w < options.connections; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerResult& res = results[static_cast<size_t>(w)];
+        PredictionClient client;
+        res.status = client.Connect(host, port);
+        if (!res.status.ok()) return;
+        res.latencies_us.reserve(
+            static_cast<size_t>(options.requests_per_connection));
+        std::vector<Clock::time_point> sent_at;
+        sent_at.reserve(static_cast<size_t>(options.requests_per_connection));
+        int sent = 0, received = 0;
+        // Offset each connection into the workload so concurrent workers
+        // exercise different plan shapes.
+        size_t next = static_cast<size_t>(w) % workload.queries.size();
+        auto receive_one = [&] {
+          auto reply = client.Receive();
+          if (!reply.ok()) {
+            res.status = reply.status();
+            return false;
+          }
+          // request_id is 1-based and this worker owns the connection, so
+          // it indexes sent_at directly.
+          const size_t idx = static_cast<size_t>(reply->request_id - 1);
+          if (idx < sent_at.size()) {
+            res.latencies_us.push_back(
+                static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - sent_at[idx])
+                        .count()) /
+                1e3);
+          }
+          ++received;
+          switch (reply->error) {
+            case ErrorCode::kNone: ++res.ok; break;
+            case ErrorCode::kOverloaded: ++res.overloaded; break;
+            case ErrorCode::kDeadlineExceeded: ++res.deadline_exceeded; break;
+            default: ++res.other_errors;
+          }
+          return true;
+        };
+        while (received < options.requests_per_connection) {
+          while (sent < options.requests_per_connection &&
+                 sent - received < options.window) {
+            const QueryRecord& record = workload.queries[next];
+            next = (next + 1) % workload.queries.size();
+            sent_at.push_back(Clock::now());
+            auto id = client.Send(record, options.deadline_us);
+            if (!id.ok()) {
+              res.status = id.status();
+              return;
+            }
+            ++sent;
+          }
+          if (!receive_one()) return;
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  const double wall_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - t0)
+                              .count()) /
+      1e3;
+
+  LoadGenReport report;
+  std::vector<double> all_latencies;
+  for (const auto& res : results) {
+    QPP_RETURN_NOT_OK(res.status);
+    report.ok += res.ok;
+    report.overloaded += res.overloaded;
+    report.deadline_exceeded += res.deadline_exceeded;
+    report.other_errors += res.other_errors;
+    all_latencies.insert(all_latencies.end(), res.latencies_us.begin(),
+                         res.latencies_us.end());
+  }
+  report.sent = static_cast<uint64_t>(options.connections) *
+                static_cast<uint64_t>(options.requests_per_connection);
+  report.wall_ms = wall_ms;
+  report.qps = wall_ms > 0.0
+                   ? static_cast<double>(report.sent) / (wall_ms / 1e3)
+                   : 0.0;
+  std::sort(all_latencies.begin(), all_latencies.end());
+  report.p50_us = SampleQuantile(all_latencies, 0.50);
+  report.p95_us = SampleQuantile(all_latencies, 0.95);
+  report.p99_us = SampleQuantile(all_latencies, 0.99);
+  return report;
+}
+
+}  // namespace qpp::net

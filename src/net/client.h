@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "workload/query_log.h"
+
+namespace qpp::net {
+
+/// One reply from the server, success or typed failure. Transport and
+/// protocol problems (connection refused, garbage frames, EOF mid-frame)
+/// surface as non-OK Result instead; `error != kNone` means the server
+/// itself declined the request (overload, no model, deadline, draining).
+struct ClientReply {
+  uint64_t request_id = 0;
+  ErrorCode error = ErrorCode::kNone;
+  std::string error_message;
+  double predicted_ms = 0.0;
+  uint64_t model_version = 0;
+};
+
+/// \brief Blocking TCP client for PredictionServer.
+///
+/// Two usage styles over one connection:
+///   - Sync: Predict() sends one request and waits for its reply.
+///   - Pipelined: Send() any number of requests, then Receive() replies in
+///     order; the server preserves per-connection FIFO only for requests in
+///     the same batch, so match replies to requests by request_id.
+///
+/// Not thread-safe: one PredictionClient per thread.
+class PredictionClient {
+ public:
+  PredictionClient() = default;
+  ~PredictionClient();
+
+  PredictionClient(const PredictionClient&) = delete;
+  PredictionClient& operator=(const PredictionClient&) = delete;
+
+  /// Connects to a numeric IPv4 address ("127.0.0.1").
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sync round trip: Send + wait for this request's reply.
+  Result<ClientReply> Predict(const QueryRecord& record,
+                              uint32_t deadline_us = 0);
+
+  /// Sends one request without waiting; returns its request_id.
+  Result<uint64_t> Send(const QueryRecord& record, uint32_t deadline_us = 0);
+
+  /// Blocks for the next reply frame (any request_id).
+  Result<ClientReply> Receive();
+
+  /// Half-closes the write side, signalling the server that no more
+  /// requests follow (replies can still be read).
+  Status FinishSending();
+
+ private:
+  Status WriteAll(const std::string& bytes);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+/// Connection-pooling load generator: `connections` threads each open one
+/// PredictionClient and push `requests_per_connection` pipelined requests
+/// (window-bounded) drawn round-robin from `workload`.
+struct LoadGenOptions {
+  int connections = 1;
+  int requests_per_connection = 100;
+  /// Max unacknowledged requests per connection before reading a reply.
+  int window = 16;
+  uint32_t deadline_us = 0;
+};
+
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  /// Typed server-side failures, by ErrorCode bucket.
+  uint64_t overloaded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_errors = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  /// Client-observed send -> reply latency quantiles, microseconds.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Runs the load generator against a serving endpoint. Fails on transport
+/// errors (server unreachable, connection dropped mid-run); typed server
+/// errors are counted in the report, not failures. `workload` must be
+/// non-empty.
+Result<LoadGenReport> RunLoadGenerator(const std::string& host, uint16_t port,
+                                       const QueryLog& workload,
+                                       const LoadGenOptions& options);
+
+}  // namespace qpp::net

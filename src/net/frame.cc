@@ -1,0 +1,223 @@
+#include "net/frame.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace qpp::net {
+namespace {
+
+/// Little-endian scalar append/read. The wire format is explicitly
+/// little-endian regardless of host order; these helpers byte-serialize
+/// through shifts so they are endian-correct everywhere.
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t ReadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(static_cast<uint16_t>(b[0]) |
+                               static_cast<uint16_t>(b[1]) << 8);
+}
+
+uint32_t ReadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+bool KnownFrameType(uint8_t t) {
+  return t == static_cast<uint8_t>(FrameType::kRequest) ||
+         t == static_cast<uint8_t>(FrameType::kResponse) ||
+         t == static_cast<uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kNoModel: return "no_model";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) return std::string();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendU32(&out, kFrameMagic);
+  out.push_back(static_cast<char>(frame.version));
+  out.push_back(static_cast<char>(frame.type));
+  AppendU16(&out, 0);  // reserved
+  AppendU64(&out, frame.request_id);
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+std::string EncodeRequestPayload(uint32_t deadline_us,
+                                 const QueryRecord& record) {
+  std::string out;
+  AppendU32(&out, deadline_us);
+  out += SerializeQueryRecord(record);
+  return out;
+}
+
+Result<RequestPayload> DecodeRequestPayload(const std::string& payload) {
+  if (payload.size() < 4) {
+    return Status::InvalidArgument("request payload shorter than header");
+  }
+  RequestPayload req;
+  req.deadline_us = ReadU32(payload.data());
+  QPP_ASSIGN_OR_RETURN(req.record,
+                       ParseQueryRecord(payload.substr(4), "<wire>"));
+  return req;
+}
+
+std::string EncodeResponsePayload(double predicted_ms,
+                                  uint64_t model_version) {
+  std::string out;
+  AppendU64(&out, std::bit_cast<uint64_t>(predicted_ms));
+  AppendU64(&out, model_version);
+  return out;
+}
+
+Result<ResponsePayload> DecodeResponsePayload(const std::string& payload) {
+  if (payload.size() != 16) {
+    return Status::InvalidArgument("response payload must be 16 bytes, got " +
+                                   std::to_string(payload.size()));
+  }
+  ResponsePayload resp;
+  resp.predicted_ms = std::bit_cast<double>(ReadU64(payload.data()));
+  resp.model_version = ReadU64(payload.data() + 8);
+  return resp;
+}
+
+std::string EncodeErrorPayload(ErrorCode code, std::string_view message) {
+  std::string out;
+  AppendU16(&out, static_cast<uint16_t>(code));
+  // Clamp so the frame stays encodable even for pathological messages.
+  out += message.substr(0, kMaxPayloadBytes - 2);
+  return out;
+}
+
+Result<ErrorPayload> DecodeErrorPayload(const std::string& payload) {
+  if (payload.size() < 2) {
+    return Status::InvalidArgument("error payload shorter than code field");
+  }
+  ErrorPayload err;
+  err.code = static_cast<ErrorCode>(ReadU16(payload.data()));
+  err.message = payload.substr(2);
+  return err;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t n) {
+  QPP_RETURN_NOT_OK(poison_);
+  if (buffered_bytes() + n > kMaxDecoderBufferBytes) {
+    poison_ = Status::InvalidArgument(
+        "frame decoder buffer overflow: peer sent more than " +
+        std::to_string(kMaxDecoderBufferBytes) + " unconsumed bytes");
+    return poison_;
+  }
+  // Drop already-consumed prefix before appending, keeping the buffer
+  // proportional to unparsed bytes rather than connection lifetime.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+  poison_ = ParseReady();
+  return poison_;
+}
+
+Status FrameDecoder::ParseReady() {
+  while (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    const char* h = buffer_.data() + consumed_;
+    const uint32_t magic = ReadU32(h);
+    if (magic != kFrameMagic) {
+      return Status::InvalidArgument("bad frame magic 0x" + [&] {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%08x", magic);
+        return std::string(buf);
+      }());
+    }
+    const uint8_t version = static_cast<uint8_t>(h[4]);
+    if (version != kProtocolVersion) {
+      return Status::InvalidArgument("unsupported protocol version " +
+                                     std::to_string(version));
+    }
+    const uint8_t type = static_cast<uint8_t>(h[5]);
+    if (!KnownFrameType(type)) {
+      return Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(type));
+    }
+    if (ReadU16(h + 6) != 0) {
+      return Status::InvalidArgument("nonzero reserved header bits");
+    }
+    const uint32_t payload_len = ReadU32(h + 16);
+    if (payload_len > kMaxPayloadBytes) {
+      return Status::InvalidArgument(
+          "frame payload length " + std::to_string(payload_len) +
+          " exceeds limit " + std::to_string(kMaxPayloadBytes));
+    }
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
+      break;  // header valid; wait for the rest of the payload
+    }
+    Frame frame;
+    frame.version = version;
+    frame.type = static_cast<FrameType>(type);
+    frame.request_id = ReadU64(h + 8);
+    frame.payload.assign(h + kFrameHeaderBytes, payload_len);
+    consumed_ += kFrameHeaderBytes + payload_len;
+    // ready_ growth is bounded by Feed, which rejects input once buffer_
+    // would exceed the decoder cap -- bytes are checked before they enter.
+    // qpp-lint: allow(net-unbounded-queue): bounded by kMaxDecoderBufferBytes
+    ready_.push_back(std::move(frame));
+  }
+  return Status::OK();
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+}  // namespace qpp::net

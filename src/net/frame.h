@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "workload/query_log.h"
+
+namespace qpp::net {
+
+/// \brief Versioned length-prefixed binary wire protocol for the prediction
+/// server (see DESIGN.md "Network serving" for the byte layout).
+///
+/// Every frame is a fixed 20-byte little-endian header followed by
+/// `payload_len` payload bytes:
+///
+///   offset  size  field
+///   0       4     magic        0x51505057 ("QPPW")
+///   4       1     version      kProtocolVersion (1)
+///   5       1     type         FrameType
+///   6       2     reserved     must be 0
+///   8       8     request_id   echoed verbatim in the response
+///   16      4     payload_len  <= kMaxPayloadBytes
+///
+/// Decoding is strict: bad magic, an unsupported version, nonzero reserved
+/// bits, an unknown type, or an oversized length prefix poison the decoder
+/// with a typed error — the server answers with kBadRequest and closes the
+/// connection rather than resynchronizing on a corrupt stream.
+
+inline constexpr uint32_t kFrameMagic = 0x51505057u;  // "QPPW"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Upper bound on one frame's payload; a length prefix above this (which
+/// includes any "negative" 32-bit value reinterpreted as unsigned) is a
+/// protocol violation, detected before buffering the payload.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+/// Upper bound on bytes buffered inside one FrameDecoder (pipelined frames
+/// awaiting Next()); Feed fails beyond it instead of growing unboundedly.
+inline constexpr size_t kMaxDecoderBufferBytes = 8u << 20;
+
+enum class FrameType : uint8_t {
+  /// Client -> server: one QueryRecord to predict (EncodeRequestPayload).
+  kRequest = 1,
+  /// Server -> client: a prediction (EncodeResponsePayload).
+  kResponse = 2,
+  /// Server -> client: a typed failure (EncodeErrorPayload).
+  kError = 3,
+};
+const char* FrameTypeName(FrameType t);
+
+/// Typed server-side failure, carried in kError payloads. The numeric
+/// values are wire format — append only.
+enum class ErrorCode : uint16_t {
+  kNone = 0,
+  /// Malformed frame or unparseable request payload.
+  kBadRequest = 1,
+  /// No model published in the registry yet.
+  kNoModel = 2,
+  /// Load shed: a per-connection or global queue bound was hit.
+  kOverloaded = 3,
+  /// The request's deadline expired before dispatch.
+  kDeadlineExceeded = 4,
+  /// The server is draining and no longer admits new requests.
+  kShuttingDown = 5,
+  /// Prediction failed for an unexpected reason (message has details).
+  kInternal = 6,
+};
+const char* ErrorCodeName(ErrorCode c);
+
+struct Frame {
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload. The frame's payload must not exceed
+/// kMaxPayloadBytes (checked; oversized frames encode as an empty string —
+/// callers build payloads with the Encode*Payload helpers, which cannot
+/// exceed the bound for any QueryRecord the log format accepts).
+std::string EncodeFrame(const Frame& frame);
+
+/// Request payload: u32 deadline_us (0 = none) + the QueryRecord in the
+/// query-log text format (SerializeQueryRecord).
+std::string EncodeRequestPayload(uint32_t deadline_us,
+                                 const QueryRecord& record);
+struct RequestPayload {
+  uint32_t deadline_us = 0;
+  QueryRecord record;
+};
+Result<RequestPayload> DecodeRequestPayload(const std::string& payload);
+
+/// Response payload: u64 bit pattern of predicted_ms + u64 model_version.
+std::string EncodeResponsePayload(double predicted_ms,
+                                  uint64_t model_version);
+struct ResponsePayload {
+  double predicted_ms = 0.0;
+  uint64_t model_version = 0;
+};
+Result<ResponsePayload> DecodeResponsePayload(const std::string& payload);
+
+/// Error payload: u16 ErrorCode + UTF-8 message bytes.
+std::string EncodeErrorPayload(ErrorCode code, std::string_view message);
+struct ErrorPayload {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+};
+Result<ErrorPayload> DecodeErrorPayload(const std::string& payload);
+
+/// \brief Incremental frame decoder tolerant of arbitrary read
+/// fragmentation: feed whatever bytes arrived (down to one at a time), pop
+/// complete frames with Next(). Headers are validated eagerly — a protocol
+/// violation surfaces from Feed as a typed error even before the bogus
+/// payload would have arrived — and a violation poisons the decoder: every
+/// later Feed returns the same error, so a connection can never resume on
+/// a corrupt stream.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes and validates/extracts any complete frames.
+  Status Feed(const char* data, size_t n);
+
+  /// Pops the next complete frame in arrival order; nullopt when more
+  /// bytes are needed.
+  std::optional<Frame> Next();
+
+  /// Bytes buffered but not yet extracted as frames.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  bool poisoned() const { return !poison_.ok(); }
+
+ private:
+  Status ParseReady();
+
+  std::string buffer_;
+  size_t consumed_ = 0;
+  std::deque<Frame> ready_;
+  Status poison_ = Status::OK();
+};
+
+}  // namespace qpp::net

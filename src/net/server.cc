@@ -1,0 +1,638 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace qpp::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+ErrorCode CodeFromStatus(const Status& st) {
+  return st.code() == StatusCode::kNotFound ? ErrorCode::kNoModel
+                                            : ErrorCode::kInternal;
+}
+
+}  // namespace
+
+/// Per-socket reactor-thread-only state. `gen` disambiguates completions
+/// that outlive the connection: the kernel reuses fds immediately, so a
+/// (fd, gen) pair — not the fd alone — names a connection.
+struct PredictionServer::Connection {
+  int fd = -1;
+  uint64_t gen = 0;
+  FrameDecoder decoder;
+  /// Unsent response bytes; [outbox_off, size) is the unflushed suffix.
+  std::string outbox;
+  size_t outbox_off = 0;
+  /// Requests admitted from this connection and not yet answered.
+  size_t pending = 0;
+  /// EPOLLOUT currently registered (outbox hit EAGAIN).
+  bool want_write = false;
+  /// Reads suspended: outbox over the backpressure bound, protocol
+  /// violation, or peer EOF.
+  bool read_paused = false;
+  /// Protocol violation: close as soon as the outbox and pending drain.
+  bool closing = false;
+  /// Peer half-closed its write side; it may still read our responses.
+  bool peer_eof = false;
+  /// Queued for ReapDead; no further IO.
+  bool dead = false;
+};
+
+PredictionServer::PredictionServer(serve::PredictionService* service,
+                                   ServerConfig config, ThreadPool* pool)
+    : service_(service),
+      config_(std::move(config)),
+      pool_(pool != nullptr ? pool : ThreadPool::Global()),
+      in_flight_gauge_(
+          obs::MetricsRegistry::Global()->GetGauge("net.server.in_flight")),
+      queue_depth_gauge_(
+          obs::MetricsRegistry::Global()->GetGauge("net.server.queue_depth")),
+      connections_gauge_(
+          obs::MetricsRegistry::Global()->GetGauge("net.server.connections")),
+      shed_counter_(
+          obs::MetricsRegistry::Global()->GetCounter("net.server.shed")),
+      // Same resolution ladder as serve.predict.latency_us but extended:
+      // 1 us .. ~4 s, since network round trips include queueing delay.
+      latency_hist_(obs::MetricsRegistry::Global()->GetHistogram(
+          "net.request.latency_us", obs::ExponentialBuckets(1.0, 2.0, 23))) {}
+
+PredictionServer::~PredictionServer() { Shutdown(); }
+
+Status PredictionServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::Internal("PredictionServer started twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IOError(Errno("socket"));
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad IPv4 host '" + config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, SOMAXCONN) < 0) {
+    Status st = Status::IOError(Errno("bind/listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    Status st = Status::IOError(Errno("getsockname"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status st = Status::IOError(Errno("epoll_create1/eventfd"));
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = listen_fd_;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  reactor_ = std::thread([this] { ReactorLoop(); });
+  return Status::OK();
+}
+
+void PredictionServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!reactor_.joinable()) return;
+  draining_.store(true, std::memory_order_release);
+  Wake();
+  reactor_.join();
+  // The wake/epoll fds are closed here, after the join, never by the
+  // reactor: Wake() may touch wake_fd_ from this thread (above) and from
+  // pool workers, and every such write happens-before the join (pool
+  // workers Wake() before the outstanding_batches_ decrement the reactor's
+  // exit condition acquires). Closing on the reactor side raced with them.
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void PredictionServer::Wake() {
+  const uint64_t one = 1;
+  // The eventfd is nonblocking; on overflow (EAGAIN) it is already
+  // readable, which is all a wakeup needs.
+  ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  (void)n;
+}
+
+int PredictionServer::NextTimeoutMs() const {
+  // While draining, poll: completion of the last outbox flush has no
+  // dedicated wakeup, and 20 ms bounds drain-exit latency without spinning.
+  int cap = draining_.load(std::memory_order_acquire) ? 20 : -1;
+  if (batch_.empty()) return cap;
+  const auto oldest = batch_.front().enqueued;
+  const auto flush_at = oldest + std::chrono::microseconds(config_.max_delay_us);
+  const auto now = Clock::now();
+  if (flush_at <= now) return 0;
+  const auto remaining_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(flush_at - now)
+          .count() +
+      1;  // round up so the deadline has passed when epoll_wait returns
+  int ms = static_cast<int>(remaining_ms);
+  return cap < 0 ? ms : std::min(ms, cap);
+}
+
+void PredictionServer::ReactorLoop() {
+  epoll_event events[64];
+  bool accepting = true;
+  while (true) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events, 64, NextTimeoutMs());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; drain state below still runs
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == listen_fd_) {
+        if (accepting) HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end() || it->second->dead) continue;
+      Connection* conn = it->second.get();
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        MarkDead(conn);
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) HandleWritable(conn);
+      if ((mask & EPOLLIN) != 0) HandleReadable(conn);
+    }
+    DrainCompletions();
+    // Flush the micro-batch when full (handled at admit), overdue, or
+    // draining (no point holding requests while shutting down).
+    if (!batch_.empty()) {
+      const bool overdue =
+          Clock::now() - batch_.front().enqueued >=
+          std::chrono::microseconds(config_.max_delay_us);
+      if (overdue || batch_.size() >= config_.max_batch ||
+          draining_.load(std::memory_order_acquire)) {
+        DispatchBatch();
+      }
+    }
+    // Resume connections paused for outbox backpressure once drained below
+    // half the bound (hysteresis). Their read edge already fired, so read
+    // now rather than waiting for an edge that will never re-arrive.
+    for (auto& [fd, conn] : conns_) {
+      (void)fd;
+      if (conn->read_paused && !conn->closing && !conn->peer_eof &&
+          !conn->dead &&
+          conn->outbox.size() - conn->outbox_off <
+              config_.max_outbox_bytes / 2) {
+        conn->read_paused = false;
+        HandleReadable(conn.get());
+      }
+    }
+    ReapDead();
+    in_flight_gauge_->Set(static_cast<double>(pending_global_));
+    queue_depth_gauge_->Set(static_cast<double>(batch_.size()));
+    connections_gauge_->Set(static_cast<double>(conns_.size()));
+    if (draining_.load(std::memory_order_acquire)) {
+      if (accepting) {
+        // Stop accepting: close the listening socket (epoll deregisters it
+        // automatically). New requests on live connections now get
+        // kShuttingDown from HandleFrame.
+        accepting = false;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      bool outboxes_empty = true;
+      for (const auto& [fd, conn] : conns_) {
+        (void)fd;
+        if (conn->outbox.size() > conn->outbox_off) outboxes_empty = false;
+      }
+      bool completions_empty;
+      {
+        std::lock_guard<std::mutex> lock(completions_mu_);
+        completions_empty = completions_.empty();
+      }
+      // Pool threads Wake() *before* decrementing outstanding_batches_, so
+      // observing 0 here (acquire) with empty queues means no pool thread
+      // will touch wake_fd_ again — safe to exit and close it.
+      if (batch_.empty() && completions_empty && outboxes_empty &&
+          outstanding_batches_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+    }
+  }
+  for (auto& [fd, conn] : conns_) {
+    (void)conn;
+    ::close(fd);
+  }
+  conns_.clear();
+  dead_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // wake_fd_/epoll_fd_ are deliberately NOT closed here: Shutdown() closes
+  // them after joining this thread, so concurrent Wake() calls can never
+  // write to a closed (possibly recycled) descriptor.
+}
+
+void PredictionServer::HandleAccept() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (edge drained) or transient accept error
+    if (conns_.size() >= config_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->gen = next_conn_gen_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void PredictionServer::HandleReadable(Connection* conn) {
+  char buf[4096];
+  while (!conn->read_paused && !conn->dead) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      Status st = conn->decoder.Feed(buf, static_cast<size_t>(n));
+      while (auto frame = conn->decoder.Next()) {
+        HandleFrame(conn, std::move(*frame));
+        if (conn->dead || conn->read_paused) break;
+      }
+      if (!st.ok() && !conn->closing && !conn->dead) {
+        // Protocol violation: answer with a typed error, stop reading the
+        // corrupt stream, close once queued replies flush.
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        QueueError(conn, 0, ErrorCode::kBadRequest, st.message());
+        conn->closing = true;
+        conn->read_paused = true;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-closed; it may still be reading. Close once all admitted
+      // requests are answered and flushed.
+      conn->peer_eof = true;
+      conn->read_paused = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    MarkDead(conn);
+    return;
+  }
+  MaybeCloseQuiesced(conn);
+}
+
+void PredictionServer::HandleFrame(Connection* conn, Frame frame) {
+  if (frame.type != FrameType::kRequest) {
+    frame_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueError(conn, frame.request_id, ErrorCode::kBadRequest,
+               std::string("unexpected ") + FrameTypeName(frame.type) +
+                   " frame from client");
+    conn->closing = true;
+    conn->read_paused = true;
+    return;
+  }
+  auto req = DecodeRequestPayload(frame.payload);
+  if (!req.ok()) {
+    // Well-framed but unparseable payload: typed error, connection
+    // survives (framing is intact, so the stream is still in sync).
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    QueueError(conn, frame.request_id, ErrorCode::kBadRequest,
+               req.status().message());
+    return;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    QueueError(conn, frame.request_id, ErrorCode::kShuttingDown,
+               "server is draining");
+    return;
+  }
+  if (conn->pending >= config_.max_pending_per_conn ||
+      pending_global_ >= config_.max_queue) {
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    shed_counter_->Increment();
+    QueueError(conn, frame.request_id, ErrorCode::kOverloaded,
+               "queue full: " + std::to_string(conn->pending) +
+                   " pending on connection, " +
+                   std::to_string(pending_global_) + " global");
+    return;
+  }
+  Pending p;
+  p.fd = conn->fd;
+  p.conn_gen = conn->gen;
+  p.request_id = frame.request_id;
+  p.record = std::move(req->record);
+  p.enqueued = Clock::now();
+  const uint32_t deadline_us =
+      req->deadline_us != 0 ? req->deadline_us : config_.default_deadline_us;
+  p.deadline = deadline_us != 0
+                   ? p.enqueued + std::chrono::microseconds(deadline_us)
+                   : Clock::time_point::max();
+  // Admission checked right above: batch_ can never exceed max_queue.
+  batch_.push_back(std::move(p));
+  ++conn->pending;
+  ++pending_global_;
+  requests_received_.fetch_add(1, std::memory_order_relaxed);
+  if (batch_.size() >= config_.max_batch) DispatchBatch();
+}
+
+void PredictionServer::QueueReply(Connection* conn, uint64_t request_id,
+                                  const std::string& payload, bool is_error) {
+  Frame frame;
+  frame.type = is_error ? FrameType::kError : FrameType::kResponse;
+  frame.request_id = request_id;
+  frame.payload = payload;
+  conn->outbox += EncodeFrame(frame);
+  (is_error ? errors_sent_ : responses_sent_)
+      .fetch_add(1, std::memory_order_relaxed);
+  FlushOutbox(conn);
+  if (conn->outbox.size() - conn->outbox_off > config_.max_outbox_bytes &&
+      !conn->read_paused) {
+    conn->read_paused = true;  // TCP backpressure: stop reading this peer
+  }
+}
+
+void PredictionServer::QueueError(Connection* conn, uint64_t request_id,
+                                  ErrorCode code, const std::string& message) {
+  QueueReply(conn, request_id, EncodeErrorPayload(code, message),
+             /*is_error=*/true);
+}
+
+void PredictionServer::HandleWritable(Connection* conn) {
+  FlushOutbox(conn);
+  MaybeCloseQuiesced(conn);
+}
+
+void PredictionServer::FlushOutbox(Connection* conn) {
+  if (conn->dead) return;
+  while (conn->outbox_off < conn->outbox.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbox.data() + conn->outbox_off,
+               conn->outbox.size() - conn->outbox_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbox_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateWriteInterest(conn, /*want_write=*/true);
+      return;
+    }
+    MarkDead(conn);
+    return;
+  }
+  conn->outbox.clear();
+  conn->outbox_off = 0;
+  UpdateWriteInterest(conn, /*want_write=*/false);
+}
+
+void PredictionServer::UpdateWriteInterest(Connection* conn, bool want_write) {
+  if (conn->want_write == want_write) return;
+  conn->want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void PredictionServer::MaybeCloseQuiesced(Connection* conn) {
+  if (conn->dead || (!conn->closing && !conn->peer_eof)) return;
+  if (conn->pending == 0 && conn->outbox_off >= conn->outbox.size()) {
+    MarkDead(conn);
+  }
+}
+
+void PredictionServer::DispatchBatch() {
+  if (batch_.empty()) return;
+  auto batch = std::make_shared<std::vector<Pending>>(std::move(batch_));
+  batch_.clear();
+  batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_batches_.fetch_add(1, std::memory_order_relaxed);
+  // The future is intentionally dropped: results travel through the
+  // completion queue, and RunBatch never returns an error Status.
+  (void)pool_->Submit([this, batch] {
+    RunBatch(std::move(*batch));
+    return Status::OK();
+  });
+}
+
+void PredictionServer::RunBatch(std::vector<Pending> batch) {
+  // Runs on a ThreadPool worker (or inline on the reactor when the pool is
+  // width-1). Touches no reactor state: results go through completions_.
+  std::vector<Completion> done;
+  done.reserve(batch.size());
+  const auto now = Clock::now();
+  std::vector<size_t> live;
+  std::vector<QueryRecord> queries;
+  live.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline <= now) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      shed_counter_->Increment();
+      done.push_back(MakeError(batch[i], ErrorCode::kDeadlineExceeded,
+                               "deadline expired before dispatch"));
+      continue;
+    }
+    live.push_back(i);
+    queries.push_back(batch[i].record);
+  }
+  if (!live.empty()) {
+    auto predictions = service_->PredictBatch(queries);
+    if (predictions.ok()) {
+      for (size_t j = 0; j < live.size(); ++j) {
+        done.push_back(MakeResponse(batch[live[j]], (*predictions)[j]));
+      }
+    } else {
+      // Wholesale batch failure (e.g. no model yet): retry per element so
+      // every request gets its own typed verdict.
+      for (size_t j = 0; j < live.size(); ++j) {
+        auto one = service_->Predict(queries[j]);
+        if (one.ok()) {
+          done.push_back(MakeResponse(batch[live[j]], *one));
+        } else {
+          done.push_back(MakeError(batch[live[j]],
+                                   CodeFromStatus(one.status()),
+                                   one.status().message()));
+        }
+      }
+    }
+  }
+  const auto finished = Clock::now();
+  for (const auto& p : batch) {
+    latency_hist_->Observe(
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                finished - p.enqueued)
+                                .count()) /
+        1e3);
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    for (auto& c : done) {
+      // One entry per admitted request, and admission is capped upstream.
+      // qpp-lint: allow(net-unbounded-queue): bounded by config_.max_queue
+      completions_.push_back(std::move(c));
+    }
+  }
+  // Wake strictly before the decrement: the reactor only exits (and closes
+  // wake_fd_) after seeing outstanding_batches_ == 0 with acquire order,
+  // so this thread never writes a closed eventfd.
+  Wake();
+  outstanding_batches_.fetch_sub(1, std::memory_order_release);
+}
+
+PredictionServer::Completion PredictionServer::MakeResponse(
+    const Pending& p, const serve::PredictionService::Prediction& pred) {
+  Completion c;
+  c.fd = p.fd;
+  c.conn_gen = p.conn_gen;
+  c.is_error = false;
+  Frame frame;
+  frame.type = FrameType::kResponse;
+  frame.request_id = p.request_id;
+  frame.payload = EncodeResponsePayload(pred.predicted_ms, pred.model_version);
+  c.wire_bytes = EncodeFrame(frame);
+  return c;
+}
+
+PredictionServer::Completion PredictionServer::MakeError(
+    const Pending& p, ErrorCode code, const std::string& message) {
+  Completion c;
+  c.fd = p.fd;
+  c.conn_gen = p.conn_gen;
+  c.is_error = true;
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.request_id = p.request_id;
+  frame.payload = EncodeErrorPayload(code, message);
+  c.wire_bytes = EncodeFrame(frame);
+  return c;
+}
+
+void PredictionServer::DrainCompletions() {
+  std::deque<Completion> local;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    local.swap(completions_);
+  }
+  for (auto& c : local) {
+    // Every completion releases one admission slot, whether or not its
+    // connection is still there to receive it.
+    --pending_global_;
+    auto it = conns_.find(c.fd);
+    if (it == conns_.end() || it->second->dead || it->second->gen != c.conn_gen) {
+      dropped_disconnect_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection* conn = it->second.get();
+    if (conn->pending > 0) --conn->pending;
+    conn->outbox += c.wire_bytes;
+    (c.is_error ? errors_sent_ : responses_sent_)
+        .fetch_add(1, std::memory_order_relaxed);
+    FlushOutbox(conn);
+    if (conn->outbox.size() - conn->outbox_off > config_.max_outbox_bytes &&
+        !conn->read_paused) {
+      conn->read_paused = true;
+    }
+    MaybeCloseQuiesced(conn);
+  }
+}
+
+void PredictionServer::MarkDead(Connection* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  // At most one entry per open connection, capped at max_connections.
+  // qpp-lint: allow(net-unbounded-queue): bounded by config_.max_connections
+  dead_.push_back(conn->fd);
+}
+
+void PredictionServer::ReapDead() {
+  for (int fd : dead_) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    // Closing deregisters the fd from epoll; any event already harvested
+    // for it this cycle was skipped via the dead flag.
+    ::close(fd);
+    conns_.erase(it);
+  }
+  dead_.clear();
+}
+
+ServerStats PredictionServer::Stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  s.requests_received = requests_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.errors_sent = errors_sent_.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.batches_dispatched = batches_dispatched_.load(std::memory_order_relaxed);
+  s.dropped_disconnect = dropped_disconnect_.load(std::memory_order_relaxed);
+  s.p50_latency_us = latency_hist_->Quantile(0.50);
+  s.p95_latency_us = latency_hist_->Quantile(0.95);
+  s.p99_latency_us = latency_hist_->Quantile(0.99);
+  return s;
+}
+
+}  // namespace qpp::net

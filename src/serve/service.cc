@@ -21,10 +21,12 @@ PredictionService::PredictionService(ModelRegistry* registry, ThreadPool* pool)
       // the low buckets carry the resolution.
       latency_hist_(obs::MetricsRegistry::Global()->GetHistogram(
           "serve.predict.latency_us",
-          obs::ExponentialBuckets(1.0, 2.0, 17))) {}
+          obs::ExponentialBuckets(1.0, 2.0, 17))),
+      instance_hist_(obs::ExponentialBuckets(1.0, 2.0, 17)) {}
 
 void PredictionService::RecordLatency(uint64_t ns) const {
   latency_hist_->Observe(static_cast<double>(ns) / 1e3);
+  instance_hist_.Observe(static_cast<double>(ns) / 1e3);
   latency_ns_total_.fetch_add(ns, std::memory_order_relaxed);
   uint64_t prev = latency_ns_max_.load(std::memory_order_relaxed);
   while (ns > prev &&
@@ -88,9 +90,9 @@ ServiceStats PredictionService::Snapshot() const {
   s.max_latency_us =
       static_cast<double>(latency_ns_max_.load(std::memory_order_relaxed)) /
       1e3;
-  s.p50_latency_us = latency_hist_->Quantile(0.50);
-  s.p95_latency_us = latency_hist_->Quantile(0.95);
-  s.p99_latency_us = latency_hist_->Quantile(0.99);
+  s.p50_latency_us = instance_hist_.Quantile(0.50);
+  s.p95_latency_us = instance_hist_.Quantile(0.95);
+  s.p99_latency_us = instance_hist_.Quantile(0.99);
   s.last_version = last_version_.load(std::memory_order_relaxed);
   return s;
 }
@@ -102,6 +104,7 @@ void PredictionService::ResetStats() {
   latency_ns_max_.store(0);
   last_version_.store(0);
   latency_hist_->Reset();
+  instance_hist_.Reset();
 }
 
 }  // namespace qpp::serve

@@ -18,9 +18,10 @@ struct ServiceStats {
   /// Mean / max per-request prediction latency, microseconds.
   double mean_latency_us = 0.0;
   double max_latency_us = 0.0;
-  /// Latency percentiles in microseconds, estimated from the shared
-  /// "serve.predict.latency_us" histogram in obs::MetricsRegistry (bucket
+  /// Latency percentiles in microseconds for THIS service instance (bucket
   /// interpolation, so approximate; 0 when no request has been served).
+  /// Distinct from the process-wide "serve.predict.latency_us" histogram in
+  /// obs::MetricsRegistry, which aggregates across all instances.
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
@@ -62,15 +63,16 @@ class PredictionService {
   Result<std::vector<Prediction>> PredictBatch(
       const std::vector<QueryRecord>& queries) const;
 
-  /// Canonical stats accessor; percentiles come from the process-wide
-  /// "serve.predict.latency_us" histogram shared through
-  /// obs::MetricsRegistry::Global() (so they aggregate across every
-  /// PredictionService in the process).
+  /// Canonical stats accessor. Percentiles come from this instance's own
+  /// histogram, so two services in one process never pollute each other's
+  /// quantiles; the process-wide "serve.predict.latency_us" histogram in
+  /// obs::MetricsRegistry::Global() is still fed by every request and
+  /// remains the cross-instance aggregate view.
   ServiceStats Snapshot() const;
   /// Back-compat alias for Snapshot().
   ServiceStats Stats() const { return Snapshot(); }
-  /// Zeroes this service's counters AND resets the shared latency
-  /// histogram — process-wide, like the histogram itself. Test hook.
+  /// Zeroes this service's counters and per-instance histogram, AND resets
+  /// the shared process-wide latency histogram. Test hook.
   void ResetStats();
 
   ModelRegistry* registry() const { return registry_; }
@@ -82,8 +84,11 @@ class PredictionService {
 
   ModelRegistry* registry_;
   ThreadPool* pool_;
-  /// Shared latency histogram (registry-owned, never null).
+  /// Shared process-wide latency histogram (registry-owned, never null).
   obs::Histogram* latency_hist_;
+  /// This instance's own histogram (same buckets); Snapshot percentiles
+  /// read it so co-resident services stay isolated.
+  mutable obs::Histogram instance_hist_;
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> errors_{0};
   mutable std::atomic<uint64_t> latency_ns_total_{0};

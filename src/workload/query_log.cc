@@ -178,6 +178,26 @@ void RecomputeStructuralKeys(QueryRecord* record) {
   }
 }
 
+std::string SerializeQueryRecord(const QueryRecord& record) {
+  std::ostringstream out;
+  out.precision(17);
+  WriteRecord(out, record);
+  return out.str();
+}
+
+Result<QueryRecord> ParseQueryRecord(const std::string& text,
+                                     const std::string& source_name) {
+  std::istringstream in(text);
+  auto log = QueryLog::LoadFromStream(in, source_name);
+  if (!log.ok()) return log.status();
+  if (log->queries.size() != 1) {
+    return Status::InvalidArgument(
+        source_name + ": expected exactly one query record, got " +
+        std::to_string(log->queries.size()));
+  }
+  return std::move(log->queries.front());
+}
+
 void QueryLog::WriteTo(std::ostream& out) const {
   out.precision(17);
   out << "# qpp query log v2\n";

@@ -67,6 +67,17 @@ struct QueryLog {
                                          const std::string& source_name);
 };
 
+/// Serializes one executed query in the log's Q/O line format (no header)
+/// at full double precision. This is the request-payload encoding of the
+/// network wire protocol (src/net/frame.h) — one record, self-contained.
+std::string SerializeQueryRecord(const QueryRecord& record);
+
+/// Parses a single query serialized by SerializeQueryRecord. Fails unless
+/// `text` holds exactly one well-formed query (structural keys recomputed);
+/// `source_name` labels parse errors (e.g. "<wire>").
+Result<QueryRecord> ParseQueryRecord(const std::string& text,
+                                     const std::string& source_name);
+
 /// Appends one executed query to a log file in SaveToFile format, creating
 /// the file (with header) when absent. This is the serving-side durable
 /// feedback channel: each process appends records as queries finish, and a

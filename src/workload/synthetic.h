@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "workload/query_log.h"
+
+namespace qpp {
+
+/// \brief Deterministic synthetic serving workload: three plan shapes whose
+/// operator latencies are near-linear in a size knob with a little seeded
+/// noise, so the QPP models actually learn it. This is the fixture workload
+/// shared by the serving/network tests, benches and examples (no TPC-H
+/// generation or query execution — cheap enough for the TSan tier-1 pass).
+///
+/// `latency_scale` multiplies every observed time: scale 1 is the base
+/// distribution, scale k simulates post-deployment drift (same plans,
+/// slower system).
+QueryRecord SyntheticServingQuery(int shape, double size, Rng* rng,
+                                  double latency_scale = 1.0);
+
+/// A log of `n` queries cycling through the three shapes and twelve size
+/// knobs, reproducible from `seed`.
+QueryLog SyntheticServingLog(int n, double latency_scale = 1.0,
+                             uint64_t seed = 42);
+
+}  // namespace qpp

@@ -202,6 +202,115 @@ class NakedNewTest(unittest.TestCase):
         self.assertEqual([], rules_fired("// rebuilds the new model\nint x;"))
 
 
+class NetUnboundedQueueTest(unittest.TestCase):
+    def test_member_push_without_check_fires(self):
+        bad = "void F() { queue_.push_back(std::move(item)); }"
+        self.assertIn("net-unbounded-queue",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_deque_and_emplace_variants_fire(self):
+        for call in ("pending_.emplace_back(item)",
+                     "jobs_.push(item)",
+                     "inbox_.push_front(item)"):
+            self.assertIn("net-unbounded-queue",
+                          rules_fired(f"void F() {{ {call}; }}",
+                                      "src/net/frame.cc"),
+                          msg=call)
+
+    def test_capacity_check_dominates_ok(self):
+        good = """
+        void F() {
+          if (queue_.size() >= config_.max_queue) { return; }
+          queue_.push_back(std::move(item));
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+    def test_named_constant_bound_ok(self):
+        good = """
+        void F() {
+          if (ready_.size() < kMaxReadyFrames) {
+            ready_.push_back(std::move(frame));
+          }
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/net/frame.cc"))
+
+    def test_check_outside_window_still_fires(self):
+        filler = "  touch();\n" * (qpp_lint.NET_CAPACITY_WINDOW_LINES + 1)
+        bad = ("void F() {\n"
+               "  if (queue_.size() >= config_.max_queue) return;\n"
+               f"{filler}"
+               "  queue_.push_back(std::move(item));\n"
+               "}\n")
+        self.assertIn("net-unbounded-queue",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_local_container_ok(self):
+        good = "void F() { std::vector<int> live; live.push_back(1); }"
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+    def test_outside_src_net_exempt(self):
+        ok = "void F() { queue_.push_back(std::move(item)); }"
+        self.assertEqual([], rules_fired(ok, "src/serve/feedback.cc"))
+
+    def test_allow_with_bound_suppresses(self):
+        good = ("void F() {\n"
+                "  // qpp-lint: allow(net-unbounded-queue): bounded by "
+                "max_queue upstream\n"
+                "  queue_.push_back(std::move(item));\n"
+                "}\n")
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+
+class NetBlockingReactorTest(unittest.TestCase):
+    def test_sleep_for_fires(self):
+        bad = "std::this_thread::sleep_for(std::chrono::milliseconds(1));"
+        self.assertIn("net-blocking-reactor",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_usleep_fires(self):
+        self.assertIn("net-blocking-reactor",
+                      rules_fired("usleep(100);", "src/net/server.cc"))
+
+    def test_bare_accept_fires(self):
+        bad = "int fd = ::accept(listen_fd_, nullptr, nullptr);"
+        self.assertIn("net-blocking-reactor",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_blocking_socket_fires(self):
+        bad = "int fd = ::socket(AF_INET, SOCK_STREAM, 0);"
+        self.assertIn("net-blocking-reactor",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_blocking_eventfd_fires(self):
+        bad = "wake_fd_ = ::eventfd(0, EFD_CLOEXEC);"
+        self.assertIn("net-blocking-reactor",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_nonblocking_fds_ok(self):
+        good = """
+        int a = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+        int b = ::accept4(l, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        int c = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+        """
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+    def test_epoll_wait_is_the_allowed_block(self):
+        good = "int n = ::epoll_wait(epoll_fd_, evs, 64, timeout_ms);"
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+    def test_client_side_may_block(self):
+        ok = ("int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+              "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n")
+        self.assertEqual([], rules_fired(ok, "src/net/client.cc"))
+
+    def test_sleep_identifier_substrings_ok(self):
+        good = "bool asleep(int x); int n = asleep(2);"
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+
 class SuppressionTest(unittest.TestCase):
     def test_same_line_allow(self):
         text = ("auto* f = new Fixture;  "

@@ -1,0 +1,698 @@
+// Tests for the network serving subsystem (src/net/): wire-protocol
+// encode/decode (including adversarial and byte-at-a-time inputs), the
+// epoll reactor's batching/backpressure/deadline behavior over real TCP
+// sockets, and graceful drain with zero dropped in-flight responses.
+//
+// Every server test binds an ephemeral loopback port. The suite runs in the
+// TSan tier-1 pass, so it exercises the reactor/pool/completion-queue
+// hand-offs under a race detector.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/registry.h"
+#include "serve/service.h"
+#include "workload/synthetic.h"
+
+namespace qpp {
+namespace {
+
+using net::ClientReply;
+using net::ErrorCode;
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+using net::LoadGenOptions;
+using net::PredictionClient;
+using net::PredictionServer;
+using net::ServerConfig;
+using serve::ModelRegistry;
+using serve::PredictionService;
+
+PredictorConfig QuickConfig() {
+  PredictorConfig cfg;
+  cfg.method = PredictionMethod::kOperatorLevel;
+  cfg.hybrid.max_iterations = 3;
+  cfg.hybrid.min_occurrences = 6;
+  return cfg;
+}
+
+// ----------------------------- frame codec ----------------------------------
+
+QueryRecord ProbeRecord() { return SyntheticServingLog(1).queries.front(); }
+
+TEST(FrameTest, RequestRoundTripPreservesRecord) {
+  const QueryRecord record = ProbeRecord();
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = 7;
+  frame.payload = net::EncodeRequestPayload(1234, record);
+  const std::string wire = net::EncodeFrame(frame);
+  ASSERT_EQ(wire.size(), net::kFrameHeaderBytes + frame.payload.size());
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  auto decoded = decoder.Next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kRequest);
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_FALSE(decoder.Next().has_value());
+
+  auto req = net::DecodeRequestPayload(decoded->payload);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->deadline_us, 1234u);
+  EXPECT_EQ(req->record.template_id, record.template_id);
+  EXPECT_EQ(req->record.latency_ms, record.latency_ms);
+  ASSERT_EQ(req->record.ops.size(), record.ops.size());
+  for (size_t i = 0; i < record.ops.size(); ++i) {
+    EXPECT_EQ(req->record.ops[i].structural_key,
+              record.ops[i].structural_key);
+    EXPECT_EQ(req->record.ops[i].est.total_cost,
+              record.ops[i].est.total_cost);
+  }
+}
+
+TEST(FrameTest, ResponseAndErrorPayloadsRoundTrip) {
+  const std::string resp_payload =
+      net::EncodeResponsePayload(41.5e-3, 9);
+  auto resp = net::DecodeResponsePayload(resp_payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->predicted_ms, 41.5e-3);  // bit-exact through the wire
+  EXPECT_EQ(resp->model_version, 9u);
+  EXPECT_FALSE(net::DecodeResponsePayload("short").ok());
+
+  const std::string err_payload =
+      net::EncodeErrorPayload(ErrorCode::kOverloaded, "queue full");
+  auto err = net::DecodeErrorPayload(err_payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, ErrorCode::kOverloaded);
+  EXPECT_EQ(err->message, "queue full");
+  EXPECT_FALSE(net::DecodeErrorPayload("").ok());
+}
+
+TEST(FrameTest, ByteAtATimeFeedDecodesPipelinedFrames) {
+  const QueryRecord record = ProbeRecord();
+  std::string wire;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    Frame f;
+    f.type = FrameType::kRequest;
+    f.request_id = id;
+    f.payload = net::EncodeRequestPayload(0, record);
+    wire += net::EncodeFrame(f);
+  }
+  FrameDecoder decoder;
+  std::vector<uint64_t> ids;
+  for (char byte : wire) {
+    ASSERT_TRUE(decoder.Feed(&byte, 1).ok());
+    while (auto f = decoder.Next()) ids.push_back(f->request_id);
+  }
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, TruncatedHeaderIsJustIncomplete) {
+  const std::string wire = net::EncodeFrame(Frame{});
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), net::kFrameHeaderBytes - 1).ok());
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(FrameTest, AdversarialHeadersPoisonTheDecoder) {
+  const std::string good = net::EncodeFrame(Frame{});
+  struct Case {
+    const char* name;
+    size_t offset;
+    char value;
+  };
+  // One corrupted header byte each: magic, version, type, reserved.
+  const Case cases[] = {
+      {"bad magic", 0, 'X'},
+      {"unsupported version", 4, 9},
+      {"unknown type", 5, 42},
+      {"reserved bits set", 6, 1},
+  };
+  for (const Case& c : cases) {
+    std::string wire = good;
+    wire[c.offset] = c.value;
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.Feed(wire.data(), wire.size()).ok()) << c.name;
+    EXPECT_TRUE(decoder.poisoned()) << c.name;
+    EXPECT_FALSE(decoder.Next().has_value()) << c.name;
+    // Poisoned for good: even pristine bytes are refused afterwards.
+    EXPECT_FALSE(decoder.Feed(good.data(), good.size()).ok()) << c.name;
+  }
+}
+
+TEST(FrameTest, OversizedAndNegativeLengthPrefixesAreRejectedEagerly) {
+  for (uint32_t evil_len :
+       {net::kMaxPayloadBytes + 1, 0x80000000u, 0xffffffffu}) {
+    std::string wire = net::EncodeFrame(Frame{});
+    for (int i = 0; i < 4; ++i) {
+      wire[16 + static_cast<size_t>(i)] =
+          static_cast<char>((evil_len >> (8 * i)) & 0xff);
+    }
+    // Header only: the decoder must reject before any payload arrives
+    // (it would otherwise buffer gigabytes on a 4-byte lie).
+    FrameDecoder decoder;
+    Status st =
+        decoder.Feed(wire.data(), net::kFrameHeaderBytes);
+    EXPECT_FALSE(st.ok()) << evil_len;
+    EXPECT_NE(st.message().find("payload length"), std::string::npos);
+  }
+}
+
+TEST(FrameTest, GarbagePayloadFailsDecodeNotFraming) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.request_id = 5;
+  f.payload = "\x01\x02\x03\x04 not a query record at all";
+  const std::string wire = net::EncodeFrame(f);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(net::DecodeRequestPayload(frame->payload).ok());
+}
+
+// ----------------------------- server fixture -------------------------------
+
+/// Blocking raw TCP connection for adversarial tests that must write bytes
+/// no well-behaved client would.
+class RawConn {
+ public:
+  ~RawConn() { Close(); }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+
+  bool WriteAll(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until EOF; returns everything received.
+  std::string ReadToEof() {
+    std::string out;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return out;
+      out.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerConfig config, bool publish_model = true) {
+    if (publish_model) {
+      auto predictor =
+          std::make_shared<QueryPerformancePredictor>(QuickConfig());
+      ASSERT_TRUE(predictor->Train(SyntheticServingLog(60)).ok());
+      registry_.Publish(std::move(predictor), "net-test");
+    }
+    service_ = std::make_unique<PredictionService>(&registry_);
+    server_ = std::make_unique<PredictionServer>(service_.get(), config);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  /// Parses a decoded error frame; fails the test on a malformed payload.
+  static ErrorCode ErrorCodeOf(const Frame& frame) {
+    EXPECT_EQ(frame.type, FrameType::kError);
+    auto err = net::DecodeErrorPayload(frame.payload);
+    EXPECT_TRUE(err.ok());
+    return err.ok() ? err->code : ErrorCode::kNone;
+  }
+
+  ModelRegistry registry_;
+  std::unique_ptr<PredictionService> service_;
+  std::unique_ptr<PredictionServer> server_;
+  QueryLog workload_ = SyntheticServingLog(24, 1.0, 7);
+};
+
+// --------------------------- end-to-end behavior ----------------------------
+
+TEST_F(NetServerTest, SyncRoundTripMatchesLocalPrediction) {
+  StartServer(ServerConfig{});
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  for (const QueryRecord& q : workload_.queries) {
+    auto reply = client.Predict(q);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->error, ErrorCode::kNone) << reply->error_message;
+    auto local = service_->Predict(q);
+    ASSERT_TRUE(local.ok());
+    // The record round-trips at full precision, so the remote prediction is
+    // bit-identical to a local one against the same model version.
+    EXPECT_EQ(reply->predicted_ms, local->predicted_ms);
+    EXPECT_EQ(reply->model_version, 1u);
+  }
+  const net::ServerStats stats = server_->Stats();
+  EXPECT_EQ(stats.requests_received, workload_.queries.size());
+  EXPECT_EQ(stats.responses_sent, workload_.queries.size());
+  EXPECT_EQ(stats.frame_errors, 0u);
+  EXPECT_EQ(stats.dropped_disconnect, 0u);
+}
+
+TEST_F(NetServerTest, PipelinedRequestsAllAnsweredAcrossBatches) {
+  ServerConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 1000;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  std::vector<uint64_t> sent_ids;
+  for (const QueryRecord& q : workload_.queries) {
+    auto id = client.Send(q);
+    ASSERT_TRUE(id.ok());
+    sent_ids.push_back(*id);
+  }
+  std::vector<uint64_t> got_ids;
+  for (size_t i = 0; i < sent_ids.size(); ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->error, ErrorCode::kNone);
+    got_ids.push_back(reply->request_id);
+  }
+  std::sort(got_ids.begin(), got_ids.end());
+  EXPECT_EQ(got_ids, sent_ids);
+  EXPECT_GE(server_->Stats().batches_dispatched, 2u);
+}
+
+TEST_F(NetServerTest, NoPublishedModelYieldsTypedNoModelError) {
+  StartServer(ServerConfig{}, /*publish_model=*/false);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto reply = client.Predict(workload_.queries.front());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->error, ErrorCode::kNoModel);
+  EXPECT_NE(reply->error_message.find("no model"), std::string::npos);
+}
+
+TEST_F(NetServerTest, PerConnectionOverloadShedsTypedErrors) {
+  ServerConfig config;
+  config.max_pending_per_conn = 4;
+  // Batch knobs chosen so admitted requests stay queued while the rest of
+  // the pipelined burst arrives: the shed count is deterministic.
+  config.max_batch = 64;
+  config.max_delay_us = 150000;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  constexpr int kBurst = 10;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.Send(workload_.queries[static_cast<size_t>(i) %
+                                              workload_.queries.size()])
+                    .ok());
+  }
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply->error == ErrorCode::kNone) {
+      ++ok;
+    } else {
+      ASSERT_EQ(reply->error, ErrorCode::kOverloaded) << reply->error_message;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(overloaded, kBurst - 4);
+  EXPECT_EQ(server_->Stats().shed_overload, static_cast<uint64_t>(kBurst - 4));
+}
+
+TEST_F(NetServerTest, GlobalQueueBoundShedsAcrossConnections) {
+  ServerConfig config;
+  config.max_pending_per_conn = 128;
+  config.max_queue = 2;
+  config.max_batch = 64;
+  config.max_delay_us = 150000;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  constexpr int kBurst = 5;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.Send(workload_.queries.front()).ok());
+  }
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok());
+    (reply->error == ErrorCode::kNone ? ok : overloaded)++;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(overloaded, 3);
+}
+
+TEST_F(NetServerTest, ExpiredDeadlinesGetTypedErrorsNotPredictions) {
+  ServerConfig config;
+  // Hold the batch well past the request deadlines.
+  config.max_batch = 64;
+  config.max_delay_us = 50000;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.Send(workload_.queries.front(), /*deadline_us=*/500)
+                    .ok());
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->error, ErrorCode::kDeadlineExceeded)
+        << reply->error_message;
+  }
+  EXPECT_EQ(server_->Stats().shed_deadline,
+            static_cast<uint64_t>(kRequests));
+}
+
+TEST_F(NetServerTest, GracefulDrainDeliversEveryInFlightResponse) {
+  ServerConfig config;
+  // Big batch + long delay: all in-flight requests are still queued in the
+  // micro-batch when Shutdown lands, so drain itself must flush them.
+  config.max_batch = 64;
+  config.max_delay_us = 500000;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  constexpr uint64_t kInFlight = 16;
+  for (uint64_t i = 0; i < kInFlight; ++i) {
+    ASSERT_TRUE(client.Send(workload_.queries[static_cast<size_t>(i) %
+                                              workload_.queries.size()])
+                    .ok());
+  }
+  // Wait until the server has admitted all of them, then pull the plug.
+  while (server_->Stats().requests_received < kInFlight) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->Shutdown();
+  EXPECT_FALSE(server_->running());
+
+  // Zero dropped responses: every admitted request yields a real
+  // prediction, delivered before the server closed the connection.
+  for (uint64_t i = 0; i < kInFlight; ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << "response " << i
+                            << " dropped: " << reply.status().ToString();
+    EXPECT_EQ(reply->error, ErrorCode::kNone) << reply->error_message;
+  }
+  // ...and then EOF, cleanly.
+  auto eof = client.Receive();
+  ASSERT_FALSE(eof.ok());
+
+  const net::ServerStats stats = server_->Stats();
+  EXPECT_EQ(stats.requests_received, kInFlight);
+  EXPECT_EQ(stats.responses_sent, kInFlight);
+  EXPECT_EQ(stats.dropped_disconnect, 0u);
+}
+
+TEST_F(NetServerTest, RequestsDuringDrainGetShuttingDown) {
+  ServerConfig config;
+  config.max_batch = 64;
+  config.max_delay_us = 200000;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.Send(workload_.queries.front()).ok());
+  while (server_->Stats().requests_received < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Race a second request against the drain. Depending on arrival order it
+  // is either served (admitted pre-drain) or refused with kShuttingDown —
+  // both legal; what may not happen is a hang, a drop, or a crash.
+  std::thread closer([&] { server_->Shutdown(); });
+  auto id2 = client.Send(workload_.queries.front());
+  int replies = 0;
+  while (true) {
+    auto reply = client.Receive();
+    if (!reply.ok()) break;  // EOF after drain
+    ++replies;
+    EXPECT_TRUE(reply->error == ErrorCode::kNone ||
+                reply->error == ErrorCode::kShuttingDown)
+        << reply->error_message;
+  }
+  closer.join();
+  EXPECT_GE(replies, 1);
+  // The pre-drain request was definitely answered.
+  EXPECT_GE(server_->Stats().responses_sent, 1u);
+  (void)id2;
+}
+
+// ------------------------- adversarial over TCP -----------------------------
+
+TEST_F(NetServerTest, GarbageBytesGetTypedErrorThenClose) {
+  StartServer(ServerConfig{});
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  ASSERT_TRUE(raw.WriteAll("GET / HTTP/1.1\r\nHost: nope\r\n\r\n"));
+  const std::string bytes = raw.ReadToEof();  // server closes after reply
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(ErrorCodeOf(*frame), ErrorCode::kBadRequest);
+  EXPECT_GE(server_->Stats().frame_errors, 1u);
+}
+
+TEST_F(NetServerTest, AdversarialHeadersOverTcpNeverCrashOrLeakSlots) {
+  ServerConfig config;
+  config.max_connections = 4;
+  StartServer(config);
+  const std::string good = net::EncodeFrame(Frame{});
+
+  struct Case {
+    const char* name;
+    size_t offset;
+    char value;
+  };
+  const Case cases[] = {
+      {"bad magic", 0, '!'},
+      {"unknown version", 4, 9},
+      {"unknown type", 5, 99},
+      {"reserved bits", 6, 1},
+      {"oversized length", 19, 0x7f},  // top byte of payload_len
+  };
+  // Run MORE adversarial connections than max_connections: if a violation
+  // leaked its slot, the later iterations could not connect at all.
+  for (int round = 0; round < 3; ++round) {
+    for (const Case& c : cases) {
+      std::string wire = good;
+      wire[c.offset] = c.value;
+      RawConn raw;
+      ASSERT_TRUE(raw.Connect(server_->port())) << c.name;
+      ASSERT_TRUE(raw.WriteAll(wire)) << c.name;
+      const std::string bytes = raw.ReadToEof();
+      FrameDecoder decoder;
+      ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok()) << c.name;
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.has_value()) << c.name;
+      EXPECT_EQ(ErrorCodeOf(*frame), ErrorCode::kBadRequest) << c.name;
+    }
+  }
+  // The server is still fully functional afterwards.
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto reply = client.Predict(workload_.queries.front());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->error, ErrorCode::kNone);
+}
+
+TEST_F(NetServerTest, TruncatedHeaderThenEofClosesCleanly) {
+  StartServer(ServerConfig{});
+  {
+    RawConn raw;
+    ASSERT_TRUE(raw.Connect(server_->port()));
+    const std::string good = net::EncodeFrame(Frame{});
+    ASSERT_TRUE(raw.WriteAll(good.substr(0, 10)));
+    raw.ShutdownWrite();
+    // No reply owed (no complete frame arrived); the server just closes.
+    EXPECT_EQ(raw.ReadToEof(), "");
+  }
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto reply = client.Predict(workload_.queries.front());
+  ASSERT_TRUE(reply.ok());
+}
+
+TEST_F(NetServerTest, ByteAtATimeRequestOverTcpIsServed) {
+  StartServer(ServerConfig{});
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = 77;
+  frame.payload = net::EncodeRequestPayload(0, workload_.queries.front());
+  const std::string wire = net::EncodeFrame(frame);
+
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  for (char byte : wire) {
+    ASSERT_TRUE(raw.WriteAll(std::string(1, byte)));
+  }
+  raw.ShutdownWrite();
+  const std::string bytes = raw.ReadToEof();
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  auto reply = decoder.Next();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kResponse);
+  EXPECT_EQ(reply->request_id, 77u);
+  auto resp = net::DecodeResponsePayload(reply->payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GT(resp->predicted_ms, 0.0);
+}
+
+TEST_F(NetServerTest, UnparseablePayloadKeepsConnectionUsable) {
+  StartServer(ServerConfig{});
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+
+  Frame bad;
+  bad.type = FrameType::kRequest;
+  bad.request_id = 1;
+  bad.payload = net::EncodeRequestPayload(0, workload_.queries.front());
+  // Corrupt the record text, not the framing.
+  bad.payload[10] = '~';
+  Frame good;
+  good.type = FrameType::kRequest;
+  good.request_id = 2;
+  good.payload = net::EncodeRequestPayload(0, workload_.queries.front());
+  ASSERT_TRUE(raw.WriteAll(net::EncodeFrame(bad) + net::EncodeFrame(good)));
+  raw.ShutdownWrite();
+
+  const std::string bytes = raw.ReadToEof();
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  auto first = decoder.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request_id, 1u);
+  EXPECT_EQ(ErrorCodeOf(*first), ErrorCode::kBadRequest);
+  // The framing stayed in sync: the next request on the same connection is
+  // served normally.
+  auto second = decoder.Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->request_id, 2u);
+  EXPECT_EQ(second->type, FrameType::kResponse);
+  EXPECT_EQ(server_->Stats().parse_errors, 1u);
+}
+
+TEST_F(NetServerTest, ConnectionCapRejectsAndRecoversSlots) {
+  ServerConfig config;
+  config.max_connections = 2;
+  StartServer(config);
+
+  auto occupied = std::make_unique<RawConn>();
+  RawConn second;
+  ASSERT_TRUE(occupied->Connect(server_->port()));
+  ASSERT_TRUE(second.Connect(server_->port()));
+  // Nudge the reactor so both registrations happen before the probe.
+  while (server_->Stats().connections_accepted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Third connection: TCP-accepted (so connect succeeds) then immediately
+  // closed by the server — the client observes EOF without any frame.
+  RawConn rejected;
+  ASSERT_TRUE(rejected.Connect(server_->port()));
+  EXPECT_EQ(rejected.ReadToEof(), "");
+  EXPECT_GE(server_->Stats().connections_rejected, 1u);
+
+  // Free one slot; the server notices (EOF) and a new connection succeeds.
+  occupied.reset();
+  PredictionClient client;
+  Status connected = Status::Internal("never tried");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    connected = client.Connect("127.0.0.1", server_->port());
+    if (connected.ok()) {
+      auto reply = client.Predict(workload_.queries.front());
+      if (reply.ok() && reply->error == ErrorCode::kNone) break;
+      client.Close();
+      connected = Status::Internal("rejected");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(connected.ok()) << "slot was never recovered";
+}
+
+// ----------------------- load generator + metrics ---------------------------
+
+TEST_F(NetServerTest, LoadGeneratorDrivesConcurrentConnections) {
+  ServerConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 500;
+  StartServer(config);
+
+  LoadGenOptions options;
+  options.connections = 4;
+  options.requests_per_connection = 50;
+  options.window = 8;
+  auto report =
+      net::RunLoadGenerator("127.0.0.1", server_->port(), workload_, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sent, 200u);
+  EXPECT_EQ(report->ok, 200u);
+  EXPECT_EQ(report->overloaded, 0u);
+  EXPECT_GT(report->qps, 0.0);
+  EXPECT_GT(report->p50_us, 0.0);
+  EXPECT_LE(report->p50_us, report->p99_us);
+
+  const net::ServerStats stats = server_->Stats();
+  EXPECT_EQ(stats.requests_received, 200u);
+  EXPECT_EQ(stats.responses_sent, 200u);
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+
+  // The obs instrumentation saw the traffic end to end.
+  obs::Histogram* hist = obs::MetricsRegistry::Global()->GetHistogram(
+      "net.request.latency_us", {});
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->Count(), 200u);
+}
+
+}  // namespace
+}  // namespace qpp

@@ -22,6 +22,7 @@
 #include "serve/model_store.h"
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "workload/synthetic.h"
 
 namespace qpp {
 namespace {
@@ -33,99 +34,11 @@ using serve::FeedbackLoop;
 using serve::ModelRegistry;
 using serve::PredictionService;
 
-OperatorRecord MakeOp(int node_id, int parent, int left, int right, PlanOp op,
-                      const std::string& rel, double rows, double cost,
-                      double start_ms, double run_ms) {
-  OperatorRecord o;
-  o.node_id = node_id;
-  o.parent_id = parent;
-  o.left_child = left;
-  o.right_child = right;
-  o.op = op;
-  o.relation = rel;
-  o.est.startup_cost = cost * 0.1;
-  o.est.total_cost = cost;
-  o.est.rows = rows;
-  o.est.width = 32.0;
-  o.est.pages = rows / 50.0 + 1.0;
-  o.est.selectivity = 0.4;
-  o.actual.valid = true;
-  o.actual.rows = rows * 1.1;
-  o.actual.pages = o.est.pages;
-  o.actual.start_time_ms = start_ms;
-  o.actual.run_time_ms = run_ms;
-  return o;
-}
-
-/// One synthetic executed query of the given plan shape. Latencies are
-/// near-linear in the size knob with a little deterministic noise, so the
-/// operator/plan models actually learn the workload. `latency_scale`
-/// multiplies every observed time — scale 1 is the base distribution,
-/// scale k simulates post-deployment drift (same plans, slower system).
-QueryRecord SyntheticQuery(int shape, double s, Rng* rng,
-                           double latency_scale) {
-  const double n1 = rng->UniformDouble(-0.1, 0.1);
-  const double n2 = rng->UniformDouble(-0.1, 0.1);
-  QueryRecord q;
-  q.template_id = 900 + shape;
-  q.param_desc = "s=" + std::to_string(s);
-  switch (shape) {
-    case 0: {
-      // HashAggregate(SeqScan(lineitem))
-      const double scan_run = (2.0 * s + 0.5 + n1) * latency_scale;
-      const double agg_run = scan_run + (1.5 * s + 0.3 + n2) * latency_scale;
-      q.ops.push_back(MakeOp(0, -1, 1, -1, PlanOp::kHashAggregate, "",
-                             8.0, 90.0 * s + 30.0, agg_run * 0.9, agg_run));
-      q.ops.push_back(MakeOp(1, 0, -1, -1, PlanOp::kSeqScan, "lineitem",
-                             1000.0 * s, 50.0 * s + 10.0, scan_run * 0.05,
-                             scan_run));
-      break;
-    }
-    case 1: {
-      // Sort(HashJoin(SeqScan(orders), SeqScan(lineitem)))
-      const double o_run = (1.0 * s + 0.2 + n1) * latency_scale;
-      const double l_run = (3.0 * s + 0.4 + n2) * latency_scale;
-      const double j_run = o_run + l_run + (2.0 * s + 0.5) * latency_scale;
-      const double sort_run = j_run + (1.0 * s + 0.2) * latency_scale;
-      q.ops.push_back(MakeOp(0, -1, 1, -1, PlanOp::kSort, "", 300.0 * s,
-                             260.0 * s + 80.0, sort_run * 0.95, sort_run));
-      q.ops.push_back(MakeOp(1, 0, 2, 3, PlanOp::kHashJoin, "", 300.0 * s,
-                             200.0 * s + 60.0, o_run + 0.1, j_run));
-      q.ops.push_back(MakeOp(2, 1, -1, -1, PlanOp::kSeqScan, "orders",
-                             500.0 * s, 25.0 * s + 5.0, o_run * 0.05, o_run));
-      q.ops.push_back(MakeOp(3, 1, -1, -1, PlanOp::kSeqScan, "lineitem",
-                             1500.0 * s, 75.0 * s + 15.0, l_run * 0.05,
-                             l_run));
-      break;
-    }
-    default: {
-      // HashJoin(SeqScan(customer), IndexScan(orders))
-      const double c_run = (0.8 * s + 0.3 + n1) * latency_scale;
-      const double i_run = (1.2 * s + 0.2 + n2) * latency_scale;
-      const double j_run = c_run + i_run + (1.5 * s + 0.4) * latency_scale;
-      q.ops.push_back(MakeOp(0, -1, 1, 2, PlanOp::kHashJoin, "", 150.0 * s,
-                             120.0 * s + 40.0, c_run + 0.1, j_run));
-      q.ops.push_back(MakeOp(1, 0, -1, -1, PlanOp::kSeqScan, "customer",
-                             200.0 * s, 10.0 * s + 4.0, c_run * 0.05, c_run));
-      q.ops.push_back(MakeOp(2, 1, -1, -1, PlanOp::kIndexScan, "orders",
-                             180.0 * s, 9.0 * s + 6.0, i_run * 0.05, i_run));
-      break;
-    }
-  }
-  q.latency_ms = q.ops.front().actual.run_time_ms;
-  RecomputeStructuralKeys(&q);
-  return q;
-}
-
+/// Shared deterministic serving workload (src/workload/synthetic.h) — the
+/// same generator the golden bundle fixtures were produced from, now also
+/// used by net_test, micro_serve/micro_net and the serving examples.
 QueryLog SyntheticLog(int n, double latency_scale = 1.0, uint64_t seed = 42) {
-  Rng rng(seed);
-  QueryLog log;
-  for (int i = 0; i < n; ++i) {
-    const int shape = i % 3;
-    const double s = 1.0 + static_cast<double>(i % 12);
-    log.queries.push_back(SyntheticQuery(shape, s, &rng, latency_scale));
-  }
-  return log;
+  return SyntheticServingLog(n, latency_scale, seed);
 }
 
 PredictorConfig QuickConfig(PredictionMethod method) {
@@ -415,6 +328,41 @@ TEST(ServiceTest, SnapshotReportsLatencyPercentilesFromRegistry) {
   const serve::ServiceStats cleared = service.Snapshot();
   EXPECT_EQ(cleared.requests, 0u);
   EXPECT_DOUBLE_EQ(cleared.p50_latency_us, 0.0);
+}
+
+// Regression for a stats-pollution bug: percentiles used to be read straight
+// from the process-wide "serve.predict.latency_us" histogram, so any service
+// instance's traffic leaked into every other instance's Snapshot().
+TEST(ServiceTest, TwoServicesKeepIndependentLatencyPercentiles) {
+  const QueryLog log = SyntheticLog(30);
+  ModelRegistry registry;
+  registry.Publish(TrainShared(PredictionMethod::kOperatorLevel, log),
+                   "initial");
+  PredictionService loaded(&registry);
+  PredictionService idle(&registry);
+  loaded.ResetStats();  // clean shared-histogram slate for the count check
+
+  for (const QueryRecord& q : log.queries) {
+    ASSERT_TRUE(loaded.Predict(q).ok());
+  }
+  const serve::ServiceStats busy = loaded.Snapshot();
+  EXPECT_EQ(busy.requests, log.queries.size());
+  EXPECT_GT(busy.p50_latency_us, 0.0);
+
+  // The idle service served nothing: its percentiles must stay zero even
+  // though the other instance's traffic flowed through the shared
+  // process-wide histogram.
+  const serve::ServiceStats quiet = idle.Snapshot();
+  EXPECT_EQ(quiet.requests, 0u);
+  EXPECT_DOUBLE_EQ(quiet.p50_latency_us, 0.0);
+  EXPECT_DOUBLE_EQ(quiet.p95_latency_us, 0.0);
+  EXPECT_DOUBLE_EQ(quiet.p99_latency_us, 0.0);
+
+  // The shared histogram still aggregates across instances.
+  obs::Histogram* shared = obs::MetricsRegistry::Global()->GetHistogram(
+      "serve.predict.latency_us", {});
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->Count(), busy.requests);
 }
 
 TEST(RegistryTest, PublishUpdatesSwapMetrics) {
