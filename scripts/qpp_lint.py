@@ -46,6 +46,15 @@ knowledge rather than language knowledge:
                       with SOCK_NONBLOCK), and socket()/accept4()/
                       eventfd() must create non-blocking fds -- one
                       blocking fd stalls every connection.
+  card-unbounded-cache
+                      In src/card/ every push onto a member container
+                      (trailing-underscore name) must be dominated by a
+                      capacity/eviction check within the preceding 30
+                      lines: the learned cache ingests one observation
+                      per executed operator forever, so an unbounded
+                      container grows with workload lifetime.  Containers
+                      bounded elsewhere carry an allow() naming the
+                      bound.
 
 Suppression: a finding on line N is suppressed by a comment on line N or
 line N-1 of the form
@@ -344,6 +353,43 @@ def rule_net_unbounded_queue(path, raw, code):
     return out
 
 
+# --- src/card rules ------------------------------------------------------
+# The learned-cardinality cache ingests one observation per executed
+# operator, for as long as the process serves queries; any member container
+# without visible eviction grows with workload lifetime.
+
+CARD_PREFIX = "src/card/"
+
+
+def rule_card_unbounded_cache(path, raw, code):
+    """A push onto a long-lived (member) container in src/card/ grows per
+    harvested observation unless a capacity/eviction comparison dominates
+    it.  Same heuristic and window as net-unbounded-queue: some line in
+    the preceding window must compare against a max/capacity bound.
+    Containers bounded elsewhere (e.g. snapshot history bounded by
+    publish cadence) carry an allow() naming the bound."""
+    del raw
+    if not path.startswith(CARD_PREFIX):
+        return []
+    lines = code.splitlines()
+    out = []
+    for m in MEMBER_PUSH_RE.finditer(code):
+        line = _line_of(code, m.start())
+        lo = max(0, line - 1 - NET_CAPACITY_WINDOW_LINES)
+        window = lines[lo:line]  # includes the push line itself
+        if any(COMPARISON_RE.search(ln) and CAPACITY_TOKEN_RE.search(ln)
+               for ln in window):
+            continue
+        out.append(Violation(
+            path, line, "card-unbounded-cache",
+            f"member container '{m.group(1)}' grows per harvested "
+            "observation with no capacity/eviction check in the preceding "
+            f"{NET_CAPACITY_WINDOW_LINES} lines; every long-lived container "
+            "in src/card must be bounded (LRU eviction, bounded windows) or "
+            "carry an allow() naming the bound"))
+    return out
+
+
 SLEEP_RE = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|(?<![\w.])usleep\s*\(|"
     r"(?<![\w.])nanosleep\s*\(|(?<![\w.:])sleep\s*\(")
@@ -408,6 +454,7 @@ RULES = {
     "naked-new": rule_naked_new,
     "net-unbounded-queue": rule_net_unbounded_queue,
     "net-blocking-reactor": rule_net_blocking_reactor,
+    "card-unbounded-cache": rule_card_unbounded_cache,
 }
 
 

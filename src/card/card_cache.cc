@@ -1,0 +1,495 @@
+#include "card/card_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/checksum.h"
+#include "obs/metrics.h"
+
+namespace qpp::card {
+namespace {
+
+constexpr char kCacheMagic[] = "qpp-card-cache v1";
+constexpr char kLogHeader[] = "# qpp card feedback v1";
+
+/// Squared L2 distance in log1p feature space.
+double FeatureDistance2(const std::array<double, 3>& a,
+                        const std::array<double, 3>& b) {
+  double d2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+
+/// Distance-weighted kNN over candidate observations: the estimate is the
+/// inverse-distance-weighted mean of log1p(actual_rows) over the k nearest
+/// neighbors, mapped back through expm1. Averaging in log space makes the
+/// blend multiplicative (geometric-mean-like), which matches how q-error
+/// penalizes mistakes. `max_distance2` < 0 disables the radius bound
+/// (exact-signature lookups trust every observation in the bucket).
+std::optional<double> KnnEstimate(
+    const std::vector<const CardObservation*>& candidates,
+    const std::array<double, 3>& features, size_t k, double max_distance2) {
+  std::vector<std::pair<double, double>> scored;  // (distance^2, log1p actual)
+  scored.reserve(candidates.size());
+  for (const CardObservation* o : candidates) {
+    const double d2 = FeatureDistance2(o->features, features);
+    if (max_distance2 >= 0.0 && d2 > max_distance2) continue;
+    scored.emplace_back(d2, std::log1p(std::max(0.0, o->actual_rows)));
+  }
+  if (scored.empty()) return std::nullopt;
+  const size_t take = std::min(k == 0 ? size_t{1} : k, scored.size());
+  std::partial_sort(
+      scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(take),
+      scored.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  double weight_sum = 0.0;
+  double value_sum = 0.0;
+  for (size_t i = 0; i < take; ++i) {
+    // Epsilon keeps exact feature matches finite while still dominating.
+    const double w = 1.0 / (1e-3 + std::sqrt(scored[i].first));
+    weight_sum += w;
+    value_sum += w * scored[i].second;
+  }
+  const double rows = std::expm1(value_sum / weight_sum);
+  return std::max(1.0, std::round(rows));
+}
+
+void SetCacheGaugesLocked(size_t signatures, size_t observations,
+                          double windowed_qerror) {
+  static obs::Gauge* size_gauge =
+      obs::MetricsRegistry::Global()->GetGauge("card.cache.size");
+  static obs::Gauge* obs_gauge =
+      obs::MetricsRegistry::Global()->GetGauge("card.cache.observations");
+  static obs::Gauge* qerr_gauge =
+      obs::MetricsRegistry::Global()->GetGauge("card.cache.windowed_qerror");
+  size_gauge->Set(static_cast<double>(signatures));
+  obs_gauge->Set(static_cast<double>(observations));
+  qerr_gauge->Set(windowed_qerror);
+}
+
+double MeanQErrorLocked(const std::deque<double>& window) {
+  if (window.empty()) return 1.0;
+  double sum = 0.0;
+  for (double q : window) sum += q;
+  return sum / static_cast<double>(window.size());
+}
+
+std::vector<std::string> SplitPipe(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return fields;
+}
+
+Result<double> ParseDouble(const std::string& s, const char* what) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) {
+      return Status::IOError(std::string("trailing garbage in ") + what +
+                             " '" + s + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::IOError(std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+void AppendDouble(std::ostringstream* out, double v) {
+  // precision 17: shortest round-trippable decimal for IEEE double, the
+  // repo-wide convention for persisted floats (see scripts/qpp_lint.py).
+  out->precision(17);
+  *out << v;
+}
+
+}  // namespace
+
+double QError(double est_rows, double actual_rows) {
+  const double e = std::max(1.0, est_rows);
+  const double a = std::max(1.0, actual_rows);
+  return std::max(e / a, a / e);
+}
+
+// ---------------------------------------------------------------------------
+// CardSnapshot
+
+CardSnapshot::CardSnapshot(uint64_t version, CardCacheConfig config,
+                           std::vector<Entry> entries)
+    : version_(version), config_(config), entries_(std::move(entries)) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    classes_[entries_[i].class_hash].push_back(i);
+  }
+}
+
+std::optional<double> CardSnapshot::EstimateRows(
+    const CardinalityQuery& query) const {
+  if (query.signature == 0) return std::nullopt;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), query.signature,
+      [](const Entry& e, uint64_t sig) { return e.signature < sig; });
+  std::vector<const CardObservation*> candidates;
+  if (it != entries_.end() && it->signature == query.signature) {
+    candidates.reserve(it->obs.size());
+    for (const CardObservation& o : it->obs) candidates.push_back(&o);
+    return KnnEstimate(candidates, query.features, config_.knn_k,
+                       /*max_distance2=*/-1.0);
+  }
+  if (!config_.allow_near_miss || query.class_hash == 0) return std::nullopt;
+  const auto cls = classes_.find(query.class_hash);
+  if (cls == classes_.end()) return std::nullopt;
+  for (size_t idx : cls->second) {
+    for (const CardObservation& o : entries_[idx].obs) {
+      candidates.push_back(&o);
+    }
+  }
+  const double r = config_.near_miss_max_distance;
+  return KnnEstimate(candidates, query.features, config_.knn_k, r * r);
+}
+
+// ---------------------------------------------------------------------------
+// LearnedCardinalityCache
+
+LearnedCardinalityCache::LearnedCardinalityCache(CardCacheConfig config)
+    : config_(config) {
+  if (config_.max_signatures == 0) config_.max_signatures = 1;
+  if (config_.max_observations_per_signature == 0) {
+    config_.max_observations_per_signature = 1;
+  }
+  if (config_.max_qerror_window == 0) config_.max_qerror_window = 1;
+}
+
+void LearnedCardinalityCache::EvictOneLocked() {
+  if (lru_.empty()) return;
+  const uint64_t victim = lru_.back();
+  lru_.pop_back();
+  const auto it = entries_.find(victim);
+  if (it != entries_.end()) {
+    auto cls = classes_.find(it->second.class_hash);
+    if (cls != classes_.end()) {
+      auto& sigs = cls->second;
+      sigs.erase(std::remove(sigs.begin(), sigs.end(), victim), sigs.end());
+      if (sigs.empty()) classes_.erase(cls);
+    }
+    entries_.erase(it);
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* evict_counter =
+      obs::MetricsRegistry::Global()->GetCounter("card.cache.evictions");
+  evict_counter->Increment();
+}
+
+void LearnedCardinalityCache::Record(uint64_t signature, uint64_t class_hash,
+                                     const std::array<double, 3>& features,
+                                     double est_rows, double actual_rows) {
+  if (signature == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    // Capacity check dominates the inserts below: evict down to leave room
+    // for the new signature before growing any container.
+    while (entries_.size() >= config_.max_signatures) EvictOneLocked();
+    lru_.push_front(signature);
+    Entry entry;
+    entry.class_hash = class_hash;
+    entry.lru_it = lru_.begin();
+    it = entries_.emplace(signature, std::move(entry)).first;
+    classes_[class_hash].push_back(signature);
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.lru_it = lru_.begin();
+  }
+  Entry& entry = it->second;
+  while (entry.obs.size() >= config_.max_observations_per_signature) {
+    entry.obs.pop_front();
+  }
+  entry.obs.push_back(CardObservation{features, est_rows, actual_rows});
+
+  while (qerror_window_.size() >= config_.max_qerror_window) {
+    qerror_window_.pop_front();
+  }
+  qerror_window_.push_back(QError(est_rows, actual_rows));
+
+  size_t observations = 0;
+  for (const auto& [sig, e] : entries_) observations += e.obs.size();
+  SetCacheGaugesLocked(entries_.size(), observations,
+                       MeanQErrorLocked(qerror_window_));
+}
+
+std::optional<double> LearnedCardinalityCache::EstimateRows(
+    const CardinalityQuery& query) const {
+  static obs::Counter* hit_counter =
+      obs::MetricsRegistry::Global()->GetCounter("card.cache.hits");
+  static obs::Counter* miss_counter =
+      obs::MetricsRegistry::Global()->GetCounter("card.cache.misses");
+  static obs::Counter* near_counter =
+      obs::MetricsRegistry::Global()->GetCounter("card.cache.near_misses");
+  if (query.signature == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const CardObservation*> candidates;
+  const auto it = entries_.find(query.signature);
+  if (it != entries_.end() && !it->second.obs.empty()) {
+    candidates.reserve(it->second.obs.size());
+    for (const CardObservation& o : it->second.obs) candidates.push_back(&o);
+    auto est = KnnEstimate(candidates, query.features, config_.knn_k,
+                           /*max_distance2=*/-1.0);
+    if (est.has_value()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter->Increment();
+      return est;
+    }
+  }
+  if (config_.allow_near_miss && query.class_hash != 0) {
+    const auto cls = classes_.find(query.class_hash);
+    if (cls != classes_.end()) {
+      candidates.clear();
+      for (uint64_t sig : cls->second) {
+        if (sig == query.signature) continue;
+        const auto sib = entries_.find(sig);
+        if (sib == entries_.end()) continue;
+        for (const CardObservation& o : sib->second.obs) {
+          candidates.push_back(&o);
+        }
+      }
+      const double r = config_.near_miss_max_distance;
+      auto est = KnnEstimate(candidates, query.features, config_.knn_k, r * r);
+      if (est.has_value()) {
+        near_misses_.fetch_add(1, std::memory_order_relaxed);
+        near_counter->Increment();
+        return est;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter->Increment();
+  return std::nullopt;
+}
+
+size_t LearnedCardinalityCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t LearnedCardinalityCache::observation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [sig, e] : entries_) n += e.obs.size();
+  return n;
+}
+
+double LearnedCardinalityCache::WindowedQError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MeanQErrorLocked(qerror_window_);
+}
+
+std::shared_ptr<const CardSnapshot> LearnedCardinalityCache::MakeSnapshot(
+    uint64_t version) const {
+  std::vector<CardSnapshot::Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& [sig, e] : entries_) {
+      CardSnapshot::Entry out;
+      out.signature = sig;
+      out.class_hash = e.class_hash;
+      out.obs.assign(e.obs.begin(), e.obs.end());
+      entries.push_back(std::move(out));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CardSnapshot::Entry& a, const CardSnapshot::Entry& b) {
+              return a.signature < b.signature;
+            });
+  // Non-const make_shared so enable_shared_from_this wiring is guaranteed;
+  // the returned pointer is const, and nothing mutates a snapshot.
+  return std::make_shared<CardSnapshot>(version, config_, std::move(entries));
+}
+
+Status LearnedCardinalityCache::SaveToFile(const std::string& path) const {
+  std::ostringstream payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> sigs;
+    sigs.reserve(entries_.size());
+    for (const auto& [sig, e] : entries_) sigs.push_back(sig);
+    std::sort(sigs.begin(), sigs.end());
+    payload << "signatures " << sigs.size() << "\n";
+    for (uint64_t sig : sigs) {
+      const Entry& e = entries_.at(sig);
+      payload << "E|" << ChecksumHex(sig) << "|" << ChecksumHex(e.class_hash)
+              << "|" << e.obs.size() << "\n";
+      for (const CardObservation& o : e.obs) {
+        payload << "O";
+        for (double f : o.features) {
+          payload << "|";
+          AppendDouble(&payload, f);
+        }
+        payload << "|";
+        AppendDouble(&payload, o.est_rows);
+        payload << "|";
+        AppendDouble(&payload, o.actual_rows);
+        payload << "\n";
+      }
+    }
+  }
+  const std::string text = payload.str();
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << kCacheMagic << "\n";
+  out << "bytes " << text.size() << "\n";
+  out << "checksum " << ChecksumHex(Fnv1a64(text)) << "\n";
+  out << text;
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LearnedCardinalityCache>>
+LearnedCardinalityCache::LoadFromFile(const std::string& path,
+                                      CardCacheConfig config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheMagic) {
+    return Status::IOError(path + ": not a qpp card cache bundle");
+  }
+  if (!std::getline(in, line) || line.rfind("bytes ", 0) != 0) {
+    return Status::IOError(path + ": missing bytes header");
+  }
+  size_t payload_bytes = 0;
+  try {
+    payload_bytes = std::stoul(line.substr(6));
+  } catch (const std::exception&) {
+    return Status::IOError(path + ": bad bytes header '" + line + "'");
+  }
+  if (!std::getline(in, line) || line.rfind("checksum ", 0) != 0) {
+    return Status::IOError(path + ": missing checksum header");
+  }
+  auto checksum = ParseChecksumHex(line.substr(9));
+  if (!checksum.ok()) {
+    return Status::IOError(path + ": " + checksum.status().message());
+  }
+  std::string payload(payload_bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<size_t>(in.gcount()) != payload_bytes) {
+    return Status::IOError(path + ": truncated payload");
+  }
+  const uint64_t actual = Fnv1a64(payload);
+  if (actual != *checksum) {
+    return Status::IOError(path + ": checksum mismatch (header " +
+                           ChecksumHex(*checksum) + ", payload " +
+                           ChecksumHex(actual) + ") — corrupt bundle");
+  }
+
+  auto cache = std::make_unique<LearnedCardinalityCache>(config);
+  std::istringstream body(payload);
+  if (!std::getline(body, line) || line.rfind("signatures ", 0) != 0) {
+    return Status::IOError(path + ": missing signatures header");
+  }
+  uint64_t current_sig = 0;
+  uint64_t current_class = 0;
+  while (std::getline(body, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = SplitPipe(line);
+    if (f[0] == "E") {
+      if (f.size() != 4) {
+        return Status::IOError(path + ": malformed E line '" + line + "'");
+      }
+      QPP_ASSIGN_OR_RETURN(current_sig, ParseChecksumHex(f[1]));
+      QPP_ASSIGN_OR_RETURN(current_class, ParseChecksumHex(f[2]));
+    } else if (f[0] == "O") {
+      if (f.size() != 6) {
+        return Status::IOError(path + ": malformed O line '" + line + "'");
+      }
+      if (current_sig == 0) {
+        return Status::IOError(path + ": O line before any E line");
+      }
+      std::array<double, 3> features{};
+      for (size_t i = 0; i < 3; ++i) {
+        QPP_ASSIGN_OR_RETURN(features[i], ParseDouble(f[i + 1], "feature"));
+      }
+      QPP_ASSIGN_OR_RETURN(const double est, ParseDouble(f[4], "est_rows"));
+      QPP_ASSIGN_OR_RETURN(const double act, ParseDouble(f[5], "actual_rows"));
+      cache->Record(current_sig, current_class, features, est, act);
+    } else {
+      return Status::IOError(path + ": unknown record tag '" + f[0] + "'");
+    }
+  }
+  return cache;
+}
+
+// ---------------------------------------------------------------------------
+// Durable append log
+
+Status AppendObservationToFile(uint64_t signature, uint64_t class_hash,
+                               const CardObservation& obs,
+                               const std::string& path) {
+  bool need_header = false;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    need_header = !probe.is_open() ||
+                  probe.peek() == std::ifstream::traits_type::eof();
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  if (need_header) out << kLogHeader << "\n";
+  std::ostringstream line;
+  line << "R|" << ChecksumHex(signature) << "|" << ChecksumHex(class_hash);
+  for (double f : obs.features) {
+    line << "|";
+    AppendDouble(&line, f);
+  }
+  line << "|";
+  AppendDouble(&line, obs.est_rows);
+  line << "|";
+  AppendDouble(&line, obs.actual_rows);
+  out << line.str() << "\n";
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<size_t> LoadObservationLog(const std::string& path,
+                                  LearnedCardinalityCache* cache) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kLogHeader) {
+    return Status::IOError(path + ": not a qpp card feedback log");
+  }
+  size_t count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> f = SplitPipe(line);
+    if (f.size() != 8 || f[0] != "R") {
+      return Status::IOError(path + ": malformed feedback line '" + line +
+                             "'");
+    }
+    uint64_t sig = 0;
+    uint64_t cls = 0;
+    QPP_ASSIGN_OR_RETURN(sig, ParseChecksumHex(f[1]));
+    QPP_ASSIGN_OR_RETURN(cls, ParseChecksumHex(f[2]));
+    std::array<double, 3> features{};
+    for (size_t i = 0; i < 3; ++i) {
+      QPP_ASSIGN_OR_RETURN(features[i], ParseDouble(f[i + 3], "feature"));
+    }
+    QPP_ASSIGN_OR_RETURN(const double est, ParseDouble(f[6], "est_rows"));
+    QPP_ASSIGN_OR_RETURN(const double act, ParseDouble(f[7], "actual_rows"));
+    cache->Record(sig, cls, features, est, act);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace qpp::card

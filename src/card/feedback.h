@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "card/card_cache.h"
+#include "plan/plan.h"
+#include "workload/query_log.h"
+
+namespace qpp::card {
+
+struct CardFeedbackConfig {
+  CardCacheConfig cache;
+  /// Harvested queries between automatic snapshot publishes
+  /// (0 = publish after every harvest).
+  size_t publish_interval = 8;
+  /// Durable append log for harvested observations (empty = disabled).
+  /// Written outside any cache lock; see AppendObservationToFile.
+  std::string log_path;
+};
+
+/// \brief Closes the estimate → execute → learn loop: harvests per-operator
+/// (signature, estimated rows, actual rows) triples from executed plans into
+/// a LearnedCardinalityCache, and periodically publishes immutable
+/// CardSnapshot generations for lock-free consultation by concurrent
+/// planners — the exact RCU discipline of serve::ModelRegistry (wait-free
+/// acquire-load readers, mutex-serialized writers, every generation retained
+/// until destruction so a reader can never observe a freed snapshot).
+///
+/// Harvesting reads only the PlanActuals the executor already collected —
+/// it adds zero clock or counter reads to the tuple path.
+class CardFeedbackLoop {
+ public:
+  explicit CardFeedbackLoop(CardFeedbackConfig config = {});
+  CardFeedbackLoop(const CardFeedbackLoop&) = delete;
+  CardFeedbackLoop& operator=(const CardFeedbackLoop&) = delete;
+
+  /// Harvests every eligible operator of an executed plan (signatures are
+  /// computed on the fly when the optimizer did not stamp them). Operators
+  /// whose actual row counts are untrustworthy — anything on a pipelined
+  /// path below a Limit, where early termination under-counts — are
+  /// skipped; full-consumption edges (hash-join build side, Sort,
+  /// Materialize, HashAggregate inputs) reset that taint.
+  Status HarvestPlan(const PlanNode& root);
+
+  /// Same harvest over a flattened QueryRecord (the serving-side path:
+  /// records arriving over the wire carry signatures in their C lines;
+  /// legacy records without them are ignored).
+  Status HarvestRecord(const QueryRecord& record);
+
+  /// Snapshot for lock-free estimation; null until the first publish.
+  std::shared_ptr<const CardSnapshot> CurrentSnapshot() const {
+    const CardSnapshot* s = current_.load(std::memory_order_acquire);
+    return s == nullptr ? nullptr : s->shared_from_this();
+  }
+
+  /// Forces publication of a fresh snapshot; returns its version number.
+  /// Also called automatically every `publish_interval` harvested queries.
+  uint64_t PublishSnapshot();
+
+  /// Direct access to the live cache (locked lookups; prefer snapshots on
+  /// planning hot paths).
+  LearnedCardinalityCache* cache() { return &cache_; }
+  const LearnedCardinalityCache& cache() const { return cache_; }
+
+  uint64_t harvested_queries() const { return harvested_queries_.load(); }
+  uint64_t harvested_nodes() const { return harvested_nodes_.load(); }
+  uint64_t snapshots_published() const { return snapshots_.load(); }
+
+  const CardFeedbackConfig& config() const { return config_; }
+
+ private:
+  uint64_t NoteHarvestedQuery(size_t nodes);
+
+  CardFeedbackConfig config_;
+  LearnedCardinalityCache cache_;
+
+  /// Raw pointer into history_; acquire/release paired with
+  /// PublishSnapshot (see serve::ModelRegistry for the pattern rationale).
+  std::atomic<const CardSnapshot*> current_{nullptr};
+  std::mutex publish_mu_;
+  /// All published snapshots, retained for the loop's lifetime (RCU
+  /// reclamation by non-reclamation; bounded by publish cadence).
+  std::vector<std::shared_ptr<const CardSnapshot>> history_;
+
+  std::atomic<uint64_t> harvested_queries_{0};
+  std::atomic<uint64_t> harvested_nodes_{0};
+  std::atomic<uint64_t> snapshots_{0};
+};
+
+}  // namespace qpp::card

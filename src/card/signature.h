@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "plan/plan.h"
+
+namespace qpp::card {
+
+/// \brief Canonical plan-node signatures for learned cardinality feedback
+/// (the analogue of AQO's feature-space hashing).
+///
+/// A signature identifies the *question* a sub-plan answers — which
+/// relations it touches and the shape of every predicate applied on the way
+/// — while stripping everything that does not change the answer's
+/// distribution across parameter bindings: literal constants, physical
+/// operator choice (hash vs merge vs nested-loop), join order, and
+/// cardinality-neutral operators (Sort/Materialize/Project). Two query
+/// instances from the same template therefore share signatures per node,
+/// and observed cardinalities recorded under one binding inform estimates
+/// for the next.
+
+/// Structure of `e` with constants replaced by '?': commutative operands
+/// sorted, inequalities normalized to the less-than direction, LIKE
+/// patterns / IN values / substring bounds stripped. Column names are kept
+/// verbatim (they are part of the question, not the binding).
+std::string NormalizePredicateShape(const Expr& e);
+
+struct NodeSignature {
+  /// FNV-1a over sorted relation labels + sorted sub-plan descriptors;
+  /// 0 for nodes that take no signature (Sort/Materialize/Project/...).
+  uint64_t signature = 0;
+  /// FNV-1a over the sorted relation labels only.
+  uint64_t class_hash = 0;
+};
+
+/// Computes the signature of the sub-plan rooted at `node`. Only
+/// Scan/IndexScan/Join/Aggregate nodes carry signatures; other operators
+/// return {0, 0} (they contribute descriptors to ancestors instead).
+NodeSignature ComputePlanNodeSignature(const PlanNode& node);
+
+/// kNN feature vector for `node`, log1p-scaled so multiplicative
+/// cardinality spreads become metric distances:
+///   scans      {log1p(table rows), log1p(est rows), 0}
+///   joins      {log1p(max child est rows), log1p(min child est rows),
+///               log1p(est rows)}
+///   aggregates {log1p(child est rows), log1p(est rows), 0}
+/// Must be computed from the *baseline* (histogram) estimates — the
+/// optimizer stamps features before any learned override.
+std::array<double, 3> ComputeCardFeatures(const PlanNode& node);
+
+/// Stamps card_signature/card_class/card_features on every eligible node of
+/// the tree (post-hoc path for plans compiled without an estimator
+/// attached; the optimizer stamps identical values at construction time).
+void StampSignatures(PlanNode* root);
+
+}  // namespace qpp::card

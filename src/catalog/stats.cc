@@ -34,6 +34,9 @@ double ColumnStats::EqSelectivity(const Value& v) const {
 }
 
 double ColumnStats::LtSelectivity(double v, bool inclusive) const {
+  // A NaN probe fails every comparison below (including upper_bound's,
+  // whose ordering it would violate); treat it as "nothing below".
+  if (std::isnan(v)) return 0.0;
   // MCV mass strictly below (or at, when inclusive) the constant.
   double mcv_below = 0.0;
   for (const auto& [value, freq] : mcvs) {
@@ -65,6 +68,9 @@ double ColumnStats::LtSelectivity(double v, bool inclusive) const {
     hist_frac = (static_cast<double>(bin) + within) /
                 static_cast<double>(histogram.size() - 1);
   }
+  // Zero-row tables leave min/max as NaN, and the linear interpolation
+  // above then produces NaN; no data means no histogram information.
+  if (std::isnan(hist_frac)) hist_frac = 0.5;
   hist_frac = std::clamp(hist_frac, 0.0, 1.0);
   return std::clamp(mcv_below + non_mcv_mass * hist_frac, 0.0, 1.0);
 }

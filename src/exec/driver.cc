@@ -170,6 +170,7 @@ Result<ExecutionResult> ExecutePlan(PlanNode* root, Database* db,
   if (options.collect_trace) {
     result.trace = obs::BuildTrace(*root);
   }
+  if (options.on_complete) options.on_complete(*root);
   return result;
 }
 

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace qpp {
+
+/// \brief One cardinality question the optimizer asks while costing a plan
+/// node: "how many rows will the sub-plan with this signature produce?"
+///
+/// `signature`/`class_hash`/`features` are computed by card/signature.h and
+/// stamped onto the PlanNode; `histogram_rows` is the histogram +
+/// independence baseline the optimizer just derived, which doubles as the
+/// fallback answer and as context a learned backend may blend with.
+struct CardinalityQuery {
+  /// Canonical sub-plan signature (relations + normalized predicate
+  /// shapes, constants stripped); 0 for nodes that carry no signature.
+  uint64_t signature = 0;
+  /// Relation-set hash for near-miss lookup across signatures that cover
+  /// the same tables with different predicate shapes.
+  uint64_t class_hash = 0;
+  /// log1p-scaled input/baseline cardinalities (see card/signature.h).
+  std::array<double, 3> features{};
+  /// The optimizer's own histogram-based estimate for this node.
+  double histogram_rows = 0.0;
+};
+
+/// \brief Pluggable cardinality backend consulted by the Optimizer after it
+/// computes its histogram baseline for a Scan/Join/Aggregate node.
+///
+/// Returning nullopt keeps the baseline (histogram fallback); returning a
+/// value replaces est.rows (and the derived selectivity) before costing, so
+/// corrected estimates influence physical operator and join-order choice.
+/// Implementations must be const-thread-safe: the same estimator may serve
+/// many Optimizer instances compiling concurrently.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::optional<double> EstimateRows(
+      const CardinalityQuery& query) const = 0;
+};
+
+/// The paper's baseline backend: always defers to the histogram estimate.
+/// Attaching it (instead of no estimator) makes the optimizer stamp
+/// card_signature/card_features on every eligible node — needed to harvest
+/// feedback — while keeping every estimate bit-identical to the default.
+class HistogramCardinalityEstimator final : public CardinalityEstimator {
+ public:
+  std::optional<double> EstimateRows(const CardinalityQuery&) const override {
+    return std::nullopt;
+  }
+};
+
+}  // namespace qpp

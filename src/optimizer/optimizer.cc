@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "card/signature.h"
+
 namespace qpp {
 namespace {
 
@@ -107,6 +109,26 @@ double Optimizer::NDistinct(const std::string& column) const {
   return std::max(1.0, cs->ndistinct);
 }
 
+std::optional<double> Optimizer::ConsultCardinality(PlanNode* node) {
+  if (card_estimator_ == nullptr) return std::nullopt;
+  const card::NodeSignature sig = card::ComputePlanNodeSignature(*node);
+  if (sig.signature == 0) return std::nullopt;
+  node->card_signature = sig.signature;
+  node->card_class = sig.class_hash;
+  // Features must reflect the histogram baseline (node->est.rows at this
+  // point), never a learned override — otherwise harvested observations
+  // would be keyed by their own corrections.
+  node->card_features = card::ComputeCardFeatures(*node);
+  CardinalityQuery query;
+  query.signature = sig.signature;
+  query.class_hash = sig.class_hash;
+  query.features = node->card_features;
+  query.histogram_rows = node->est.rows;
+  const std::optional<double> learned = card_estimator_->EstimateRows(query);
+  if (!learned.has_value()) return std::nullopt;
+  return std::max(1.0, std::round(*learned));
+}
+
 Result<std::unique_ptr<PlanNode>> Optimizer::MakeScan(
     const std::string& table_name, const std::string& alias, ExprPtr filter) {
   const Table* table = db_->GetTable(table_name);
@@ -125,10 +147,11 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeScan(
   }
   node->output_schema = Schema(std::move(cols));
 
+  node->predicate = std::move(filter);
   double sel = 1.0;
   int qual_count = 0;
-  if (filter != nullptr) {
-    sel = EstimateSelectivity(*filter, GetStatsResolver(), cm_);
+  if (node->predicate != nullptr) {
+    sel = EstimateSelectivity(*node->predicate, GetStatsResolver(), cm_);
     qual_count = 1;
   }
   const double in_rows = static_cast<double>(table->num_rows());
@@ -141,7 +164,12 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeScan(
   node->est.total_cost = pages * cm_.seq_page_cost +
                          in_rows * cm_.cpu_tuple_cost +
                          in_rows * qual_count * cm_.cpu_operator_cost;
-  node->predicate = std::move(filter);
+  // Scan costs depend on input rows/pages only, so a learned override of
+  // the output estimate leaves them untouched.
+  if (const std::optional<double> learned = ConsultCardinality(node.get())) {
+    node->est.rows = *learned;
+    node->est.selectivity = std::min(1.0, *learned / std::max(1.0, in_rows));
+  }
   return node;
 }
 
@@ -172,11 +200,12 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeIndexScan(
   }
   node->output_schema = Schema(std::move(cols));
 
+  node->predicate = std::move(filter);
   const double in_rows = static_cast<double>(table->num_rows());
   const double eq_sel = std::min(1.0, 1.0 / NDistinct(key_column));
   double sel = eq_sel;
-  if (filter != nullptr) {
-    sel *= EstimateSelectivity(*filter, GetStatsResolver(), cm_);
+  if (node->predicate != nullptr) {
+    sel *= EstimateSelectivity(*node->predicate, GetStatsResolver(), cm_);
   }
   const double matches = std::max(1.0, in_rows * eq_sel);
   node->est.rows = std::max(1.0, std::round(in_rows * sel));
@@ -187,7 +216,12 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeIndexScan(
   node->est.total_cost = matches * cm_.random_page_cost +
                          matches * cm_.cpu_index_tuple_cost +
                          matches * cm_.cpu_tuple_cost;
-  node->predicate = std::move(filter);
+  // Index probe costs are driven by the key's match count, not the output
+  // estimate, so the learned override leaves them untouched.
+  if (const std::optional<double> learned = ConsultCardinality(node.get())) {
+    node->est.rows = *learned;
+    node->est.selectivity = std::min(1.0, *learned / std::max(1.0, in_rows));
+  }
   return node;
 }
 
@@ -304,12 +338,27 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeJoin(
     node->predicate = std::move(residual);
   }
 
-  // Costs.
-  const double nkeys = std::max<double>(1.0, static_cast<double>(keys.size()));
-  const double lw = left->est.width;
-  const double rw = right->est.width;
+  // Attach children before costing so the learned-cardinality consultation
+  // sees the complete sub-plan (signatures hash the child subtrees).
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  const PlanNode& lc = *node->children[0];
+  const PlanNode& rc = *node->children[1];
+
   PlanEstimates& est = node->est;
   est.rows = out_rows;
+  // Consult before the cost formulas: a corrected join cardinality changes
+  // this join's cost and thereby the physical operator and join order the
+  // enumeration picks.
+  if (const std::optional<double> learned = ConsultCardinality(node.get())) {
+    out_rows = *learned;
+    est.rows = out_rows;
+  }
+
+  // Costs.
+  const double nkeys = std::max<double>(1.0, static_cast<double>(keys.size()));
+  const double lw = lc.est.width;
+  const double rw = rc.est.width;
   est.width = (type == JoinType::kInner || type == JoinType::kLeftOuter)
                   ? lw + rw
                   : lw;
@@ -319,30 +368,27 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeJoin(
                         : out_rows / (rows_l * rows_r);
   switch (op) {
     case PlanOp::kHashJoin:
-      est.startup_cost = right->est.total_cost +
+      est.startup_cost = rc.est.total_cost +
                          rows_r * (nkeys * cm_.cpu_operator_cost +
                                    cm_.cpu_tuple_cost);
-      est.total_cost = est.startup_cost + left->est.total_cost +
+      est.total_cost = est.startup_cost + lc.est.total_cost +
                        rows_l * nkeys * cm_.cpu_operator_cost +
                        out_rows * cm_.cpu_tuple_cost;
       break;
     case PlanOp::kMergeJoin:
-      est.startup_cost = left->est.startup_cost + right->est.startup_cost;
-      est.total_cost = left->est.total_cost + right->est.total_cost +
+      est.startup_cost = lc.est.startup_cost + rc.est.startup_cost;
+      est.total_cost = lc.est.total_cost + rc.est.total_cost +
                        (rows_l + rows_r) * nkeys * cm_.cpu_operator_cost +
                        out_rows * cm_.cpu_tuple_cost;
       break;
     case PlanOp::kNestedLoopJoin:
     default:
-      est.startup_cost = left->est.startup_cost + right->est.startup_cost;
-      est.total_cost = left->est.total_cost + right->est.total_cost +
+      est.startup_cost = lc.est.startup_cost + rc.est.startup_cost;
+      est.total_cost = lc.est.total_cost + rc.est.total_cost +
                        rows_l * rows_r * cm_.cpu_operator_cost +
                        out_rows * cm_.cpu_tuple_cost;
       break;
   }
-
-  node->children.push_back(std::move(left));
-  node->children.push_back(std::move(right));
   return node;
 }
 
@@ -413,39 +459,48 @@ Result<std::unique_ptr<PlanNode>> Optimizer::MakeAggregate(
     cols.push_back({a.output_name, out, out == TypeId::kDecimal ? 4 : 0});
   }
   node->output_schema = Schema(std::move(cols));
+  // Attach inputs before estimation so the learned-cardinality consultation
+  // sees the aggregate's group keys, HAVING clause and child sub-plan.
+  node->aggregates = std::move(aggs);
+  node->having = std::move(having);
+  node->children.push_back(std::move(child));
+  const PlanNode& ch = *node->children[0];
 
-  const double in_rows = std::max(1.0, child->est.rows);
+  const double in_rows = std::max(1.0, ch.est.rows);
   groups = group_cols.empty() ? 1.0 : std::min(groups, in_rows);
   double having_sel = 1.0;
-  if (having != nullptr) {
+  if (node->having != nullptr) {
     // HAVING predicates reference aggregate outputs, for which no column
     // statistics exist — the planner falls back to defaults, one of the
     // systematic estimation errors (cf. the paper's template-18 example).
-    having_sel = EstimateSelectivity(*having, GetStatsResolver(), cm_);
+    having_sel = EstimateSelectivity(*node->having, GetStatsResolver(), cm_);
   }
-  const double out_rows = std::max(1.0, std::round(groups * having_sel));
+  double out_rows = std::max(1.0, std::round(groups * having_sel));
   const double agg_ops = static_cast<double>(
-      aggs.size() + node->group_keys.size());
+      node->aggregates.size() + node->group_keys.size());
 
   node->est.rows = out_rows;
+  // Distinct-group counts are exactly what feedback corrects best: the
+  // grouped output size repeats across parameter bindings of a template.
+  if (const std::optional<double> learned = ConsultCardinality(node.get())) {
+    out_rows = *learned;
+    node->est.rows = out_rows;
+  }
   double width = 0;
   for (const auto& c : node->output_schema.columns()) width += ColumnWidth(c);
   node->est.width = width;
   node->est.selectivity = std::min(1.0, out_rows / in_rows);
   if (node->op == PlanOp::kHashAggregate) {
     node->est.startup_cost =
-        child->est.total_cost + in_rows * agg_ops * cm_.cpu_operator_cost;
+        ch.est.total_cost + in_rows * agg_ops * cm_.cpu_operator_cost;
     node->est.total_cost =
         node->est.startup_cost + groups * cm_.cpu_tuple_cost;
   } else {
-    node->est.startup_cost = child->est.startup_cost;
-    node->est.total_cost = child->est.total_cost +
+    node->est.startup_cost = ch.est.startup_cost;
+    node->est.total_cost = ch.est.total_cost +
                            in_rows * agg_ops * cm_.cpu_operator_cost +
                            groups * cm_.cpu_tuple_cost;
   }
-  node->aggregates = std::move(aggs);
-  node->having = std::move(having);
-  node->children.push_back(std::move(child));
   return node;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/selectivity.h"
 #include "plan/plan.h"
@@ -115,12 +116,34 @@ class Optimizer {
 
   const CostModel& cost_model() const { return cm_; }
 
+  /// Attaches a cardinality backend consulted after the histogram baseline
+  /// for every Scan/Join/Aggregate estimate (see optimizer/cardinality.h).
+  /// With an estimator attached the optimizer also stamps
+  /// card_signature/card_class/card_features on those nodes so executed
+  /// plans can be harvested. Null (the default) disables both: planning is
+  /// bit-identical to the pre-feedback optimizer, with zero added work.
+  /// The estimator is borrowed and must outlive this optimizer.
+  void set_cardinality_estimator(const CardinalityEstimator* estimator) {
+    card_estimator_ = estimator;
+  }
+  const CardinalityEstimator* cardinality_estimator() const {
+    return card_estimator_;
+  }
+
  private:
   /// ndistinct for a named column, or fallback when no stats.
   double NDistinct(const std::string& column) const;
 
+  /// Stamps card signature/features on `node` and consults the attached
+  /// estimator. Returns the learned row estimate when one applies, nullopt
+  /// otherwise (including whenever no estimator is attached).
+  /// Pre: node->est.rows holds the histogram baseline and the node's
+  /// children/predicates are fully attached.
+  std::optional<double> ConsultCardinality(PlanNode* node);
+
   const Database* db_;
   CostModel cm_;
+  const CardinalityEstimator* card_estimator_ = nullptr;
   /// alias -> table registered by MakeScan (for qualified stats lookups).
   std::unordered_map<std::string, const Table*> alias_tables_;
 };

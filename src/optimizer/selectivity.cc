@@ -7,7 +7,14 @@
 namespace qpp {
 namespace {
 
-double Clamp01(double s) { return std::clamp(s, 0.0, 1.0); }
+double Clamp01(double s) {
+  // NaN reaches here from zero-row tables / empty histograms (0/0 in stats
+  // fractions). std::clamp propagates it, and one NaN selectivity poisons
+  // every downstream cost and cardinality. "No information" maps to 1.0:
+  // assume the predicate filters nothing.
+  if (std::isnan(s)) return 1.0;
+  return std::clamp(s, 0.0, 1.0);
+}
 
 // Returns the column stats if the expression is a plain column reference.
 const ColumnStats* AsColumnStats(const Expr& e, const StatsResolver& stats) {

@@ -78,6 +78,9 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   n->limit_count = limit_count;
   n->label = label;
   n->node_id = node_id;
+  n->card_signature = card_signature;
+  n->card_class = card_class;
+  n->card_features = card_features;
   n->est = est;
   for (const auto& c : children) n->children.push_back(c->Clone());
   return n;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -123,6 +124,19 @@ struct PlanNode {
 
   /// Pre-order index within its plan; assigned by AssignNodeIds.
   int node_id = -1;
+
+  /// Learned-cardinality identity of the sub-plan rooted here, stamped by
+  /// the optimizer when a CardinalityEstimator is attached (0 otherwise):
+  /// FNV-1a over the sorted relation set plus normalized predicate shapes
+  /// with constants stripped (see card/signature.h). Two sub-plans with the
+  /// same signature answer "the same question" regardless of physical
+  /// operator choice or join order, so observed cardinalities transfer.
+  uint64_t card_signature = 0;
+  /// Relation-set hash grouping signatures for near-miss kNN lookup.
+  uint64_t card_class = 0;
+  /// kNN features for learned estimation (log1p-scaled input and baseline
+  /// cardinalities); stamped together with card_signature.
+  std::array<double, 3> card_features{};
 
   PlanEstimates est;
   PlanActuals actual;

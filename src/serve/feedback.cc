@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "card/feedback.h"
 #include "common/stats.h"
 #include "obs/metrics.h"
 
@@ -98,6 +99,12 @@ Status FeedbackLoop::Observe(const QueryRecord& executed) {
         });
     std::lock_guard<std::mutex> lock(mu_);
     retrain_future_ = std::move(future);
+  }
+  // Cardinality harvest runs outside mu_: the card loop locks internally,
+  // and holding both would order this loop's mutex before the cache's on
+  // every observation for no benefit.
+  if (config_.card_feedback != nullptr) {
+    QPP_RETURN_NOT_OK(config_.card_feedback->HarvestRecord(executed));
   }
   if (!config_.log_path.empty()) {
     return AppendRecordToFile(executed, config_.log_path);

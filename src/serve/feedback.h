@@ -11,6 +11,10 @@
 #include "common/thread_pool.h"
 #include "serve/registry.h"
 
+namespace qpp::card {
+class CardFeedbackLoop;
+}  // namespace qpp::card
+
 namespace qpp::serve {
 
 /// Tuning of the feedback/retrain loop.
@@ -32,6 +36,12 @@ struct FeedbackConfig {
   std::string log_path;
   /// Model stack used for retrains.
   PredictorConfig retrain_config;
+  /// When non-null, every observed record is also harvested into the
+  /// learned-cardinality feedback loop (card/feedback.h) — the serving
+  /// loop's estimate→execute→learn side channel. Called outside this
+  /// loop's mutex (CardFeedbackLoop has its own locking). Borrowed; must
+  /// outlive this loop.
+  card::CardFeedbackLoop* card_feedback = nullptr;
 };
 
 /// \brief Drift detection and feedback-driven retraining (the loop the

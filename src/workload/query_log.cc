@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/checksum.h"
+
 namespace qpp {
 namespace {
 
@@ -20,6 +22,9 @@ void FlattenPlan(const PlanNode& node, int parent_id,
   rec.relation = node.label;
   rec.structural_key = node.StructuralKey();
   rec.subtree_size = node.NodeCount();
+  rec.card_signature = node.card_signature;
+  rec.card_class = node.card_class;
+  rec.card_features = node.card_features;
   rec.est = node.est;
   rec.actual = node.actual;
   out->push_back(std::move(rec));
@@ -145,6 +150,14 @@ void WriteRecord(std::ostream& out, const QueryRecord& q) {
         << o.est.selectivity << "|" << (o.actual.valid ? 1 : 0) << "|"
         << o.actual.start_time_ms << "|" << o.actual.run_time_ms << "|"
         << o.actual.rows << "|" << o.actual.pages << "\n";
+    // Card signatures ride in a separate optional line (rather than extra O
+    // fields) so logs written before the card subsystem — including the
+    // golden serve bundles — stay byte-identical on round-trip.
+    if (o.card_signature != 0) {
+      out << "C|" << o.node_id << "|" << ChecksumHex(o.card_signature) << "|"
+          << ChecksumHex(o.card_class) << "|" << o.card_features[0] << "|"
+          << o.card_features[1] << "|" << o.card_features[2] << "\n";
+    }
   }
 }
 
@@ -299,6 +312,41 @@ Result<QueryLog> QueryLog::LoadFromStream(std::istream& in,
       o.relation = UnescapeField(fields[7]);
       o.actual.valid = valid_int == 1;
       log.queries.back().ops.push_back(std::move(o));
+    } else if (fields[0] == "C") {
+      if (fields.size() != 7) {
+        return ParseError(source_name, line_no,
+                          "C line needs 7 fields, got " +
+                              std::to_string(fields.size()));
+      }
+      if (log.queries.empty() || log.queries.back().ops.empty()) {
+        return ParseError(source_name, line_no, "C line before any O line");
+      }
+      int node_id = 0;
+      if (!ParseInt(fields[1], &node_id)) {
+        return ParseError(source_name, line_no,
+                          "bad node id '" + fields[1] + "'");
+      }
+      QueryRecord& q = log.queries.back();
+      const int idx = q.IndexOfNode(node_id);
+      if (idx < 0) {
+        return ParseError(source_name, line_no,
+                          "C line references unknown node " +
+                              std::to_string(node_id));
+      }
+      OperatorRecord& o = q.ops[static_cast<size_t>(idx)];
+      const auto sig = ParseChecksumHex(fields[2]);
+      const auto cls = ParseChecksumHex(fields[3]);
+      if (!sig.ok() || !cls.ok()) {
+        return ParseError(source_name, line_no, "bad hash in C line");
+      }
+      o.card_signature = *sig;
+      o.card_class = *cls;
+      if (!ParseDouble(fields[4], &o.card_features[0]) ||
+          !ParseDouble(fields[5], &o.card_features[1]) ||
+          !ParseDouble(fields[6], &o.card_features[2])) {
+        return ParseError(source_name, line_no,
+                          "unparseable feature in C line");
+      }
     } else {
       return ParseError(source_name, line_no,
                         "unknown record tag '" + fields[0] + "'");

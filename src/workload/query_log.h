@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -29,6 +31,13 @@ struct OperatorRecord {
   std::string structural_key;
   /// Number of operators in the sub-plan rooted here.
   int subtree_size = 1;
+  /// Learned-cardinality identity (see card/signature.h); 0 when the plan
+  /// was compiled without a cardinality estimator attached. Serialized as
+  /// an optional "C" line per operator so legacy logs round-trip
+  /// byte-identically.
+  uint64_t card_signature = 0;
+  uint64_t card_class = 0;
+  std::array<double, 3> card_features{};
   PlanEstimates est;
   PlanActuals actual;
 };

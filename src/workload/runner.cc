@@ -11,6 +11,7 @@ Result<QueryLog> RunWorkload(Database* db, const WorkloadConfig& config) {
     return Status::InvalidArgument("no templates in workload");
   }
   Optimizer opt(db);
+  opt.set_cardinality_estimator(config.cardinality_estimator);
   QueryLog log;
   Rng master(config.seed);
   for (int template_id : config.templates) {
@@ -27,7 +28,9 @@ Result<QueryLog> RunWorkload(Database* db, const WorkloadConfig& config) {
       if (config.timeout_ms > 0 && res.latency_ms > config.timeout_ms) {
         continue;  // over the cap: dropped, like the paper's one-hour limit
       }
-      log.queries.push_back(RecordFromPlan(plan, res.latency_ms));
+      QueryRecord record = RecordFromPlan(plan, res.latency_ms);
+      if (config.on_record) config.on_record(record);
+      log.queries.push_back(std::move(record));
       if (config.on_query) config.on_query(template_id, i, res.latency_ms);
     }
   }

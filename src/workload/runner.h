@@ -5,6 +5,7 @@
 
 #include "catalog/database.h"
 #include "common/rng.h"
+#include "optimizer/cardinality.h"
 #include "workload/query_log.h"
 
 namespace qpp {
@@ -26,6 +27,13 @@ struct WorkloadConfig {
   double timeout_ms = 0.0;
   /// Progress callback (template id, query index, latency ms); may be null.
   std::function<void(int, int, double)> on_query;
+  /// Cardinality backend attached to the workload's optimizer (null keeps
+  /// the histogram baseline and planning bit-identical; see
+  /// optimizer/cardinality.h). Borrowed; must outlive the run.
+  const CardinalityEstimator* cardinality_estimator = nullptr;
+  /// Called with each recorded query (actuals filled, before it is added to
+  /// the log) — the hook feedback harvesters attach to. May be null.
+  std::function<void(const QueryRecord&)> on_record;
 };
 
 /// Generates, optimizes and executes the workload against the database,

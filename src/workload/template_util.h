@@ -29,10 +29,11 @@ inline std::string PickStr(const std::vector<std::string>& list, Rng* rng) {
 /// Runs a scalar (single row, single column) plan and returns the value —
 /// the InitPlan mechanism for templates 11, 15 and 22.
 inline Result<Value> RunScalar(TemplateContext* ctx, Plan plan) {
+  ExecutionOptions opts;
+  opts.cold_start = false;
+  opts.collect_rows = true;
   QPP_ASSIGN_OR_RETURN(ExecutionResult res,
-                       ExecutePlan(plan.get(), ctx->db,
-                                   ExecutionOptions{/*cold_start=*/false,
-                                                    /*collect_rows=*/true}));
+                       ExecutePlan(plan.get(), ctx->db, opts));
   if (res.rows.empty() || res.rows[0].empty()) {
     return Status::Internal("scalar subquery returned no rows");
   }

@@ -1,0 +1,537 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "card/card_cache.h"
+#include "card/feedback.h"
+#include "card/learned_estimator.h"
+#include "card/signature.h"
+#include "catalog/database.h"
+#include "exec/driver.h"
+#include "optimizer/optimizer.h"
+#include "tpch/dbgen.h"
+#include "workload/runner.h"
+#include "workload/templates.h"
+
+namespace qpp::card {
+namespace {
+
+int TestThreads() {
+  const char* env = std::getenv("QPP_THREADS");
+  const int n = env != nullptr ? std::atoi(env) : 0;
+  return n > 0 ? n : 4;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Shared tiny TPC-H database (built once for the whole suite).
+class CardTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbgenConfig cfg;
+    cfg.scale_factor = 0.003;
+    db_ = std::make_unique<Database>();
+    auto tables = tpch::Dbgen(cfg).Generate();
+    ASSERT_TRUE(tables.ok());
+    ASSERT_TRUE(db_->AdoptTables(std::move(*tables)).ok());
+    ASSERT_TRUE(db_->AnalyzeAll().ok());
+  }
+  static void TearDownTestSuite() { db_.reset(); }
+
+  /// Compiles one instance of `template_id` with `estimator` attached.
+  static Result<QueryPlan> Compile(int template_id, uint64_t seed,
+                                   const CardinalityEstimator* estimator) {
+    Optimizer opt(db_.get());
+    opt.set_cardinality_estimator(estimator);
+    Rng rng(seed);
+    tpch::TemplateContext ctx{&opt, db_.get(), &rng};
+    return tpch::GenerateTemplateQuery(template_id, &ctx);
+  }
+
+  static std::unique_ptr<Database> db_;
+};
+
+std::unique_ptr<Database> CardTest::db_;
+
+std::array<double, 3> F(double a, double b, double c) { return {a, b, c}; }
+
+CardinalityQuery Q(uint64_t sig, uint64_t cls, std::array<double, 3> f,
+                   double hist = 100.0) {
+  CardinalityQuery q;
+  q.signature = sig;
+  q.class_hash = cls;
+  q.features = f;
+  q.histogram_rows = hist;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Signatures
+// ---------------------------------------------------------------------------
+
+TEST_F(CardTest, SignatureStableAcrossConstantChanges) {
+  HistogramCardinalityEstimator hist;
+  // Two instances of the same template differ only in parameter bindings;
+  // every node must keep its signature so feedback transfers across them.
+  for (int tid : {1, 3, 6}) {
+    auto p1 = Compile(tid, /*seed=*/11, &hist);
+    auto p2 = Compile(tid, /*seed=*/99, &hist);
+    ASSERT_TRUE(p1.ok() && p2.ok()) << "template " << tid;
+    ASSERT_NE(p1->parameter_desc, p2->parameter_desc) << "template " << tid;
+    const NodeSignature s1 = ComputePlanNodeSignature(*p1->root);
+    const NodeSignature s2 = ComputePlanNodeSignature(*p2->root);
+    EXPECT_EQ(s1.signature, s2.signature) << "template " << tid;
+    EXPECT_EQ(s1.class_hash, s2.class_hash) << "template " << tid;
+  }
+}
+
+TEST_F(CardTest, SignatureDistinguishesTemplates) {
+  // Roots can be Sort/Limit (signature 0); compare the topmost
+  // signature-carrying node — different templates ask different questions.
+  HistogramCardinalityEstimator hist;
+  std::set<uint64_t> tops;
+  for (int tid : {1, 3, 5, 6, 10}) {
+    auto p = Compile(tid, 7, &hist);
+    ASSERT_TRUE(p.ok()) << "template " << tid;
+    std::vector<const PlanNode*> nodes;
+    CollectNodes(p->root.get(), &nodes);
+    uint64_t top = 0;
+    for (const PlanNode* n : nodes) {
+      if (n->card_signature != 0) { top = n->card_signature; break; }
+    }
+    ASSERT_NE(top, 0u) << "template " << tid;
+    tops.insert(top);
+  }
+  EXPECT_EQ(tops.size(), 5u);
+}
+
+TEST_F(CardTest, OptimizerStampsSignaturesOnlyWithEstimator) {
+  auto bare = Compile(3, 7, nullptr);
+  ASSERT_TRUE(bare.ok());
+  std::vector<const PlanNode*> nodes;
+  CollectNodes(bare->root.get(), &nodes);
+  for (const PlanNode* n : nodes) {
+    EXPECT_EQ(n->card_signature, 0u);
+    EXPECT_EQ(n->card_class, 0u);
+  }
+
+  HistogramCardinalityEstimator hist;
+  auto stamped = Compile(3, 7, &hist);
+  ASSERT_TRUE(stamped.ok());
+  nodes.clear();
+  CollectNodes(stamped->root.get(), &nodes);
+  size_t with_sig = 0;
+  for (const PlanNode* n : nodes) {
+    // Stamped values agree with post-hoc recomputation.
+    const NodeSignature s = ComputePlanNodeSignature(*n);
+    EXPECT_EQ(n->card_signature, s.signature);
+    if (n->card_signature != 0) ++with_sig;
+  }
+  EXPECT_GT(with_sig, 0u);
+}
+
+TEST_F(CardTest, StampSignaturesMatchesOptimizerStamping) {
+  HistogramCardinalityEstimator hist;
+  auto stamped = Compile(6, 13, &hist);
+  auto bare = Compile(6, 13, nullptr);
+  ASSERT_TRUE(stamped.ok() && bare.ok());
+  StampSignatures(bare->root.get());
+  std::vector<const PlanNode*> a, b;
+  CollectNodes(stamped->root.get(), &a);
+  CollectNodes(bare->root.get(), &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->card_signature, b[i]->card_signature);
+    EXPECT_EQ(a[i]->card_class, b[i]->card_class);
+    for (size_t k = 0; k < 3; ++k) {
+      EXPECT_DOUBLE_EQ(a[i]->card_features[k], b[i]->card_features[k]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planning stays bit-identical when the learned backend is off
+// ---------------------------------------------------------------------------
+
+TEST_F(CardTest, PlanningBitIdenticalWithoutLearnedBackend) {
+  // The acceptance pin: a null estimator and the histogram backend must both
+  // reproduce the default planner exactly — same structure, same estimates,
+  // same costs on every node.
+  HistogramCardinalityEstimator hist;
+  for (int tid : tpch::PlanLevelTemplates()) {
+    auto base = Compile(tid, 21, nullptr);
+    auto off = Compile(tid, 21, &hist);
+    ASSERT_TRUE(base.ok() && off.ok()) << "template " << tid;
+    EXPECT_EQ(base->root->StructuralKey(), off->root->StructuralKey())
+        << "template " << tid;
+    std::vector<const PlanNode*> a, b;
+    CollectNodes(base->root.get(), &a);
+    CollectNodes(off->root.get(), &b);
+    ASSERT_EQ(a.size(), b.size()) << "template " << tid;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i]->est.rows, b[i]->est.rows) << "template " << tid;
+      EXPECT_EQ(a[i]->est.total_cost, b[i]->est.total_cost)
+          << "template " << tid;
+      EXPECT_EQ(a[i]->est.selectivity, b[i]->est.selectivity)
+          << "template " << tid;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache behavior
+// ---------------------------------------------------------------------------
+
+TEST_F(CardTest, QErrorBasics) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  // Both sides floored at one row: zero actuals stay finite.
+  EXPECT_DOUBLE_EQ(QError(50, 0), 50.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+}
+
+TEST_F(CardTest, CacheExactHitReturnsLearnedRows) {
+  LearnedCardinalityCache cache;
+  cache.Record(42, 7, F(1, 2, 3), /*est=*/100, /*actual=*/1000);
+  auto got = cache.EstimateRows(Q(42, 7, F(1, 2, 3)));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 1000.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(CardTest, CacheKnnBlendsNeighbors) {
+  LearnedCardinalityCache cache;
+  // Three observations at different feature points; a query at one of them
+  // must land near that point's actual, not the global mean.
+  cache.Record(42, 7, F(1, 0, 0), 10, 8);
+  cache.Record(42, 7, F(5, 0, 0), 10, 900);
+  cache.Record(42, 7, F(9, 0, 0), 10, 100000);
+  auto lo = cache.EstimateRows(Q(42, 7, F(1, 0, 0)));
+  auto hi = cache.EstimateRows(Q(42, 7, F(9, 0, 0)));
+  ASSERT_TRUE(lo.has_value() && hi.has_value());
+  EXPECT_LT(*lo, *hi);
+  EXPECT_LT(QError(*lo, 8), 3.0);
+  EXPECT_LT(QError(*hi, 100000), 3.0);
+}
+
+TEST_F(CardTest, CacheMissReturnsNullopt) {
+  LearnedCardinalityCache cache;
+  cache.Record(42, 7, F(1, 2, 3), 100, 1000);
+  EXPECT_FALSE(cache.EstimateRows(Q(43, 8, F(1, 2, 3))).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(CardTest, CacheNearMissBorrowsFromSameClass) {
+  CardCacheConfig cfg;
+  cfg.near_miss_max_distance = 1.0;
+  LearnedCardinalityCache cache(cfg);
+  cache.Record(42, 7, F(3, 3, 0), 100, 5000);
+  // Unknown signature, same relation class, features within the bound.
+  auto near = cache.EstimateRows(Q(99, 7, F(3.1, 3.1, 0)));
+  ASSERT_TRUE(near.has_value());
+  EXPECT_DOUBLE_EQ(*near, 5000.0);
+  EXPECT_EQ(cache.near_misses(), 1u);
+  // Same class but outside the distance bound: fall back to histogram.
+  EXPECT_FALSE(cache.EstimateRows(Q(99, 7, F(9, 9, 0))).has_value());
+
+  CardCacheConfig off = cfg;
+  off.allow_near_miss = false;
+  LearnedCardinalityCache strict(off);
+  strict.Record(42, 7, F(3, 3, 0), 100, 5000);
+  EXPECT_FALSE(strict.EstimateRows(Q(99, 7, F(3.1, 3.1, 0))).has_value());
+}
+
+TEST_F(CardTest, CacheEvictsLeastRecentlyRecordedSignature) {
+  CardCacheConfig cfg;
+  cfg.max_signatures = 4;
+  LearnedCardinalityCache cache(cfg);
+  for (uint64_t sig = 1; sig <= 10; ++sig) {
+    cache.Record(sig, sig, F(1, 1, 0), 10, 20);
+    EXPECT_LE(cache.size(), cfg.max_signatures);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 6u);
+  // Oldest signatures evicted, newest retained.
+  EXPECT_FALSE(cache.EstimateRows(Q(1, 1, F(1, 1, 0))).has_value());
+  EXPECT_TRUE(cache.EstimateRows(Q(10, 10, F(1, 1, 0))).has_value());
+  // Re-recording refreshes recency: 7 survives the next eviction, 8 goes.
+  cache.Record(7, 7, F(1, 1, 0), 10, 20);
+  cache.Record(11, 11, F(1, 1, 0), 10, 20);
+  EXPECT_TRUE(cache.EstimateRows(Q(7, 7, F(1, 1, 0))).has_value());
+  EXPECT_FALSE(cache.EstimateRows(Q(8, 8, F(1, 1, 0))).has_value());
+}
+
+TEST_F(CardTest, CacheBoundsObservationsPerSignature) {
+  CardCacheConfig cfg;
+  cfg.max_observations_per_signature = 8;
+  LearnedCardinalityCache cache(cfg);
+  for (int i = 0; i < 100; ++i) {
+    cache.Record(42, 7, F(static_cast<double>(i % 5), 0, 0), 10, 20 + i);
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.observation_count(), 8u);
+}
+
+TEST_F(CardTest, WindowedQErrorTracksRecentEstimates) {
+  CardCacheConfig cfg;
+  cfg.max_qerror_window = 4;
+  LearnedCardinalityCache cache(cfg);
+  EXPECT_DOUBLE_EQ(cache.WindowedQError(), 1.0);
+  for (int i = 0; i < 16; ++i) cache.Record(1, 1, F(1, 1, 0), 10, 100);
+  // Every recorded sample has q-error 10; the bounded window mean is 10.
+  EXPECT_DOUBLE_EQ(cache.WindowedQError(), 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+TEST_F(CardTest, PersistenceRoundTripIsByteIdentical) {
+  LearnedCardinalityCache cache;
+  // Awkward doubles exercise the precision-17 round-trip.
+  cache.Record(0xdeadbeefcafe, 0x1234, F(0.1, 1.0 / 3.0, 2.5e-13), 123.456,
+               98765.4321);
+  cache.Record(7, 9, F(5.5, 0, 0), 10, 1e9);
+  cache.Record(7, 9, F(5.6, 0, 0), 11, 2e9);
+
+  const std::string p1 = ::testing::TempDir() + "/card_cache_a.bundle";
+  const std::string p2 = ::testing::TempDir() + "/card_cache_b.bundle";
+  ASSERT_TRUE(cache.SaveToFile(p1).ok());
+  auto loaded = LearnedCardinalityCache::LoadFromFile(p1, cache.config());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE((*loaded)->SaveToFile(p2).ok());
+  EXPECT_EQ(SlurpFile(p1), SlurpFile(p2));
+
+  // Loaded cache answers identically.
+  auto a = cache.EstimateRows(Q(7, 9, F(5.5, 0, 0)));
+  auto b = (*loaded)->EstimateRows(Q(7, 9, F(5.5, 0, 0)));
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST_F(CardTest, LoadRejectsCorruptBundle) {
+  LearnedCardinalityCache cache;
+  cache.Record(1, 1, F(1, 1, 0), 10, 20);
+  const std::string path = ::testing::TempDir() + "/card_cache_corrupt.bundle";
+  ASSERT_TRUE(cache.SaveToFile(path).ok());
+  std::string bytes = SlurpFile(path);
+  bytes[bytes.size() - 2] ^= 0x20;  // flip a payload byte
+  { std::ofstream out(path, std::ios::binary); out << bytes; }
+  EXPECT_FALSE(LearnedCardinalityCache::LoadFromFile(path).ok());
+  EXPECT_FALSE(LearnedCardinalityCache::LoadFromFile(
+                   ::testing::TempDir() + "/card_cache_missing.bundle")
+                   .ok());
+}
+
+TEST_F(CardTest, ObservationLogAppendsAndReplays) {
+  const std::string path = ::testing::TempDir() + "/card_feedback.log";
+  std::remove(path.c_str());
+  CardObservation o1{F(1, 2, 0), 10, 100};
+  CardObservation o2{F(3, 4, 0), 20, 200};
+  ASSERT_TRUE(AppendObservationToFile(42, 7, o1, path).ok());
+  ASSERT_TRUE(AppendObservationToFile(43, 7, o2, path).ok());
+  LearnedCardinalityCache cache;
+  auto n = LoadObservationLog(path, &cache);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  auto got = cache.EstimateRows(Q(42, 7, F(1, 2, 0)));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Feedback loop: harvesting, snapshots, concurrency
+// ---------------------------------------------------------------------------
+
+TEST_F(CardTest, HarvestPlanLearnsActualCardinalities) {
+  HistogramCardinalityEstimator hist;
+  auto plan = Compile(6, 17, &hist);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(ExecutePlan(plan->root.get(), db_.get(), {}).ok());
+
+  CardFeedbackLoop loop;
+  ASSERT_TRUE(loop.HarvestPlan(*plan->root).ok());
+  EXPECT_EQ(loop.harvested_queries(), 1u);
+  EXPECT_GT(loop.harvested_nodes(), 0u);
+
+  // The learned estimate for the root now equals its observed cardinality.
+  const PlanNode& root = *plan->root;
+  ASSERT_NE(root.card_signature, 0u);
+  ASSERT_TRUE(root.actual.valid);
+  auto learned = loop.cache()->EstimateRows(
+      Q(root.card_signature, root.card_class, root.card_features,
+        root.est.rows));
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_LE(QError(*learned, std::max(1.0, root.actual.rows)), 1.5);
+}
+
+TEST_F(CardTest, HarvestSkipsOperatorsBelowLimit) {
+  // Limit truncates its input stream, so the pipelined child's actual row
+  // count under-counts; harvesting it would poison the cache.
+  HistogramCardinalityEstimator hist;
+  Optimizer opt(db_.get());
+  opt.set_cardinality_estimator(&hist);
+  auto scan = opt.MakeScan("lineitem", "", nullptr);
+  ASSERT_TRUE(scan.ok());
+  const uint64_t scan_sig = (*scan)->card_signature;
+  ASSERT_NE(scan_sig, 0u);
+  std::unique_ptr<PlanNode> limit = opt.MakeLimit(std::move(*scan), 5);
+  PlanNode* root = limit.get();
+  AssignNodeIds(root);
+  ASSERT_TRUE(ExecutePlan(root, db_.get(), {}).ok());
+
+  CardFeedbackLoop loop;
+  ASSERT_TRUE(loop.HarvestPlan(*root).ok());
+  // The truncated scan must not have been recorded.
+  EXPECT_FALSE(loop.cache()
+                   ->EstimateRows(Q(scan_sig, root->children[0]->card_class,
+                                    root->children[0]->card_features))
+                   .has_value());
+}
+
+TEST_F(CardTest, SnapshotPublishAndLockFreeLookup) {
+  CardFeedbackConfig cfg;
+  cfg.publish_interval = 0;  // publish on every harvest
+  CardFeedbackLoop loop(cfg);
+  EXPECT_EQ(loop.CurrentSnapshot(), nullptr);
+
+  HistogramCardinalityEstimator hist;
+  auto plan = Compile(1, 3, &hist);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(ExecutePlan(plan->root.get(), db_.get(), {}).ok());
+  ASSERT_TRUE(loop.HarvestPlan(*plan->root).ok());
+
+  auto snap = loop.CurrentSnapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_GE(snap->version(), 1u);
+  EXPECT_GT(snap->size(), 0u);
+
+  // Snapshot and live cache agree.
+  const PlanNode& root = *plan->root;
+  auto q = Q(root.card_signature, root.card_class, root.card_features,
+             root.est.rows);
+  auto from_snap = snap->EstimateRows(q);
+  auto from_cache = loop.cache()->EstimateRows(q);
+  ASSERT_TRUE(from_snap.has_value() && from_cache.has_value());
+  EXPECT_DOUBLE_EQ(*from_snap, *from_cache);
+
+  // Old snapshots stay valid after later publishes (RCU retention).
+  loop.cache()->Record(12345, 1, F(1, 1, 0), 10, 20);
+  const uint64_t v2 = loop.PublishSnapshot();
+  EXPECT_GT(v2, snap->version());
+  EXPECT_DOUBLE_EQ(*snap->EstimateRows(q), *from_snap);
+}
+
+TEST_F(CardTest, ConcurrentHarvestAndLookup) {
+  // TSan target: writers harvest and publish while readers estimate through
+  // snapshots and the locked cache path concurrently.
+  CardFeedbackConfig cfg;
+  cfg.publish_interval = 1;
+  CardFeedbackLoop loop(cfg);
+
+  HistogramCardinalityEstimator hist;
+  auto plan = Compile(6, 29, &hist);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(ExecutePlan(plan->root.get(), db_.get(), {}).ok());
+  const PlanNode& root = *plan->root;
+  const auto query = Q(root.card_signature, root.card_class,
+                       root.card_features, root.est.rows);
+
+  const int threads = TestThreads();
+  constexpr int kIters = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    if (t % 2 == 0) {
+      workers.emplace_back([&loop, &plan] {
+        for (int i = 0; i < kIters; ++i) {
+          ASSERT_TRUE(loop.HarvestPlan(*plan->root).ok());
+        }
+      });
+    } else {
+      workers.emplace_back([&loop, &query] {
+        LearnedCardinalityEstimator est(&loop);
+        size_t hits = 0;
+        for (int i = 0; i < kIters; ++i) {
+          if (est.EstimateRows(query).has_value()) ++hits;
+          if (loop.cache()->EstimateRows(query).has_value()) ++hits;
+        }
+        EXPECT_GT(hits, 0u);
+      });
+    }
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(loop.harvested_queries(),
+            static_cast<uint64_t>((threads + 1) / 2) * kIters);
+  EXPECT_GT(loop.snapshots_published(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: warmed learned backend beats the histogram baseline
+// ---------------------------------------------------------------------------
+
+TEST_F(CardTest, WarmedLearnedBackendReducesRootQError) {
+  // Warm the cache on one set of parameter bindings...
+  HistogramCardinalityEstimator hist;
+  CardFeedbackLoop loop;
+  WorkloadConfig wc;
+  wc.templates = {6};
+  wc.queries_per_template = 6;
+  wc.seed = 5;
+  wc.cold_start = false;
+  wc.cardinality_estimator = &hist;
+  wc.on_record = [&loop](const QueryRecord& r) {
+    ASSERT_TRUE(loop.HarvestRecord(r).ok());
+  };
+  ASSERT_TRUE(RunWorkload(db_.get(), wc).ok());
+  ASSERT_GT(loop.harvested_nodes(), 0u);
+  loop.PublishSnapshot();
+
+  // ...then plan fresh bindings with both backends and compare every
+  // signature-carrying node's estimate against what execution actually
+  // produced (the root of template 6 is a one-row aggregate, so the
+  // interesting error lives in the selection below it).
+  LearnedCardinalityEstimator learned(&loop);
+  const auto plan_qerror = [](const PlanNode& root) {
+    std::vector<const PlanNode*> nodes;
+    CollectNodes(&root, &nodes);
+    double total = 0.0;
+    for (const PlanNode* n : nodes) {
+      if (n->card_signature == 0 || !n->actual.valid) continue;
+      total += QError(n->est.rows, std::max(1.0, n->actual.rows));
+    }
+    return total;
+  };
+  double hist_err = 0.0, learned_err = 0.0;
+  for (uint64_t seed : {101, 202, 303}) {
+    auto ph = Compile(6, seed, &hist);
+    auto pl = Compile(6, seed, &learned);
+    ASSERT_TRUE(ph.ok() && pl.ok());
+    ASSERT_TRUE(ExecutePlan(ph->root.get(), db_.get(), {}).ok());
+    ASSERT_TRUE(ExecutePlan(pl->root.get(), db_.get(), {}).ok());
+    hist_err += plan_qerror(*ph->root);
+    learned_err += plan_qerror(*pl->root);
+  }
+  // Template 6's multi-predicate selection is exactly where independence
+  // assumptions go wrong; the warmed cache must do strictly better.
+  EXPECT_LT(learned_err, hist_err);
+}
+
+}  // namespace
+}  // namespace qpp::card

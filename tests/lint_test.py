@@ -263,6 +263,67 @@ class NetUnboundedQueueTest(unittest.TestCase):
         self.assertEqual([], rules_fired(good, "src/net/server.cc"))
 
 
+class CardUnboundedCacheTest(unittest.TestCase):
+    def test_member_push_without_check_fires(self):
+        bad = "void F() { obs_.push_back(std::move(sample)); }"
+        self.assertIn("card-unbounded-cache",
+                      rules_fired(bad, "src/card/card_cache.cc"))
+
+    def test_deque_and_emplace_variants_fire(self):
+        for call in ("window_.emplace_back(q)",
+                     "lru_.push_front(sig)",
+                     "history_.push_back(snap)"):
+            self.assertIn("card-unbounded-cache",
+                          rules_fired(f"void F() {{ {call}; }}",
+                                      "src/card/feedback.cc"),
+                          msg=call)
+
+    def test_eviction_check_dominates_ok(self):
+        good = """
+        void F() {
+          while (entries_.size() >= config_.max_signatures) { EvictOne(); }
+          lru_.push_front(sig);
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/card/card_cache.cc"))
+
+    def test_named_constant_bound_ok(self):
+        good = """
+        void F() {
+          if (window_.size() < kMaxQErrorWindow) {
+            window_.push_back(q);
+          }
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/card/card_cache.cc"))
+
+    def test_check_outside_window_still_fires(self):
+        filler = "  touch();\n" * (qpp_lint.NET_CAPACITY_WINDOW_LINES + 1)
+        bad = ("void F() {\n"
+               "  if (obs_.size() >= config_.max_observations) return;\n"
+               f"{filler}"
+               "  obs_.push_back(std::move(sample));\n"
+               "}\n")
+        self.assertIn("card-unbounded-cache",
+                      rules_fired(bad, "src/card/card_cache.cc"))
+
+    def test_local_container_ok(self):
+        good = "void F() { std::vector<int> live; live.push_back(1); }"
+        self.assertEqual([], rules_fired(good, "src/card/card_cache.cc"))
+
+    def test_outside_src_card_exempt(self):
+        ok = "void F() { obs_.push_back(std::move(sample)); }"
+        self.assertEqual([], rules_fired(ok, "src/workload/runner.cc"))
+
+    def test_allow_with_bound_suppresses(self):
+        good = ("void F() {\n"
+                "  // qpp-lint: allow(card-unbounded-cache): growth bounded "
+                "by publish cadence\n"
+                "  history_.push_back(snap);\n"
+                "}\n")
+        self.assertEqual([], rules_fired(good, "src/card/feedback.cc"))
+
+
 class NetBlockingReactorTest(unittest.TestCase):
     def test_sleep_for_fires(self):
         bad = "std::this_thread::sleep_for(std::chrono::milliseconds(1));"

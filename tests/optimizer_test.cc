@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 
 #include "catalog/database.h"
 #include "exec/driver.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/selectivity.h"
 #include "tpch/dbgen.h"
 
 namespace qpp {
@@ -323,6 +326,112 @@ TEST_F(OptimizerTest, BadJoinKeysRejected) {
   EXPECT_FALSE(opt.MakeJoin(PlanOp::kHashJoin, JoinType::kInner, std::move(*l),
                             std::move(*r), {{"zzz", "yyy"}}, nullptr)
                    .ok());
+}
+
+// ---------------------------------------------------------------------------
+// EstimateSelectivity edge cases: NaN-poisoned stats and out-of-range
+// intermediate selectivities must always land in [0, 1].
+// ---------------------------------------------------------------------------
+
+/// Stats as AnalyzeAll leaves them for a zero-row table: no histogram, no
+/// MCVs, NaN min/max (no value was ever seen).
+ColumnStats ZeroRowStats() {
+  ColumnStats cs;
+  cs.name = "x";
+  cs.type = TypeId::kInt64;
+  cs.min_value = std::numeric_limits<double>::quiet_NaN();
+  cs.max_value = std::numeric_limits<double>::quiet_NaN();
+  return cs;
+}
+
+/// Deliberately inconsistent stats (a stale MCV frequency above 1.0), the
+/// kind of garbage AND/OR arithmetic must not let escape past [0, 1].
+ColumnStats OverfullMcvStats() {
+  ColumnStats cs;
+  cs.name = "x";
+  cs.type = TypeId::kInt64;
+  cs.min_value = 0.0;
+  cs.max_value = 10.0;
+  cs.mcvs.push_back({Value::Int64(5), 1.5});
+  return cs;
+}
+
+TEST(SelectivityEdgeCases, ZeroRowStatsNeverYieldNaN) {
+  const ColumnStats cs = ZeroRowStats();
+  const StatsResolver stats = [&cs](const std::string&) { return &cs; };
+  const CostModel cm;
+  for (const auto& pred :
+       {Lt(Col("x"), LitInt(5)), Gt(Col("x"), LitInt(5)),
+        Le(Col("x"), LitInt(5)), Ge(Col("x"), LitInt(5)),
+        Eq(Col("x"), LitInt(5))}) {
+    const double sel = EstimateSelectivity(*pred, stats, cm);
+    EXPECT_FALSE(std::isnan(sel));
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+  }
+}
+
+TEST(SelectivityEdgeCases, NanProbeValueIsHandled) {
+  // A NaN probe would violate upper_bound's ordering inside the histogram
+  // search; the guard maps it to "nothing below".
+  ColumnStats cs = ZeroRowStats();
+  cs.min_value = 0.0;
+  cs.max_value = 10.0;
+  cs.histogram = {0.0, 5.0, 10.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(cs.LtSelectivity(nan, false), 0.0);
+  EXPECT_DOUBLE_EQ(cs.LtSelectivity(nan, true), 0.0);
+  const double gt = cs.CmpSelectivity(CmpOp::kGt, Value::MakeDouble(nan));
+  EXPECT_FALSE(std::isnan(gt));
+  EXPECT_GE(gt, 0.0);
+  EXPECT_LE(gt, 1.0);
+}
+
+TEST(SelectivityEdgeCases, AndProductClampedToUnitInterval) {
+  const ColumnStats cs = OverfullMcvStats();
+  const StatsResolver stats = [&cs](const std::string&) { return &cs; };
+  const CostModel cm;
+  // Each equality conjunct alone reports the stale 1.5 frequency; the AND
+  // product must still be clamped into [0, 1].
+  std::vector<ExprPtr> conj;
+  conj.push_back(Eq(Col("x"), LitInt(5)));
+  conj.push_back(Eq(Col("y"), LitInt(5)));
+  const double sel = EstimateSelectivity(*And(std::move(conj)), stats, cm);
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+}
+
+TEST(SelectivityEdgeCases, OrInclusionExclusionClampedToUnitInterval) {
+  const ColumnStats cs = OverfullMcvStats();
+  const StatsResolver stats = [&cs](const std::string&) { return &cs; };
+  const CostModel cm;
+  // 1 - (1 - 1.5)^2 = 0.75 stays in range, but 1 - (1 - 1.5) = 1.5 from a
+  // single overfull disjunct plus a normal one goes above 1 before the
+  // clamp.
+  std::vector<ExprPtr> disj;
+  disj.push_back(Eq(Col("x"), LitInt(5)));
+  disj.push_back(Lt(Col("y"), LitInt(3)));
+  const double sel = EstimateSelectivity(*Or(std::move(disj)), stats, cm);
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
+  // NOT of an overfull equality must clamp from below as well.
+  const double nsel =
+      EstimateSelectivity(*Not(Eq(Col("x"), LitInt(5))), stats, cm);
+  EXPECT_GE(nsel, 0.0);
+  EXPECT_LE(nsel, 1.0);
+}
+
+TEST(SelectivityEdgeCases, RangePairOnZeroRowStatsStaysFinite) {
+  const ColumnStats cs = ZeroRowStats();
+  const StatsResolver stats = [&cs](const std::string&) { return &cs; };
+  const CostModel cm;
+  std::vector<ExprPtr> conj;
+  conj.push_back(Ge(Col("x"), LitInt(2)));
+  conj.push_back(Lt(Col("x"), LitInt(8)));
+  const double sel = EstimateSelectivity(*And(std::move(conj)), stats, cm);
+  EXPECT_FALSE(std::isnan(sel));
+  EXPECT_GE(sel, 0.0);
+  EXPECT_LE(sel, 1.0);
 }
 
 }  // namespace
