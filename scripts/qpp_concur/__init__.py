@@ -1,0 +1,42 @@
+"""qpp_concur -- whole-program concurrency analyzer for the qpp tree.
+
+Where scripts/qpp_lint.py enforces *local* invariants (one file, one brace
+scope at a time), this package sees the whole program: it parses every C++
+file under src/, builds a symbol table of mutex members, lock-acquisition
+sites and a function-level call graph, and runs four global passes:
+
+  lock-order          Construct the global lock-acquisition graph (edge
+                      A -> B when some thread can acquire B while holding
+                      A, possibly through a chain of calls) and report any
+                      cycle as a potential deadlock, with the call chain
+                      that establishes each edge.
+  blocking-under-lock Extend PR 3's Submit-under-lock rule through the
+                      call graph: ThreadPool::Submit / ParallelFor reached
+                      *transitively* while a lock is held is reported with
+                      the full call chain, even when the submit is several
+                      frames down.
+  atomic-memory-order In src/{net,serve,obs,card} every atomic operation
+                      must name an explicit std::memory_order (no silent
+                      seq_cst on hot paths), and RCU publication pointers
+                      (std::atomic<T*> members) must be release-store /
+                      acquire-load pairs.
+  layering            Derive the allowed dependency DAG from
+                      target_link_libraries() in the src/ CMake files and
+                      flag any #include that crosses it (e.g. qpp_obs may
+                      include qpp_common headers only).
+
+Suppressions reuse the repo-wide convention:
+
+    // qpp-lint: allow(<rule>): <non-empty justification>
+
+on the finding's line or the line above. The analyzer is registered in
+ctest as `qpp_concur_tree`, so the tree must stay clean.
+
+Stdlib-only on purpose, like qpp_lint.py: this runs in tier-1 on machines
+with no pip. The comment/string stripper lives in qpp_concur.cxx and is
+shared with qpp_lint.py.
+"""
+
+from qpp_concur.report import RULE_NAMES  # noqa: F401
+
+__all__ = ["RULE_NAMES"]

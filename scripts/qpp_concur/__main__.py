@@ -1,0 +1,76 @@
+"""CLI driver: python3 -m qpp_concur [--root DIR] [--report FILE]
+
+Exit status: 0 clean, 1 findings (including malformed suppressions),
+2 usage error.  Registered in ctest as `qpp_concur_tree`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from qpp_concur import atomics, blocking, layering, lock_order, model
+from qpp_concur.report import RULE_NAMES, apply_suppressions
+
+PASSES = {
+    "lock-order": lock_order.run,
+    "blocking-under-lock": blocking.run,
+    "atomic-memory-order": atomics.run,   # also emits rcu-publication
+    "layering": layering.run,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="qpp_concur",
+        description="Whole-program concurrency analyzer for the qpp tree.")
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root (default: parent of the scripts/ dir holding this "
+             "package)")
+    parser.add_argument("--report", default=None,
+                        help="also write the findings to this file")
+    parser.add_argument("--rule", action="append", default=None,
+                        choices=sorted(PASSES),
+                        help="run only this pass (repeatable)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULE_NAMES:
+            print(r)
+        return 0
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"qpp_concur: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    prog = model.build(root)
+    findings = []
+    for rule, run in PASSES.items():
+        if args.rule and rule not in args.rule:
+            continue
+        findings.extend(run(prog))
+
+    raw_texts = {rel: raw for rel, (raw, code) in prog.files.items()}
+    remaining, errors = apply_suppressions(findings, raw_texts)
+    remaining.extend(errors)
+    remaining.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    lines = [str(f) for f in remaining]
+    summary = (f"qpp_concur: {len(remaining)} finding(s) over "
+               f"{len(prog.files)} files, {len(prog.functions)} functions, "
+               f"{len(prog.classes)} classes")
+    out = "\n".join(lines + [summary])
+    print(out)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(out + "\n")
+    return 1 if remaining else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

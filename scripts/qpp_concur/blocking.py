@@ -1,0 +1,102 @@
+"""Pass 2: transitive blocking-call-under-lock.
+
+qpp_lint's `submit-under-lock` rule is brace-scope-local: it catches a
+`pool->Submit(...)` textually inside a lock_guard scope.  This pass
+extends it through the call graph: any call made while a lock is held
+whose callee *transitively* reaches ThreadPool::Submit or
+ThreadPool::ParallelFor is reported with the full chain.
+
+Why these are blocking: ParallelFor blocks until every shard finishes,
+and Submit executes the task INLINE when called from a pool worker (the
+PR-2 nested-submission semantics) -- so either one under a lock can run
+arbitrary user code, including code that takes the same lock.
+
+Direct (same-function) sites are reported by qpp_lint already; to avoid
+double reporting, this pass only fires when the blocking call is at
+least one call frame away from the lock scope.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from qpp_concur.report import Finding
+
+BLOCKING_NAMES = ("Submit", "ParallelFor")
+
+
+def _direct_blocking_sites(fn):
+    return [c for c in fn.calls if c.name in BLOCKING_NAMES]
+
+
+def _blocking_closure(prog):
+    """fn -> True when fn (or a transitive callee) calls Submit/ParallelFor."""
+    blocking = {id(fn): bool(_direct_blocking_sites(fn))
+                for fn in prog.functions}
+    callees = {id(fn): [t for c in fn.calls for t in c.targets
+                        if not t.is_lambda]
+               for fn in prog.functions}
+    changed = True
+    while changed:
+        changed = False
+        for fn in prog.functions:
+            if blocking[id(fn)]:
+                continue
+            if any(blocking[id(t)] for t in callees[id(fn)]):
+                blocking[id(fn)] = True
+                changed = True
+    return blocking
+
+
+def _witness(prog, start_fn):
+    """Shortest chain from start_fn to a direct Submit/ParallelFor site."""
+    seen = {id(start_fn)}
+    queue = deque([(start_fn, [])])
+    while queue:
+        fn, path = queue.popleft()
+        direct = _direct_blocking_sites(fn)
+        if direct:
+            c = direct[0]
+            return path + [f"{fn.qual} calls {c.chain} "
+                           f"({fn.path}:{c.line})"]
+        for call in fn.calls:
+            for t in call.targets:
+                if t.is_lambda or id(t) in seen:
+                    continue
+                seen.add(id(t))
+                queue.append(
+                    (t, path + [f"{fn.qual} calls {t.qual} "
+                                f"({fn.path}:{call.line})"]))
+    return []
+
+
+def run(prog):
+    blocking = _blocking_closure(prog)
+    findings = []
+    seen = set()
+    for fn in prog.functions:
+        for call in fn.calls:
+            if call.name in BLOCKING_NAMES:
+                continue  # direct site: qpp_lint submit-under-lock owns it
+            held = fn.held_at(call.pos)
+            if not held:
+                continue
+            targets = [t for t in call.targets
+                       if not t.is_lambda and blocking[id(t)]]
+            if not targets:
+                continue
+            t = targets[0]
+            key = (fn.path, call.line, t.qual)
+            if key in seen:
+                continue
+            seen.add(key)
+            held_desc = ", ".join(sorted({h.mutex for h in held}))
+            detail = [f"holding {h.mutex} (locked {fn.path}:{h.line})"
+                      for h in held]
+            detail += [f"{fn.qual} calls {t.qual} ({fn.path}:{call.line})"]
+            detail += _witness(prog, t)
+            findings.append(Finding(
+                fn.path, call.line, "blocking-under-lock",
+                f"{fn.qual} reaches ThreadPool::{'/'.join(BLOCKING_NAMES)} "
+                f"through {t.qual} while holding {held_desc}", detail))
+    return findings

@@ -1,0 +1,92 @@
+"""Shared C++ lexical utilities for the repo's stdlib-only analyzers.
+
+This is the canonical home of the comment/string stripper that
+scripts/qpp_lint.py introduced (qpp_lint imports it from here), plus the
+small helpers both tools need to keep line numbers stable while matching
+regexes against blanked-out code.
+"""
+
+from __future__ import annotations
+
+import re
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replaces comments and string/char literals with spaces, keeping
+    newlines so line numbers survive.  Handles //, /* */, "...", '...',
+    and raw string literals R"delim(...)delim"."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, i + m.end())
+                j = n if j < 0 else j + len(closer)
+                out.append(
+                    "".join(ch if ch == "\n" else " " for ch in text[i:j]))
+                i = j
+            else:
+                out.append(c)
+                i += 1
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    """1-based line number of byte offset `pos`."""
+    return text.count("\n", 0, pos) + 1
+
+
+def call_args(code: str, open_paren_pos: int) -> str:
+    """Returns the argument text of the call whose '(' is at
+    open_paren_pos (balanced-paren scan; truncated calls return the
+    tail)."""
+    depth = 0
+    for i in range(open_paren_pos, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren_pos:i]
+    return code[open_paren_pos:]
+
+
+def matching_brace(code: str, open_brace_pos: int) -> int:
+    """Position just past the '}' matching the '{' at open_brace_pos
+    (len(code) when unbalanced)."""
+    depth = 0
+    for i in range(open_brace_pos, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)

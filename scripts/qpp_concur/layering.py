@@ -1,0 +1,153 @@
+"""Pass 4: layering -- includes must follow the CMake link graph.
+
+The allowed dependency DAG is *derived*, not hand-written: we parse
+`add_library(...)` and `target_link_libraries(... PUBLIC ...)` from
+every CMakeLists.txt under src/, take the transitive closure, and then
+every `#include "dir/header.h"` in a source file must target a library
+the including file's library links (or its own).  This pins the two
+invariants the CMake comments document -- qpp_obs depends on qpp_common
+only, and qpp_card_sig must stay optimizer-linkable without dragging in
+workload/obs -- plus every other edge, against silent drift.
+
+Header -> library mapping: a header belongs to the library that compiles
+its same-basename .cc; header-only files in a single-library directory
+belong to that library; the rest are pinned in HEADER_OVERRIDES.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from qpp_concur.report import Finding
+
+ADD_LIBRARY_RE = re.compile(
+    r"add_library\s*\(\s*(\w+)((?:\s+(?:STATIC|SHARED|OBJECT|INTERFACE))?"
+    r"[^)]*)\)", re.S)
+LINK_RE = re.compile(
+    r"target_link_libraries\s*\(\s*(\w+)\s+((?:PUBLIC|PRIVATE|INTERFACE|"
+    r"\s|[\w:$.{}-])+)\)", re.S)
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+# Header-only files in multi-library directories.
+HEADER_OVERRIDES = {
+    "card/learned_estimator.h": "qpp_card",
+}
+
+
+def parse_cmake(root):
+    """-> (lib -> {deps}, src-relative file path -> lib)."""
+    deps = {}
+    file_lib = {}
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        if "CMakeLists.txt" not in filenames:
+            continue
+        rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+        with open(os.path.join(dirpath, "CMakeLists.txt"),
+                  encoding="utf-8") as fh:
+            text = fh.read()
+        text = re.sub(r"#[^\n]*", "", text)
+        for m in ADD_LIBRARY_RE.finditer(text):
+            lib, body = m.group(1), m.group(2)
+            deps.setdefault(lib, set())
+            for tok in body.split():
+                if tok in ("STATIC", "SHARED", "OBJECT", "INTERFACE"):
+                    continue
+                if re.fullmatch(r"[\w./-]+\.(?:cc|cpp|cxx)", tok):
+                    file_lib[f"{rel_dir}/{tok}"] = lib
+        for m in LINK_RE.finditer(text):
+            lib, body = m.group(1), m.group(2)
+            if lib not in deps:
+                continue
+            for tok in body.split():
+                if tok in ("PUBLIC", "PRIVATE", "INTERFACE"):
+                    continue
+                if re.fullmatch(r"\w+", tok) and tok in deps or \
+                        tok.startswith("qpp_"):
+                    deps.setdefault(lib, set()).add(tok)
+    # Keep only project libraries (drops Threads::Threads and friends).
+    deps = {lib: {d for d in ds if d in deps} for lib, ds in deps.items()}
+    return deps, file_lib
+
+
+def transitive(deps):
+    closure = {lib: set(ds) for lib, ds in deps.items()}
+    changed = True
+    while changed:
+        changed = False
+        for lib in closure:
+            add = set()
+            for d in closure[lib]:
+                add |= closure.get(d, set())
+            if not add <= closure[lib]:
+                closure[lib] |= add
+                changed = True
+    return closure
+
+
+def assign_libs(prog, file_lib):
+    """Extends the .cc -> lib map to headers.  Returns (path -> lib,
+    [unmapped header findings])."""
+    by_dir = {}
+    for path, lib in file_lib.items():
+        by_dir.setdefault(os.path.dirname(path), set()).add(lib)
+    assignment = dict(file_lib)
+    problems = []
+    for rel in prog.files:
+        if rel in assignment or not rel.endswith((".h", ".hpp")):
+            continue
+        short = rel[len("src/"):] if rel.startswith("src/") else rel
+        if short in HEADER_OVERRIDES:
+            assignment[rel] = HEADER_OVERRIDES[short]
+            continue
+        stem = rel.rsplit(".", 1)[0]
+        for ext in (".cc", ".cpp", ".cxx"):
+            if stem + ext in assignment:
+                assignment[rel] = assignment[stem + ext]
+                break
+        else:
+            libs = by_dir.get(os.path.dirname(rel), set())
+            if len(libs) == 1:
+                assignment[rel] = next(iter(libs))
+            else:
+                problems.append(Finding(
+                    rel, 1, "layering",
+                    "header is not attributable to a library: no "
+                    "same-basename .cc, directory defines "
+                    f"{len(libs)} libraries; add it to HEADER_OVERRIDES "
+                    "in scripts/qpp_concur/layering.py"))
+    return assignment, problems
+
+
+def run(prog):
+    deps, file_lib = parse_cmake(prog.root)
+    closure = transitive(deps)
+    assignment, findings = assign_libs(prog, file_lib)
+
+    # Map include targets ("obs/metrics.h") to their library.
+    include_lib = {}
+    for rel, lib in assignment.items():
+        if rel.startswith("src/"):
+            include_lib[rel[len("src/"):]] = lib
+
+    for rel, (raw, code) in prog.files.items():
+        my_lib = assignment.get(rel)
+        if my_lib is None:
+            continue
+        allowed = closure.get(my_lib, set()) | {my_lib}
+        # Scan the RAW text: the stripped `code` blanks string literals,
+        # and an include path is a string literal.
+        for m in INCLUDE_RE.finditer(raw):
+            target = m.group(1)
+            target_lib = include_lib.get(target)
+            if target_lib is None or target_lib in allowed:
+                continue
+            line = raw.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                rel, line, "layering",
+                f'{my_lib} must not include "{target}" ({target_lib}): '
+                f"{my_lib} links only "
+                f"{', '.join(sorted(closure.get(my_lib, set()))) or 'nothing'}"
+                " (derived from target_link_libraries)"))
+    return findings

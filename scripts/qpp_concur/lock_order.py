@@ -1,0 +1,155 @@
+"""Pass 1: cross-function lock-order cycle detection.
+
+Builds the global acquisition graph: a directed edge A -> B means some
+thread can acquire mutex B while holding mutex A.  Edges come from two
+places:
+
+  * direct: inside one function, a lock event for B whose position falls
+    inside a held interval of A;
+  * transitive: a call made while holding A whose callee (through any
+    chain of resolved calls) eventually acquires B.
+
+Any cycle in that graph is a potential deadlock and is reported with the
+witness chain for every edge.  Self-edges (A -> A) are reported too:
+mutex identity is per class member, so re-acquiring `Foo::mu_` while
+holding it is a self-deadlock on the same instance and an ordering
+hazard across instances (the runtime OrderedMutex layer is the
+instance-exact arbiter).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from qpp_concur.report import Finding
+
+
+def _acquired_closure(prog):
+    """fn -> {mutex id acquired by fn or any transitive callee}."""
+    direct = {id(fn): {ev.mutex for ev in fn.locks} for fn in prog.functions}
+    callees = {id(fn): [t for c in fn.calls for t in c.targets
+                        if not t.is_lambda]
+               for fn in prog.functions}
+    acq = {k: set(v) for k, v in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fn in prog.functions:
+            s = acq[id(fn)]
+            before = len(s)
+            for callee in callees[id(fn)]:
+                s |= acq[id(callee)]
+            if len(s) != before:
+                changed = True
+    return acq
+
+
+def _witness_chain(prog, start_fn, mutex):
+    """Shortest call path from start_fn to a function that directly
+    acquires `mutex`; returns list of human-readable frames."""
+    seen = {id(start_fn)}
+    queue = deque([(start_fn, [])])
+    while queue:
+        fn, path = queue.popleft()
+        for ev in fn.locks:
+            if ev.mutex == mutex:
+                return path + [f"{fn.qual} locks {mutex} "
+                               f"({fn.path}:{ev.line})"]
+        for call in fn.calls:
+            for t in call.targets:
+                if t.is_lambda or id(t) in seen:
+                    continue
+                seen.add(id(t))
+                queue.append(
+                    (t, path + [f"{fn.qual} calls {t.qual} "
+                                f"({fn.path}:{call.line})"]))
+    return [f"{start_fn.qual} (chain elided)"]
+
+
+def run(prog):
+    acq = _acquired_closure(prog)
+
+    # edges: (A, B) -> (anchor_path, anchor_line, detail_lines)
+    edges = {}
+
+    def add_edge(a, b, path, line, detail):
+        if (a, b) not in edges:
+            edges[(a, b)] = (path, line, detail)
+
+    for fn in prog.functions:
+        for ev in fn.locks:
+            for held in fn.held_at(ev.start):
+                if held is ev:
+                    continue
+                add_edge(
+                    held.mutex, ev.mutex, fn.path, ev.line,
+                    [f"{fn.qual} holds {held.mutex} "
+                     f"(locked {fn.path}:{held.line})",
+                     f"then locks {ev.mutex} ({fn.path}:{ev.line})"])
+        for call in fn.calls:
+            held_events = fn.held_at(call.pos)
+            if not held_events:
+                continue
+            for t in call.targets:
+                if t.is_lambda:
+                    continue
+                for b in acq[id(t)]:
+                    for held in held_events:
+                        chain = [f"{fn.qual} holds {held.mutex} "
+                                 f"(locked {fn.path}:{held.line})",
+                                 f"{fn.qual} calls {t.qual} "
+                                 f"({fn.path}:{call.line})"]
+                        chain += _witness_chain(prog, t, b)
+                        add_edge(held.mutex, b, fn.path, call.line, chain)
+
+    # Cycle detection: report one finding per elementary cycle found by a
+    # DFS over the condensed graph.  The graph is tiny (tens of nodes), so
+    # a simple approach is fine: for every edge (a, b), if b can reach a,
+    # the shortest b->a path plus (a, b) forms a cycle.
+    succ = {}
+    for (a, b) in edges:
+        succ.setdefault(a, set()).add(b)
+
+    def shortest_path(src, dst):
+        if src == dst:
+            return [src]
+        seen = {src}
+        queue = deque([(src, [src])])
+        while queue:
+            node, path = queue.popleft()
+            for nxt in succ.get(node, ()):
+                if nxt == dst:
+                    return path + [nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append((nxt, path + [nxt]))
+        return None
+
+    findings = []
+    reported = set()
+    for (a, b) in sorted(edges):
+        back = shortest_path(b, a)
+        if back is None:
+            continue
+        cycle = [a] + back  # a -> b -> ... -> a
+        canon = frozenset(cycle)
+        if canon in reported:
+            continue
+        reported.add(canon)
+        path, line, _ = edges[(a, b)]
+        detail = []
+        for i in range(len(cycle) - 1):
+            ea, eb = cycle[i], cycle[i + 1]
+            edge = edges.get((ea, eb))
+            detail.append(f"edge {ea} -> {eb}:")
+            if edge:
+                detail.extend("  " + d for d in edge[2])
+        if len(cycle) == 2 and cycle[0] == cycle[1]:
+            msg = (f"{a} can be re-acquired while already held "
+                   f"(self-deadlock on the same instance)")
+        else:
+            msg = ("lock-order cycle: "
+                   + " -> ".join(cycle)
+                   + " (potential deadlock)")
+        findings.append(Finding(path, line, "lock-order", msg, detail))
+    return findings

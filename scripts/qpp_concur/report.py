@@ -1,0 +1,75 @@
+"""Findings, rule registry and suppression handling for qpp_concur.
+
+Suppressions reuse scripts/qpp_lint.py's convention verbatim:
+
+    // qpp-lint: allow(<rule>): <non-empty justification>
+
+on the finding's line or the line directly above. A whole-program finding
+(a lock cycle, a transitive submit chain) is anchored at the source line
+of the acquisition or call that closes it, so that is where the allow()
+goes. Bare allows (no justification) are themselves violations, exactly
+as in qpp_lint.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+RULE_NAMES = (
+    "lock-order",
+    "blocking-under-lock",
+    "atomic-memory-order",
+    "rcu-publication",
+    "layering",
+)
+
+ALLOW_RE = re.compile(
+    r"//\s*qpp-lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(.*?))?\s*$")
+
+
+@dataclass
+class Finding:
+    path: str          # repo-relative, '/'-separated
+    line: int          # 1-based anchor line (where an allow() suppresses)
+    rule: str
+    message: str
+    # Optional multi-line elaboration (call chains, cycle edges); printed
+    # indented under the finding.
+    detail: list = field(default_factory=list)
+
+    def __str__(self) -> str:
+        head = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if not self.detail:
+            return head
+        return head + "\n" + "\n".join("    " + d for d in self.detail)
+
+
+def apply_suppressions(findings, raw_texts, known_rules=RULE_NAMES):
+    """Filters `findings` against allow() comments found in `raw_texts`
+    (a dict path -> raw file text). Returns (remaining, errors) where
+    errors are bad-allow findings for malformed suppressions of *these*
+    rules. Unknown-rule and missing-justification checks for the union of
+    all rules are qpp_lint's job (it scans every allow comment); here we
+    only honour allows that name one of our rules."""
+    allows = {}  # (path, line) -> set of rules
+    errors = []
+    for path, raw in raw_texts.items():
+        for idx, line in enumerate(raw.splitlines(), start=1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            rule, why = m.group(1), m.group(2)
+            if rule not in known_rules:
+                continue  # someone else's rule (qpp_lint validates it)
+            if not why:
+                errors.append(Finding(
+                    path, idx, "bad-allow",
+                    f"allow({rule}) without a justification; write "
+                    f"`// qpp-lint: allow({rule}): <why>`"))
+                continue
+            allows.setdefault((path, idx), set()).add(rule)
+            allows.setdefault((path, idx + 1), set()).add(rule)
+    remaining = [f for f in findings
+                 if f.rule not in allows.get((f.path, f.line), set())]
+    return remaining, errors

@@ -79,6 +79,19 @@ import re
 import sys
 from dataclasses import dataclass
 
+# The C++ comment/string stripper is shared with the whole-program
+# concurrency analyzer (scripts/qpp_concur); its canonical home is
+# qpp_concur.cxx.  Re-exported here under its historical name so callers
+# (tests/lint_test.py) keep working.  The sys.path fallback covers direct
+# `python3 scripts/qpp_lint.py` runs from any working directory.
+try:
+    from qpp_concur.cxx import strip_comments_and_strings  # noqa: F401
+    from qpp_concur.report import RULE_NAMES as CONCUR_RULE_NAMES
+except ImportError:  # pragma: no cover - package sits next to this script
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from qpp_concur.cxx import strip_comments_and_strings  # noqa: F401
+    from qpp_concur.report import RULE_NAMES as CONCUR_RULE_NAMES
+
 DEFAULT_SCAN_DIRS = ("src", "bench", "examples", "tests")
 CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
@@ -105,51 +118,6 @@ class Violation:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Replaces comments and string/char literals with spaces, keeping
-    newlines so line numbers survive.  Handles //, /* */, "...", '...',
-    and raw string literals R"delim(...)delim"."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c == "R" and nxt == '"':
-            m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
-            if m:
-                closer = ")" + m.group(1) + '"'
-                j = text.find(closer, i + m.end())
-                j = n if j < 0 else j + len(closer)
-                out.append(
-                    "".join(ch if ch == "\n" else " " for ch in text[i:j]))
-                i = j
-            else:
-                out.append(c)
-                i += 1
-        elif c in ('"', "'"):
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
 
 
 def _line_of(text: str, pos: int) -> int:
@@ -470,11 +438,14 @@ def apply_suppressions(raw_text: str, path: str,
         if not m:
             continue
         rule, why = m.group(1), m.group(2)
-        if rule not in RULES:
+        # qpp_concur shares the allow() syntax; its rule names are valid
+        # here (this tool validates every allow comment in the tree) but
+        # only suppress qpp_concur findings, not ours.
+        if rule not in RULES and rule not in CONCUR_RULE_NAMES:
             errors.append(Violation(
                 path, idx, "bad-allow",
                 f"allow() names unknown rule '{rule}'; known: "
-                f"{', '.join(sorted(RULES))}"))
+                f"{', '.join(sorted(set(RULES) | set(CONCUR_RULE_NAMES)))}"))
             continue
         if not why:
             errors.append(Violation(

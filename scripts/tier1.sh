@@ -5,6 +5,7 @@
 # the whole tree; see CMakeLists.txt).
 #
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan-ubsan] [--skip-lint]
+#                         [--skip-concur]
 #        scripts/tier1.sh --asan   # only the ASan+UBSan suite (for repro)
 #        scripts/tier1.sh --ubsan  # alias for --asan (one combined build)
 #        scripts/tier1.sh --tsan   # only the TSan pass
@@ -14,6 +15,7 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 RUN_MAIN=1
 RUN_LINT=1
+RUN_CONCUR=1
 RUN_ASAN_UBSAN=1
 RUN_TSAN=1
 for arg in "$@"; do
@@ -21,8 +23,9 @@ for arg in "$@"; do
     --skip-tsan) RUN_TSAN=0 ;;
     --skip-asan-ubsan) RUN_ASAN_UBSAN=0 ;;
     --skip-lint) RUN_LINT=0 ;;
-    --asan|--ubsan) RUN_MAIN=0; RUN_LINT=0; RUN_TSAN=0 ;;
-    --tsan) RUN_MAIN=0; RUN_LINT=0; RUN_ASAN_UBSAN=0 ;;
+    --skip-concur) RUN_CONCUR=0 ;;
+    --asan|--ubsan) RUN_MAIN=0; RUN_LINT=0; RUN_CONCUR=0; RUN_TSAN=0 ;;
+    --tsan) RUN_MAIN=0; RUN_LINT=0; RUN_CONCUR=0; RUN_ASAN_UBSAN=0 ;;
     *) echo "tier1: unknown flag $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,6 +37,14 @@ done
 # the binary exists; scripts/lint.sh degrades gracefully when it does not.
 if [[ $RUN_LINT -eq 1 ]]; then
   scripts/lint.sh
+fi
+
+# Whole-program concurrency analyzer (scripts/qpp_concur): cross-function
+# lock-order cycles, transitive blocking-calls-under-lock, atomic
+# memory-order discipline / RCU publication pairing, and CMake-derived
+# layering. Also fast (pure Python over stripped source, no compile).
+if [[ $RUN_CONCUR -eq 1 ]]; then
+  (cd scripts && python3 -m qpp_concur --root ..)
 fi
 
 if [[ $RUN_MAIN -eq 1 ]]; then

@@ -196,7 +196,7 @@ void LearnedCardinalityCache::Record(uint64_t signature, uint64_t class_hash,
                                      const std::array<double, 3>& features,
                                      double est_rows, double actual_rows) {
   if (signature == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
     // Capacity check dominates the inserts below: evict down to leave room
@@ -238,7 +238,7 @@ std::optional<double> LearnedCardinalityCache::EstimateRows(
   static obs::Counter* near_counter =
       obs::MetricsRegistry::Global()->GetCounter("card.cache.near_misses");
   if (query.signature == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   std::vector<const CardObservation*> candidates;
   const auto it = entries_.find(query.signature);
   if (it != entries_.end() && !it->second.obs.empty()) {
@@ -279,19 +279,19 @@ std::optional<double> LearnedCardinalityCache::EstimateRows(
 }
 
 size_t LearnedCardinalityCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return entries_.size();
 }
 
 size_t LearnedCardinalityCache::observation_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   size_t n = 0;
   for (const auto& [sig, e] : entries_) n += e.obs.size();
   return n;
 }
 
 double LearnedCardinalityCache::WindowedQError() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return MeanQErrorLocked(qerror_window_);
 }
 
@@ -299,7 +299,7 @@ std::shared_ptr<const CardSnapshot> LearnedCardinalityCache::MakeSnapshot(
     uint64_t version) const {
   std::vector<CardSnapshot::Entry> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     entries.reserve(entries_.size());
     for (const auto& [sig, e] : entries_) {
       CardSnapshot::Entry out;
@@ -321,7 +321,7 @@ std::shared_ptr<const CardSnapshot> LearnedCardinalityCache::MakeSnapshot(
 Status LearnedCardinalityCache::SaveToFile(const std::string& path) const {
   std::ostringstream payload;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     std::vector<uint64_t> sigs;
     sigs.reserve(entries_.size());
     for (const auto& [sig, e] : entries_) sigs.push_back(sig);

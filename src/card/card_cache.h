@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/result.h"
 #include "optimizer/cardinality.h"
 
@@ -108,10 +109,17 @@ class LearnedCardinalityCache {
   /// (1.0 when empty — a perfect estimator's value).
   double WindowedQError() const;
 
-  uint64_t hits() const { return hits_.load(); }
-  uint64_t misses() const { return misses_.load(); }
-  uint64_t near_misses() const { return near_misses_.load(); }
-  uint64_t evictions() const { return evictions_.load(); }
+  // Relaxed loads: monotonic stats, no ordering with cache state implied.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t near_misses() const {
+    return near_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   /// Immutable copy of the current contents (entries sorted by signature).
   std::shared_ptr<const CardSnapshot> MakeSnapshot(uint64_t version) const;
@@ -140,7 +148,7 @@ class LearnedCardinalityCache {
 
   CardCacheConfig config_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_;
   std::unordered_map<uint64_t, Entry> entries_;         // guarded by mu_
   std::list<uint64_t> lru_;  // front = most recently recorded signature
   std::unordered_map<uint64_t, std::vector<uint64_t>> classes_;

@@ -157,7 +157,7 @@ Status CardFeedbackLoop::HarvestRecord(const QueryRecord& record) {
 uint64_t CardFeedbackLoop::PublishSnapshot() {
   static obs::Gauge* version_gauge = obs::MetricsRegistry::Global()->GetGauge(
       "card.feedback.snapshot_version");
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::lock_guard<OrderedMutex> lock(publish_mu_);
   const uint64_t version =
       snapshots_.load(std::memory_order_relaxed) + 1;
   std::shared_ptr<const CardSnapshot> snap = cache_.MakeSnapshot(version);

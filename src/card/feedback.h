@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "card/card_cache.h"
 #include "plan/plan.h"
 #include "workload/query_log.h"
@@ -67,9 +68,16 @@ class CardFeedbackLoop {
   LearnedCardinalityCache* cache() { return &cache_; }
   const LearnedCardinalityCache& cache() const { return cache_; }
 
-  uint64_t harvested_queries() const { return harvested_queries_.load(); }
-  uint64_t harvested_nodes() const { return harvested_nodes_.load(); }
-  uint64_t snapshots_published() const { return snapshots_.load(); }
+  // Relaxed loads: monotonic stats, no ordering with snapshots implied.
+  uint64_t harvested_queries() const {
+    return harvested_queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t harvested_nodes() const {
+    return harvested_nodes_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshots_published() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
 
   const CardFeedbackConfig& config() const { return config_; }
 
@@ -82,7 +90,7 @@ class CardFeedbackLoop {
   /// Raw pointer into history_; acquire/release paired with
   /// PublishSnapshot (see serve::ModelRegistry for the pattern rationale).
   std::atomic<const CardSnapshot*> current_{nullptr};
-  std::mutex publish_mu_;
+  OrderedMutex publish_mu_;
   /// All published snapshots, retained for the loop's lifetime (RCU
   /// reclamation by non-reclamation; bounded by publish cadence).
   std::vector<std::shared_ptr<const CardSnapshot>> history_;

@@ -1,0 +1,186 @@
+#include "common/ordered_mutex.h"
+
+#if defined(QPP_DEADLOCK_DEBUG)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qpp {
+namespace {
+
+struct Held {
+  const void* mutex;
+  const char* file;
+  int line;
+};
+
+// Per-thread stack of currently held OrderedMutex instances.
+thread_local std::vector<Held> tls_held;
+
+struct Edge {
+  // Where each side of the order was taken when the edge was established:
+  // "held A (a.cc:10), then acquired B (b.cc:20)".
+  std::string witness;
+};
+
+/// Process-wide acquisition-order graph over live OrderedMutex instances.
+/// All methods take the internal graph mutex; it is a leaf (nothing else is
+/// ever acquired under it), so the detector cannot deadlock itself.
+class LockOrderGraph {
+ public:
+  static LockOrderGraph& Global() {
+    // Leaked on purpose: mutexes may be locked during static destruction,
+    // after a function-local static graph would already be gone.
+    // qpp-lint: allow(naked-new): leaked singleton avoids static-destruction-order races
+    static LockOrderGraph* g = new LockOrderGraph();
+    return *g;
+  }
+
+  /// Records that the current thread is about to acquire `m`. Aborts when
+  /// the acquisition closes a cycle in the order graph (or re-acquires a
+  /// mutex the thread already holds).
+  void BeforeAcquire(const void* m, const char* file, int line) {
+    for (const Held& h : tls_held) {
+      if (h.mutex == m) {
+        std::fprintf(stderr,
+                     "qpp OrderedMutex: self-deadlock: re-acquiring mutex "
+                     "%p at %s:%d\n  first acquired at %s:%d\n",
+                     m, file, line, h.file, h.line);
+        DumpHeld();
+        std::abort();
+      }
+    }
+    std::lock_guard<std::mutex> g(mu_);
+    if (names_.find(m) == names_.end()) {
+      names_[m] = std::string(file) + ":" + std::to_string(line);
+    }
+    for (const Held& h : tls_held) {
+      // Adding h.mutex -> m closes a cycle iff m already reaches h.mutex.
+      std::vector<const void*> path;
+      if (Reaches(m, h.mutex, &path)) {
+        std::fprintf(stderr,
+                     "qpp OrderedMutex: lock-order cycle detected\n"
+                     "  thread holds %s (acquired %s:%d) and is acquiring "
+                     "%s at %s:%d\n  but the opposite order is already "
+                     "established:\n",
+                     Name(h.mutex).c_str(), h.file, h.line, Name(m).c_str(),
+                     file, line);
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          auto it = edges_.find({path[i], path[i + 1]});
+          std::fprintf(stderr, "    %s\n",
+                       it == edges_.end() ? "(edge)"
+                                          : it->second.witness.c_str());
+        }
+        DumpHeld();
+        std::abort();
+      }
+      auto key = std::make_pair(h.mutex, m);
+      if (edges_.find(key) == edges_.end()) {
+        edges_[key].witness =
+            "held " + Name(h.mutex) + " (" + h.file + ":" +
+            std::to_string(h.line) + "), then acquired " + Name(m) + " (" +
+            file + ":" + std::to_string(line) + ")";
+        succ_[h.mutex].insert(m);
+      }
+    }
+  }
+
+  /// Drops a destroyed mutex from the graph so a later allocation reusing
+  /// its address does not inherit stale edges.
+  void Forget(const void* m) {
+    std::lock_guard<std::mutex> g(mu_);
+    names_.erase(m);
+    succ_.erase(m);
+    for (auto& [node, out] : succ_) out.erase(m);
+    for (auto it = edges_.begin(); it != edges_.end();) {
+      if (it->first.first == m || it->first.second == m) {
+        it = edges_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  bool Reaches(const void* from, const void* to,
+               std::vector<const void*>* path) const {
+    path->push_back(from);
+    if (from == to) return true;
+    auto it = succ_.find(from);
+    if (it != succ_.end()) {
+      for (const void* nxt : it->second) {
+        // The graph is acyclic by construction (a cycle aborts before its
+        // closing edge is inserted), so plain DFS terminates.
+        if (Reaches(nxt, to, path)) return true;
+      }
+    }
+    path->pop_back();
+    return false;
+  }
+
+  std::string Name(const void* m) const {
+    auto it = names_.find(m);
+    return it == names_.end() ? "<mutex>" : "mutex@" + it->second;
+  }
+
+  static void DumpHeld() {
+    std::fprintf(stderr, "  current hold stack (oldest first):\n");
+    for (const Held& h : tls_held) {
+      std::fprintf(stderr, "    %p acquired at %s:%d\n", h.mutex, h.file,
+                   h.line);
+    }
+  }
+
+  std::mutex mu_;
+  std::map<const void*, std::string> names_;
+  std::map<std::pair<const void*, const void*>, Edge> edges_;
+  std::map<const void*, std::set<const void*>> succ_;
+};
+
+void PushHeld(const void* m, const char* file, int line) {
+  tls_held.push_back({m, file, line});
+}
+
+void PopHeld(const void* m) {
+  // Locks are almost always released in LIFO order; scan back-to-front so
+  // out-of-order unique_lock::unlock() stays correct.
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->mutex == m) {
+      tls_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+OrderedMutex::~OrderedMutex() { LockOrderGraph::Global().Forget(this); }
+
+void OrderedMutex::lock(const char* file, int line) {
+  LockOrderGraph::Global().BeforeAcquire(this, file, line);
+  mu_.lock();
+  PushHeld(this, file, line);
+}
+
+bool OrderedMutex::try_lock(const char* file, int line) {
+  // try_lock cannot deadlock by itself, but a try-acquire still documents
+  // an intended order, so it feeds the graph exactly like lock().
+  LockOrderGraph::Global().BeforeAcquire(this, file, line);
+  if (!mu_.try_lock()) return false;
+  PushHeld(this, file, line);
+  return true;
+}
+
+void OrderedMutex::unlock() {
+  mu_.unlock();
+  PopHeld(this);
+}
+
+}  // namespace qpp
+
+#endif  // QPP_DEADLOCK_DEBUG

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <type_traits>
+
+/// \file
+/// Runtime lock-order detector (the dynamic half of the qpp_concur gate).
+///
+/// Under -DQPP_DEADLOCK_DEBUG=ON, qpp::OrderedMutex records every
+/// acquisition into a process-wide lock-order graph keyed by mutex
+/// *instance*: acquiring B while holding A adds the edge A -> B, and the
+/// first acquisition that would close a cycle aborts immediately with both
+/// hold stacks -- the one being built and the one that established the
+/// conflicting order.  That turns "deadlocks TSan only sees when the
+/// scheduler cooperates" into a deterministic failure on any interleaving
+/// that merely *orders* the locks inconsistently, long before two threads
+/// actually wedge.
+///
+/// In release builds OrderedMutex IS std::mutex (a type alias, enforced by
+/// static_assert below), so adopting it everywhere costs nothing on the
+/// serving path.
+///
+/// OrderedCv is the matching condition variable: std::condition_variable
+/// in release (it requires std::unique_lock<std::mutex>),
+/// std::condition_variable_any in debug.  Always pair it with
+/// std::unique_lock<qpp::OrderedMutex>.
+///
+/// The documented lock hierarchy this enforces lives in DESIGN.md
+/// ("Lock hierarchy & concurrency invariants").
+
+#if defined(QPP_DEADLOCK_DEBUG)
+
+namespace qpp {
+
+class OrderedMutex {
+ public:
+  OrderedMutex() = default;
+  ~OrderedMutex();
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  // __builtin_FILE/__builtin_LINE default arguments capture the *caller's*
+  // site without a macro, so std::lock_guard<OrderedMutex> works unchanged.
+  void lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE());
+  bool try_lock(const char* file = __builtin_FILE(),
+                int line = __builtin_LINE());
+  void unlock();
+
+ private:
+  std::mutex mu_;
+};
+
+using OrderedCv = std::condition_variable_any;
+
+}  // namespace qpp
+
+#else  // !QPP_DEADLOCK_DEBUG
+
+namespace qpp {
+
+// Release builds: zero overhead, zero new types. The serving path must not
+// pay for the debug instrumentation (BENCH_net_serving guards this).
+using OrderedMutex = std::mutex;
+using OrderedCv = std::condition_variable;
+
+static_assert(std::is_same_v<OrderedMutex, std::mutex>,
+              "release OrderedMutex must be exactly std::mutex");
+static_assert(sizeof(OrderedMutex) == sizeof(std::mutex),
+              "release OrderedMutex must add no storage");
+
+}  // namespace qpp
+
+#endif  // QPP_DEADLOCK_DEBUG

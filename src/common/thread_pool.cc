@@ -40,7 +40,7 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads))
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -52,7 +52,7 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<OrderedMutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
@@ -73,7 +73,7 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> fn) {
     return fut;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     queue_.emplace_back([task] { (*task)(); });
   }
   cv_.notify_one();
@@ -99,8 +99,8 @@ Status ThreadPool::ParallelFor(size_t n,
   struct SharedState {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex m;
-    std::condition_variable all_done;
+    OrderedMutex m;
+    OrderedCv all_done;
   };
   auto state = std::make_shared<SharedState>();
   // One Status slot per index: failures are reported deterministically for
@@ -113,7 +113,7 @@ Status ThreadPool::ParallelFor(size_t n,
       if (i >= n) break;
       (*statuses)[i] = RunGuarded([&] { return fn(i); });
       if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(state->m);
+        std::lock_guard<OrderedMutex> lock(state->m);
         state->all_done.notify_all();
       }
     }
@@ -124,14 +124,14 @@ Status ThreadPool::ParallelFor(size_t n,
   const size_t helpers =
       std::min(workers_.size(), n > 0 ? n - 1 : static_cast<size_t>(0));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     for (size_t h = 0; h < helpers; ++h) queue_.emplace_back(drain);
   }
   cv_.notify_all();
 
   drain();  // the caller participates
   {
-    std::unique_lock<std::mutex> lock(state->m);
+    std::unique_lock<OrderedMutex> lock(state->m);
     state->all_done.wait(lock, [&] {
       return state->done.load(std::memory_order_acquire) == n;
     });

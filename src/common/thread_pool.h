@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/status.h"
 
 namespace qpp {
@@ -71,8 +72,8 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  OrderedMutex mu_;
+  OrderedCv cv_;
   bool stop_ = false;
 };
 

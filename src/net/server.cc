@@ -74,7 +74,9 @@ PredictionServer::PredictionServer(serve::PredictionService* service,
 PredictionServer::~PredictionServer() { Shutdown(); }
 
 Status PredictionServer::Start() {
-  if (started_.exchange(true)) {
+  // One-shot start guard: acq_rel pairs the winning exchange with any
+  // later observer; cold path, so no need to shave the fence.
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
     return Status::Internal("PredictionServer started twice");
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
@@ -132,7 +134,7 @@ Status PredictionServer::Start() {
 }
 
 void PredictionServer::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  std::lock_guard<OrderedMutex> lock(shutdown_mu_);
   if (!reactor_.joinable()) return;
   draining_.store(true, std::memory_order_release);
   Wake();
@@ -251,7 +253,7 @@ void PredictionServer::ReactorLoop() {
       }
       bool completions_empty;
       {
-        std::lock_guard<std::mutex> lock(completions_mu_);
+        std::lock_guard<OrderedMutex> lock(completions_mu_);
         completions_empty = completions_.empty();
       }
       // Pool threads Wake() *before* decrementing outstanding_batches_, so
@@ -523,7 +525,7 @@ void PredictionServer::RunBatch(std::vector<Pending> batch) {
         1e3);
   }
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    std::lock_guard<OrderedMutex> lock(completions_mu_);
     for (auto& c : done) {
       // One entry per admitted request, and admission is capped upstream.
       // qpp-lint: allow(net-unbounded-queue): bounded by config_.max_queue
@@ -568,7 +570,7 @@ PredictionServer::Completion PredictionServer::MakeError(
 void PredictionServer::DrainCompletions() {
   std::deque<Completion> local;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
+    std::lock_guard<OrderedMutex> lock(completions_mu_);
     local.swap(completions_);
   }
   for (auto& c : local) {

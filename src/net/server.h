@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "net/frame.h"
@@ -173,7 +174,7 @@ class PredictionServer {
 
   std::thread reactor_;
   /// Serializes Shutdown callers (join is single-shot).
-  std::mutex shutdown_mu_;
+  OrderedMutex shutdown_mu_;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -191,7 +192,7 @@ class PredictionServer {
 
   /// Pool -> reactor completion queue (the only cross-thread mutable state
   /// besides the counters).
-  std::mutex completions_mu_;
+  OrderedMutex completions_mu_;
   std::deque<Completion> completions_;
   std::atomic<uint64_t> outstanding_batches_{0};
 

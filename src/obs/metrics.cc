@@ -42,9 +42,11 @@ void Histogram::Observe(double v) noexcept {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  // Relaxed on success and failure: the sum is a statistic read via
+  // relaxed loads; no ordering with neighbouring counters is implied.
   while (!sum_bits_.compare_exchange_weak(
       old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + v),
-      std::memory_order_relaxed)) {
+      std::memory_order_relaxed, std::memory_order_relaxed)) {
   }
 }
 
@@ -113,7 +115,7 @@ MetricsRegistry* MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   if (gauges_.count(std::string(name)) || histograms_.count(std::string(name))) {
     return nullptr;
   }
@@ -126,7 +128,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   if (counters_.count(std::string(name)) ||
       histograms_.count(std::string(name))) {
     return nullptr;
@@ -140,7 +142,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   if (counters_.count(std::string(name)) || gauges_.count(std::string(name))) {
     return nullptr;
   }
@@ -155,7 +157,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricsRegistry::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -218,7 +220,7 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 void MetricsRegistry::ResetAllValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

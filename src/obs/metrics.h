@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/ordered_mutex.h"
+
 namespace qpp::obs {
 
 /// \brief Process-wide named metrics: counters, gauges and fixed-bucket
@@ -137,7 +139,7 @@ class MetricsRegistry {
   void ResetAllValues();
 
  private:
-  mutable std::mutex mu_;  // guards the maps; metric updates are lock-free
+  mutable OrderedMutex mu_;  // guards the maps; metric updates are lock-free
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -26,21 +26,36 @@ OnlinePredictor::OnlinePredictor(std::vector<const QueryRecord*> training,
 }
 
 int OnlinePredictor::models_built() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return models_built_;
 }
 
-const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) const {
-  auto cached = cache_.find(key);
-  if (cached != cache_.end()) {
-    return cached->second.has_value() ? &*cached->second : nullptr;
+void OnlinePredictor::EnsureBuilt(const std::string& key) const {
+  std::unique_lock<OrderedMutex> lock(mu_);
+  for (;;) {
+    if (cache_.find(key) != cache_.end()) return;
+    if (building_.insert(key).second) break;
+    // Another thread owns the first build of this key; its cache insert
+    // (model or nullopt) is signalled on build_cv_.
+    build_cv_.wait(lock);
   }
   auto occ_it = occurrences_.find(key);
   if (occ_it == occurrences_.end() ||
       static_cast<int>(occ_it->second.size()) < min_occurrences_) {
     cache_[key] = std::nullopt;
-    return nullptr;
+    building_.erase(key);
+    build_cv_.notify_all();
+    return;
   }
+
+  // Train with mu_ released: Train fans out over ThreadPool::ParallelFor,
+  // and blocking on the pool under the cache lock would stall concurrent
+  // predictions (qpp_concur: blocking-under-lock). Everything read below --
+  // occurrences_, op_models_, plan_config_ -- is immutable after
+  // construction, so the result is bit-identical no matter which thread
+  // wins the key.
+  lock.unlock();
+
   // Operator-level baseline error on these training occurrences.
   double op_err = 0.0;
   size_t n = 0;
@@ -57,27 +72,30 @@ const PlanLevelModel* OnlinePredictor::GetOrBuild(const std::string& key) const 
 
   PlanLevelModel model(plan_config_);
   Status st = model.Train(occ_it->second);
+
+  lock.lock();
   ++models_built_;
   // Gate: only accept models whose estimated accuracy beats the
   // operator-level prediction for this plan structure (Section 4).
   if (!st.ok() || model.cv_error() >= op_err) {
     cache_[key] = std::nullopt;
-    return nullptr;
+  } else {
+    cache_.emplace(key, std::move(model));
   }
-  auto [it, inserted] = cache_.emplace(key, std::move(model));
-  return &*it->second;
+  building_.erase(key);
+  build_cv_.notify_all();
 }
 
 double OnlinePredictor::PredictQuery(const QueryRecord& query,
                                      FeatureMode mode) const {
-  // One lock over build + compose: predictions serialize, but the cache is
-  // consistent for the whole query and builds stay once-per-structure.
-  std::lock_guard<std::mutex> lock(mu_);
   // Build (or fetch) models for every sub-plan of this query first, so the
-  // override below is a pure lookup.
+  // override below is a pure lookup under the lock.
   for (const OperatorRecord& op : query.ops) {
-    if (op.subtree_size >= 2) GetOrBuild(op.structural_key);
+    if (op.subtree_size >= 2) EnsureBuilt(op.structural_key);
   }
+  // The compose phase holds mu_ only for cache lookups; entries are
+  // guaranteed present (built above) and std::map references are stable.
+  std::lock_guard<OrderedMutex> lock(mu_);
   PredictionOverride override_fn = [this, &query, mode](int op_index,
                                                         TimePrediction* out) {
     const OperatorRecord& op = query.ops[static_cast<size_t>(op_index)];

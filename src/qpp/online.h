@@ -3,9 +3,11 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "qpp/hybrid.h"
 
 namespace qpp {
@@ -21,9 +23,14 @@ namespace qpp {
 ///
 /// PredictQuery is const and thread-safe: the model cache is an internal
 /// detail guarded by a mutex, so immutable predictor snapshots can be served
-/// concurrently (see serve/registry.h). Concurrent predictions serialize on
-/// the cache lock; the occasional on-demand model build happens under it,
-/// which keeps "built exactly once per structure" trivially true.
+/// concurrently (see serve/registry.h). Model *training* runs outside the
+/// lock (training calls into ThreadPool::ParallelFor, and blocking on the
+/// pool while holding the cache lock would stall every concurrent
+/// prediction -- the qpp_concur blocking-under-lock rule). "Built exactly
+/// once per structure" is kept by a building-key set: the first thread to
+/// claim a key trains it unlocked while others wait on a condition
+/// variable, and training reads only construction-time-immutable state, so
+/// results stay bit-identical under any interleaving.
 class OnlinePredictor {
  public:
   /// `training` must outlive the predictor. `op_models` are the pre-built
@@ -48,9 +55,10 @@ class OnlinePredictor {
   }
 
  private:
-  /// Returns the cached (possibly absent) model for a structural key,
-  /// building and gating it on first request. Caller must hold mu_.
-  const PlanLevelModel* GetOrBuild(const std::string& key) const;
+  /// Ensures cache_ has an entry (model or nullopt) for `key`, training and
+  /// gating it on first request. Takes mu_ itself; the train step runs with
+  /// mu_ released while `key` is parked in building_.
+  void EnsureBuilt(const std::string& key) const;
 
   std::vector<const QueryRecord*> training_;
   const OperatorModelSet* op_models_;
@@ -59,10 +67,14 @@ class OnlinePredictor {
   /// Occurrence index over the training data (immutable after construction).
   std::map<std::string, std::vector<PlanOccurrence>> occurrences_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_;
   /// Cache: key -> accepted model, or nullopt when building was attempted
   /// and rejected. Guarded by mu_.
   mutable std::map<std::string, std::optional<PlanLevelModel>> cache_;
+  /// Keys whose first build is in flight on some thread (guarded by mu_);
+  /// build_cv_ signals every insertion into cache_.
+  mutable std::set<std::string> building_;
+  mutable OrderedCv build_cv_;
   mutable int models_built_ = 0;
 };
 

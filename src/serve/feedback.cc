@@ -54,14 +54,16 @@ void FeedbackLoop::WaitForRetrain() {
   while (true) {
     std::future<Status> pending;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<OrderedMutex> lock(mu_);
       if (retrain_future_.valid()) pending = std::move(retrain_future_);
     }
     if (pending.valid()) {
       pending.wait();
       continue;
     }
-    if (!retrain_in_flight_.load()) return;
+    // Acquire pairs with the release store in RetrainAndPublish: once
+    // the flag reads false, the retrain's writes are visible.
+    if (!retrain_in_flight_.load(std::memory_order_acquire)) return;
     std::this_thread::yield();
   }
 }
@@ -71,20 +73,28 @@ Status FeedbackLoop::Observe(const QueryRecord& executed) {
   // failure (no model yet, unforeseen shape) contributes no error sample but
   // the record still feeds the retrain corpus.
   auto snapshot = registry_->Current();
+  // Predict outside mu_: PredictLatencyMs can train sub-plan models online
+  // (a ThreadPool::ParallelFor fan-out), and blocking on the pool while
+  // holding mu_ would stall every concurrent observer and accessor
+  // (qpp_concur: blocking-under-lock). Only the window update needs the
+  // lock.
+  std::optional<double> rel_err;
+  if (snapshot != nullptr && executed.latency_ms > 0) {
+    auto predicted = snapshot->predictor->PredictLatencyMs(executed);
+    if (predicted.ok()) {
+      // latency_ms > 0 was checked above, so the error is defined.
+      rel_err = *RelativeError(executed.latency_ms, *predicted);
+    }
+  }
   std::optional<QueryLog> retrain_corpus;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (snapshot != nullptr && executed.latency_ms > 0) {
-      auto predicted = snapshot->predictor->PredictLatencyMs(executed);
-      if (predicted.ok()) {
-        // latency_ms > 0 was checked above, so the error is defined.
-        window_.push_back(*RelativeError(executed.latency_ms, *predicted));
-        while (window_.size() > config_.window_size) window_.pop_front();
-        double total = 0.0;
-        for (double e : window_) total += e;
-        WindowedErrGauge()->Set(total /
-                                static_cast<double>(window_.size()));
-      }
+    std::lock_guard<OrderedMutex> lock(mu_);
+    if (rel_err.has_value()) {
+      window_.push_back(*rel_err);
+      while (window_.size() > config_.window_size) window_.pop_front();
+      double total = 0.0;
+      for (double e : window_) total += e;
+      WindowedErrGauge()->Set(total / static_cast<double>(window_.size()));
     }
     corpus_.queries.push_back(executed);
     while (corpus_.queries.size() > config_.max_retained_queries) {
@@ -97,7 +107,7 @@ Status FeedbackLoop::Observe(const QueryRecord& executed) {
         [this, corpus = std::move(*retrain_corpus)]() mutable {
           return RetrainAndPublish(std::move(corpus));
         });
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     retrain_future_ = std::move(future);
   }
   // Cardinality harvest runs outside mu_: the card loop locks internally,
@@ -113,7 +123,7 @@ Status FeedbackLoop::Observe(const QueryRecord& executed) {
 }
 
 double FeedbackLoop::WindowedError() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   if (window_.empty()) return 0.0;
   double total = 0.0;
   for (double e : window_) total += e;
@@ -121,22 +131,24 @@ double FeedbackLoop::WindowedError() const {
 }
 
 size_t FeedbackLoop::window_fill() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return window_.size();
 }
 
 size_t FeedbackLoop::corpus_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return corpus_.queries.size();
 }
 
 Status FeedbackLoop::last_retrain_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<OrderedMutex> lock(mu_);
   return last_retrain_status_;
 }
 
 std::optional<QueryLog> FeedbackLoop::MaybeBeginRetrainLocked() {
-  if (retrain_in_flight_.load()) return std::nullopt;
+  // Relaxed: mu_ is held (Observe calls this locked); the flag is only
+  // a gate against double-triggering.
+  if (retrain_in_flight_.load(std::memory_order_relaxed)) return std::nullopt;
   if (window_.size() < config_.min_observations) return std::nullopt;
   if (corpus_.queries.size() < config_.min_retrain_queries) return std::nullopt;
   double total = 0.0;
@@ -144,8 +156,8 @@ std::optional<QueryLog> FeedbackLoop::MaybeBeginRetrainLocked() {
   const double mean = total / static_cast<double>(window_.size());
   if (mean <= config_.drift_threshold) return std::nullopt;
 
-  retrain_in_flight_.store(true);
-  retrains_triggered_.fetch_add(1);
+  retrain_in_flight_.store(true, std::memory_order_relaxed);  // under mu_
+  retrains_triggered_.fetch_add(1, std::memory_order_relaxed);
   RetrainsTriggeredCounter()->Increment();
   // Snapshot the corpus for the background task; training works on the
   // copy, so Observe keeps accumulating meanwhile.
@@ -162,20 +174,23 @@ Status FeedbackLoop::RetrainAndPublish(QueryLog corpus) {
           std::chrono::steady_clock::now() - t0)
           .count());
   if (st.ok()) {
-    const uint64_t published = retrains_published_.fetch_add(1) + 1;
+    const uint64_t published =
+        retrains_published_.fetch_add(1, std::memory_order_relaxed) + 1;
     RetrainsPublishedCounter()->Increment();
     registry_->Publish(std::move(predictor),
                        "retrain#" + std::to_string(published));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<OrderedMutex> lock(mu_);
     last_retrain_status_ = st;
     if (st.ok()) {
       // Restart drift measurement against the freshly published model.
       window_.clear();
     }
   }
-  retrain_in_flight_.store(false);
+  // Release: WaitForRetrain's acquire load of this flag must observe the
+  // registry publish and status update above.
+  retrain_in_flight_.store(false, std::memory_order_release);
   return st;
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "common/ordered_mutex.h"
 #include "common/thread_pool.h"
 #include "serve/registry.h"
 
@@ -81,8 +82,13 @@ class FeedbackLoop {
   /// Executed queries accumulated for retraining.
   size_t corpus_size() const;
 
-  uint64_t retrains_triggered() const { return retrains_triggered_.load(); }
-  uint64_t retrains_published() const { return retrains_published_.load(); }
+  // Relaxed loads: monotonic stats, no ordering with loop state implied.
+  uint64_t retrains_triggered() const {
+    return retrains_triggered_.load(std::memory_order_relaxed);
+  }
+  uint64_t retrains_published() const {
+    return retrains_published_.load(std::memory_order_relaxed);
+  }
   /// Status of the most recent finished retrain (OK if none ran).
   Status last_retrain_status() const;
 
@@ -102,7 +108,7 @@ class FeedbackLoop {
   ThreadPool* pool_;
   FeedbackConfig config_;
 
-  mutable std::mutex mu_;
+  mutable OrderedMutex mu_;
   std::deque<double> window_;        // guarded by mu_
   QueryLog corpus_;                  // guarded by mu_
   Status last_retrain_status_;       // guarded by mu_

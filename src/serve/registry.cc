@@ -19,8 +19,10 @@ uint64_t ModelRegistry::Publish(
   auto version = std::make_shared<ModelVersion>();
   version->source = std::move(source);
   version->predictor = std::move(predictor);
-  std::lock_guard<std::mutex> lock(publish_mu_);
-  version->version = publishes_.fetch_add(1) + 1;
+  std::lock_guard<OrderedMutex> lock(publish_mu_);
+  // Relaxed: serialized by publish_mu_; the snapshot itself is published
+  // by the release store to current_ below.
+  version->version = publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
   const uint64_t v = version->version;
   const ModelVersion* raw = version.get();
   history_.push_back(std::move(version));

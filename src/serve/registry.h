@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ordered_mutex.h"
 #include "qpp/predictor.h"
 
 namespace qpp::serve {
@@ -68,14 +69,16 @@ class ModelRegistry {
 
   /// Total number of publishes (== current_version, kept for symmetry with
   /// service/feedback counters).
-  uint64_t publish_count() const { return publishes_.load(); }
+  uint64_t publish_count() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Raw pointer into history_; the acquire load pairs with Publish's
   /// release store, making the pointed-to (immutable) version visible.
   std::atomic<const ModelVersion*> current_{nullptr};
   std::atomic<uint64_t> publishes_{0};
-  std::mutex publish_mu_;
+  OrderedMutex publish_mu_;
   /// All published versions, in order; keeps every version alive for the
   /// registry's lifetime (see class comment on reclamation).
   std::vector<std::shared_ptr<const ModelVersion>> history_;

@@ -30,8 +30,9 @@ void PredictionService::RecordLatency(uint64_t ns) const {
   latency_ns_total_.fetch_add(ns, std::memory_order_relaxed);
   uint64_t prev = latency_ns_max_.load(std::memory_order_relaxed);
   while (ns > prev &&
-         !latency_ns_max_.compare_exchange_weak(prev, ns,
-                                                std::memory_order_relaxed)) {
+         !latency_ns_max_.compare_exchange_weak(
+             prev, ns, std::memory_order_relaxed,
+             std::memory_order_relaxed)) {
   }
 }
 
@@ -98,11 +99,13 @@ ServiceStats PredictionService::Snapshot() const {
 }
 
 void PredictionService::ResetStats() {
-  requests_.store(0);
-  errors_.store(0);
-  latency_ns_total_.store(0);
-  latency_ns_max_.store(0);
-  last_version_.store(0);
+  // Relaxed: stats counters carry no synchronization; a racing reader
+  // sees a mix of old and new values either way.
+  requests_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  latency_ns_total_.store(0, std::memory_order_relaxed);
+  latency_ns_max_.store(0, std::memory_order_relaxed);
+  last_version_.store(0, std::memory_order_relaxed);
   latency_hist_->Reset();
   instance_hist_.Reset();
 }

@@ -1,0 +1,175 @@
+// Death tests for qpp::OrderedMutex, the runtime half of the qpp_concur
+// concurrency gate (see src/common/ordered_mutex.h).
+//
+// These only bite under -DQPP_DEADLOCK_DEBUG=ON (the CI
+// concurrency-analysis job builds that matrix leg); in a release build
+// OrderedMutex is std::mutex and the suite skips.  Death-test style is
+// "threadsafe" (re-exec, not fork), so every scenario builds its full
+// lock-order history inside the EXPECT_DEATH statement.
+
+#include "common/ordered_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace qpp {
+namespace {
+
+#if defined(QPP_DEADLOCK_DEBUG)
+
+class OrderedMutexDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(OrderedMutexDeathTest, AbBaInversionAborts) {
+  // One thread is enough: the order graph is global, so establishing
+  // A -> B and then merely *attempting* B -> A is already the bug --
+  // no second thread or actual wedge required.
+  EXPECT_DEATH(
+      {
+        OrderedMutex a;
+        OrderedMutex b;
+        {
+          std::lock_guard<OrderedMutex> la(a);
+          std::lock_guard<OrderedMutex> lb(b);
+        }
+        std::lock_guard<OrderedMutex> lb(b);
+        std::lock_guard<OrderedMutex> la(a);
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexDeathTest, SelfReacquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        OrderedMutex m;
+        m.lock();
+        m.lock();
+      },
+      "self-deadlock");
+}
+
+TEST_F(OrderedMutexDeathTest, TryLockEstablishesOrderToo) {
+  // A try-acquire documents intended order exactly like lock(); the
+  // reversed hard acquisition later must still abort.
+  EXPECT_DEATH(
+      {
+        OrderedMutex a;
+        OrderedMutex b;
+        {
+          std::lock_guard<OrderedMutex> la(a);
+          if (b.try_lock()) b.unlock();
+        }
+        std::lock_guard<OrderedMutex> lb(b);
+        std::lock_guard<OrderedMutex> la(a);
+      },
+      "lock-order cycle");
+}
+
+TEST_F(OrderedMutexDeathTest, ThreeLockCycleAborts) {
+  // A -> B, B -> C, then C -> A: the cycle spans three mutexes, so the
+  // detector must follow transitive reachability, not just direct edges.
+  EXPECT_DEATH(
+      {
+        OrderedMutex a;
+        OrderedMutex b;
+        OrderedMutex c;
+        {
+          std::lock_guard<OrderedMutex> la(a);
+          std::lock_guard<OrderedMutex> lb(b);
+        }
+        {
+          std::lock_guard<OrderedMutex> lb(b);
+          std::lock_guard<OrderedMutex> lc(c);
+        }
+        std::lock_guard<OrderedMutex> lc(c);
+        std::lock_guard<OrderedMutex> la(a);
+      },
+      "lock-order cycle");
+}
+
+TEST(OrderedMutexTest, ConsistentOrderNeverDies) {
+  OrderedMutex a;
+  OrderedMutex b;
+  auto hammer = [&] {
+    for (int i = 0; i < 200; ++i) {
+      std::lock_guard<OrderedMutex> la(a);
+      std::lock_guard<OrderedMutex> lb(b);
+    }
+  };
+  std::thread t1(hammer);
+  std::thread t2(hammer);
+  hammer();
+  t1.join();
+  t2.join();
+}
+
+TEST(OrderedMutexTest, UnlockReleasesTheOrderHold) {
+  // Explicit unlock before the next acquisition means no edge: B then A
+  // afterwards is fine because A was no longer held.
+  OrderedMutex a;
+  OrderedMutex b;
+  {
+    std::unique_lock<OrderedMutex> la(a);
+    la.unlock();
+    std::lock_guard<OrderedMutex> lb(b);
+  }
+  std::lock_guard<OrderedMutex> lb(b);
+  std::lock_guard<OrderedMutex> la(a);
+}
+
+TEST(OrderedMutexTest, DestructionForgetsEdges) {
+  // A destroyed mutex must drop out of the graph: a new mutex reusing its
+  // address must not inherit its ordering history.
+  auto a = std::make_unique<OrderedMutex>();
+  OrderedMutex b;
+  {
+    std::lock_guard<OrderedMutex> la(*a);
+    std::lock_guard<OrderedMutex> lb(b);
+  }
+  a.reset();
+  // Many allocations of the same size encourage address reuse; whichever
+  // address c lands on, reverse-order locking against b must be legal.
+  for (int i = 0; i < 16; ++i) {
+    auto c = std::make_unique<OrderedMutex>();
+    std::lock_guard<OrderedMutex> lb(b);
+    std::lock_guard<OrderedMutex> lc(*c);
+  }
+}
+
+TEST(OrderedMutexTest, OrderedCvWaitsAndWakes) {
+  OrderedMutex mu;
+  OrderedCv cv;
+  bool ready = false;
+  std::thread waker([&] {
+    std::lock_guard<OrderedMutex> lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<OrderedMutex> lock(mu);
+    cv.wait(lock, [&] { return ready; });
+  }
+  waker.join();
+  EXPECT_TRUE(ready);
+}
+
+#else  // !QPP_DEADLOCK_DEBUG
+
+TEST(OrderedMutexTest, DetectorRequiresDeadlockDebugBuild) {
+  GTEST_SKIP() << "OrderedMutex is std::mutex in this build; configure with "
+                  "-DQPP_DEADLOCK_DEBUG=ON to exercise the lock-order "
+                  "detector (the static_asserts in common/ordered_mutex.h "
+                  "already pin the zero-overhead aliases).";
+}
+
+#endif  // QPP_DEADLOCK_DEBUG
+
+}  // namespace
+}  // namespace qpp
