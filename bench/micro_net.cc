@@ -105,6 +105,58 @@ BENCHMARK(BM_NetServing)
     ->ArgsProduct({{1, 4}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
+// The v2 fast path: clients aggregate `cbatch` requests per send into batch
+// container frames (binary-encoded records, scatter-gather writes), and the
+// server answers each completed micro-batch with one container frame. Same
+// request count and counter keys as BM_NetServing, so the qps numbers are
+// directly comparable across the v1/v2 scenarios.
+void BM_NetServingBatchedClient(benchmark::State& state) {
+  const int conns = static_cast<int>(state.range(0));
+  const int cbatch = static_cast<int>(state.range(1));
+  Fixture& f = SharedFixture();
+
+  net::ServerConfig config;
+  // Dispatch fires the moment one full client container lands instead of
+  // stalling on the delay timer waiting for a larger batch.
+  config.max_batch = static_cast<size_t>(cbatch);
+  config.max_delay_us = 200;
+  net::PredictionServer server(f.service.get(), config);
+  bench::CheckOk(server.Start(), "PredictionServer::Start");
+
+  net::LoadGenOptions options;
+  options.connections = conns;
+  options.requests_per_connection = kRequestsPerIteration / conns;
+  // Two batches in flight per connection, so the next container is already
+  // queued while the server computes the previous one (no stop-and-wait).
+  options.window = cbatch * 2;
+  options.batch = cbatch;
+
+  uint64_t total_ok = 0;
+  net::LoadGenReport last;
+  for (auto _ : state) {
+    auto report =
+        net::RunLoadGenerator("127.0.0.1", server.port(), f.log, options);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      break;
+    }
+    total_ok += report->ok;
+    last = *report;
+  }
+  server.Shutdown();
+
+  state.SetItemsProcessed(static_cast<int64_t>(total_ok));
+  state.counters["qps"] = last.qps;
+  state.counters["p50_us"] = last.p50_us;
+  state.counters["p95_us"] = last.p95_us;
+  state.counters["p99_us"] = last.p99_us;
+  state.counters["shed"] = static_cast<double>(last.overloaded);
+}
+BENCHMARK(BM_NetServingBatchedClient)
+    ->ArgNames({"conns", "cbatch"})
+    ->ArgsProduct({{1, 4}, {16, 64}})
+    ->Unit(benchmark::kMillisecond);
+
 // Frame codec in isolation: encode+decode cost per request record, the
 // per-message CPU tax the wire protocol adds on top of prediction itself.
 void BM_FrameRoundTrip(benchmark::State& state) {
@@ -134,6 +186,36 @@ void BM_FrameRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FrameRoundTrip);
+
+// Same round trip through the v2 binary record codec + zero-copy decode
+// (NextView): the per-message tax of the batched fast path.
+void BM_FrameRoundTripBinary(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  const QueryRecord& record = f.log.queries.front();
+  uint64_t id = 0;
+  for (auto _ : state) {
+    net::Frame frame;
+    frame.type = net::FrameType::kRequest;
+    frame.request_id = ++id;
+    frame.payload = net::EncodeRequestPayloadBinary(0, record);
+    const std::string wire = net::EncodeFrame(frame);
+    net::FrameDecoder decoder;
+    bench::CheckOk(decoder.Feed(wire.data(), wire.size()), "Feed");
+    auto decoded = decoder.NextView();
+    if (!decoded.has_value()) {
+      state.SkipWithError("frame did not decode");
+      break;
+    }
+    auto req = net::DecodeRequestPayload(decoded->payload);
+    if (!req.ok()) {
+      state.SkipWithError(req.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(req->record.ops.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameRoundTripBinary);
 
 }  // namespace
 }  // namespace qpp

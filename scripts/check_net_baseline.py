@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""check_net_baseline.py -- guard the serving fast path against regressions.
+
+Compares a freshly measured BENCH_net_serving.json (written by
+bench/micro_net via bench_json) against the committed baseline
+(bench/net_serving_baseline.json -- BENCH_*.json itself is gitignored as
+machine output) and fails loudly when a guarded scenario's qps drops more
+than the tolerance below the baseline.  Runs in the CI telemetry job right after
+micro_net, so a wire-path change that quietly taxes the classic v1
+single-request path (the compatibility path every existing client uses)
+turns the job red instead of landing as a "neutral refactor".
+
+Only *regressions* fail; a faster run passes (and prints the delta so the
+committed baseline can be refreshed in the same PR).  Scenarios present in
+the baseline but missing from the fresh run fail too -- a renamed or
+deleted benchmark silently un-guards the path.
+
+Usage:
+    check_net_baseline.py --baseline bench/net_serving_baseline.json \
+                          --fresh telemetry/BENCH_net_serving.json \
+                          [--scenario NAME ...] [--tolerance 0.10]
+
+Exit status: 0 within tolerance, 1 on regression/missing data, 2 on usage
+errors.  Stdlib-only on purpose, same as the other scripts/ tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# The classic v1 wire path: one request per frame, batching off.  The v2
+# container scenarios are deliberately not guarded by default -- they are
+# new in this telemetry file and their baseline has to accumulate history
+# before a relative gate is meaningful on shared CI runners.
+DEFAULT_SCENARIOS = ("BM_NetServing/conns:1/batch:0",)
+
+
+def load_qps(path: str) -> dict:
+    """Returns {benchmark name: qps} for every result carrying a qps
+    counter."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"check_net_baseline: cannot read {path}: {e}")
+    out = {}
+    for result in doc.get("results", []):
+        counters = result.get("counters", {})
+        if "qps" in counters:
+            out[result.get("name", "?")] = float(counters["qps"])
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on serving-throughput regressions vs the "
+                    "committed baseline (see module docstring)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_net_serving.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured BENCH_net_serving.json")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="benchmark name to guard (repeatable; default: "
+                             f"{', '.join(DEFAULT_SCENARIOS)})")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional qps drop (default 0.10)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = load_qps(args.baseline)
+    fresh = load_qps(args.fresh)
+    scenarios = args.scenario or list(DEFAULT_SCENARIOS)
+
+    failures = []
+    for name in scenarios:
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline {args.baseline} -- "
+                            "guarded scenario renamed or baseline stale")
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: not in fresh run {args.fresh} -- "
+                            "a missing benchmark un-guards the path")
+            continue
+        base, now = baseline[name], fresh[name]
+        floor = base * (1.0 - args.tolerance)
+        delta = (now - base) / base * 100.0
+        verdict = "REGRESSED" if now < floor else "ok"
+        print(f"{name}: baseline {base:.0f} qps, fresh {now:.0f} qps "
+              f"({delta:+.1f}%), floor {floor:.0f} -> {verdict}")
+        if now < floor:
+            failures.append(
+                f"{name}: {now:.0f} qps is {-delta:.1f}% below the "
+                f"committed {base:.0f} (tolerance {args.tolerance:.0%})")
+
+    if failures:
+        for f in failures:
+            print(f"check_net_baseline: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_net_baseline: OK ({len(scenarios)} scenario(s) within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,17 @@ knowledge rather than language knowledge:
                       with SOCK_NONBLOCK), and socket()/accept4()/
                       eventfd() must create non-blocking fds -- one
                       blocking fd stalls every connection.
+  net-unbounded-iovec In src/net/ every scatter-gather syscall
+                      (writev/pwritev/sendmsg) must be dominated by a
+                      visible bound on its iovec count -- a comparison
+                      or std::min/std::clamp against a named iov limit
+                      (kMaxFlushIov, kClientMaxIov, IOV_MAX, ...)
+                      within the preceding 30 lines.  The kernel
+                      rejects iovcnt > IOV_MAX with EINVAL at runtime,
+                      which an unbounded gather loop only hits under
+                      load, on the largest responses -- exactly when it
+                      hurts most.  Pass-through wrappers carry an
+                      allow() naming where the bound lives.
   card-unbounded-cache
                       In src/card/ every push onto a member container
                       (trailing-underscore name) must be dominated by a
@@ -358,6 +369,45 @@ def rule_card_unbounded_cache(path, raw, code):
     return out
 
 
+# Scatter-gather syscalls pin an iovec array per call; the kernel fails
+# iovcnt > IOV_MAX with EINVAL, and an unbounded gather loop discovers that
+# at runtime, under load, on the largest outbox.  Every such call site must
+# sit below a visible bound on the entry count.
+IOVEC_CALL_RE = re.compile(
+    r"(?<![\w.])(?:::\s*)?(writev|pwritev2?|sendmsg)\s*\(")
+IOVEC_BOUND_RE = re.compile(
+    r"\bk\w*[Mm]ax\w*[Ii]ov\w*\b|\bk\w*[Ii]ov\w*[Mm]ax\w*\b|"
+    r"\bIOV_MAX\b|\bUIO_MAXIOV\b")
+MIN_CLAMP_RE = re.compile(r"\b(?:std\s*::\s*)?(?:min|clamp)\s*\(")
+
+
+def rule_net_unbounded_iovec(path, raw, code):
+    """A writev/pwritev/sendmsg site in src/net/ must be dominated by an
+    iovec-count bound: some line in the preceding window compares against
+    (or min/clamps to) a named iov limit.  Wrappers that just forward to
+    the syscall carry an allow() naming where the bound lives."""
+    del raw
+    if not path.startswith(NET_PREFIX):
+        return []
+    lines = code.splitlines()
+    out = []
+    for m in IOVEC_CALL_RE.finditer(code):
+        line = _line_of(code, m.start())
+        lo = max(0, line - 1 - NET_CAPACITY_WINDOW_LINES)
+        window = lines[lo:line]  # includes the call line itself
+        if any(IOVEC_BOUND_RE.search(ln) and
+               (COMPARISON_RE.search(ln) or MIN_CLAMP_RE.search(ln))
+               for ln in window):
+            continue
+        out.append(Violation(
+            path, line, "net-unbounded-iovec",
+            f"{m.group(1)}() with no iovec-count bound in the preceding "
+            f"{NET_CAPACITY_WINDOW_LINES} lines; cap the gather width "
+            "against a named limit (kMaxFlushIov / kClientMaxIov / "
+            "IOV_MAX) or carry an allow() naming where the bound lives"))
+    return out
+
+
 SLEEP_RE = re.compile(
     r"\bsleep_for\s*\(|\bsleep_until\s*\(|(?<![\w.])usleep\s*\(|"
     r"(?<![\w.])nanosleep\s*\(|(?<![\w.:])sleep\s*\(")
@@ -422,6 +472,7 @@ RULES = {
     "naked-new": rule_naked_new,
     "net-unbounded-queue": rule_net_unbounded_queue,
     "net-blocking-reactor": rule_net_blocking_reactor,
+    "net-unbounded-iovec": rule_net_unbounded_iovec,
     "card-unbounded-cache": rule_card_unbounded_cache,
 }
 

@@ -4,13 +4,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 namespace qpp::net {
@@ -33,7 +33,37 @@ double SampleQuantile(const std::vector<double>& sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+/// Scatter-gather width per sendmsg call (IOV_MAX is far larger, but a
+/// small bound keeps the per-call pin and retry cost predictable).
+constexpr size_t kClientMaxIov = 64;
+
+/// Read sizing bounds around the decoder's pending-frame hint.
+constexpr size_t kMinReadBytes = 4096;
+constexpr size_t kMaxReadBytes = 256 * 1024;
+
+/// Test interposition (see SetClientIoHooksForTest): written only while no
+/// client is mid-IO, read unsynchronized on the fast path.
+ClientIoHooks g_io_hooks;
+
+ssize_t IoSend(int fd, const void* buf, size_t len, int flags) {
+  return g_io_hooks.send != nullptr ? g_io_hooks.send(fd, buf, len, flags)
+                                    : ::send(fd, buf, len, flags);
+}
+
+ssize_t IoSendmsg(int fd, const msghdr* msg, int flags) {
+  return g_io_hooks.sendmsg != nullptr ? g_io_hooks.sendmsg(fd, msg, flags)
+                                       // qpp-lint: allow(net-unbounded-iovec): pass-through wrapper; WriteVecAll clamps msg_iovlen to kClientMaxIov
+                                       : ::sendmsg(fd, msg, flags);
+}
+
+ssize_t IoRecv(int fd, void* buf, size_t len, int flags) {
+  return g_io_hooks.recv != nullptr ? g_io_hooks.recv(fd, buf, len, flags)
+                                    : ::recv(fd, buf, len, flags);
+}
+
 }  // namespace
+
+void SetClientIoHooksForTest(ClientIoHooks hooks) { g_io_hooks = hooks; }
 
 PredictionClient::~PredictionClient() { Close(); }
 
@@ -69,13 +99,53 @@ Status PredictionClient::WriteAll(const std::string& bytes) {
   size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n =
-        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        IoSend(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      // A 0 return on a nonzero-length send means no progress and no errno
+      // to trust; retrying could spin forever.
+      return Status::IOError("send made no progress (returned 0)");
+    }
+    if (errno == EINTR) continue;
     return Status::IOError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Status PredictionClient::WriteVecAll(std::vector<iovec>* iov) {
+  size_t idx = 0;
+  while (idx < iov->size()) {
+    msghdr msg{};
+    msg.msg_iov = iov->data() + idx;
+    // Bounded scatter list per call.
+    msg.msg_iovlen = std::min(iov->size() - idx, kClientMaxIov);
+    // sendmsg == scatter-gather writev, plus MSG_NOSIGNAL (a raw writev to
+    // a closed peer would raise SIGPIPE).
+    const ssize_t n = IoSendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      // Partial send: consume whole entries, then shrink the split one.
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0) {
+        iovec& e = (*iov)[idx];
+        if (advanced >= e.iov_len) {
+          advanced -= e.iov_len;
+          ++idx;
+        } else {
+          e.iov_base = static_cast<char*>(e.iov_base) + advanced;
+          e.iov_len -= advanced;
+          advanced = 0;
+        }
+      }
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("sendmsg made no progress (returned 0)");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("sendmsg"));
   }
   return Status::OK();
 }
@@ -91,10 +161,69 @@ Result<uint64_t> PredictionClient::Send(const QueryRecord& record,
   return frame.request_id;
 }
 
+Result<std::vector<uint64_t>> PredictionClient::SendBatch(
+    const std::vector<const QueryRecord*>& records, uint32_t deadline_us) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  if (records.empty()) {
+    return Status::InvalidArgument("SendBatch needs at least one record");
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(records.size());
+  // Encode every inner frame up front (header and payload as separate
+  // buffers), then ship runs of them wrapped in container frames with one
+  // scatter-gather write per run.
+  std::vector<std::string> headers(records.size());
+  std::vector<std::string> payloads(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const uint64_t id = next_request_id_++;
+    ids.push_back(id);
+    payloads[i] = EncodeRequestPayloadBinary(deadline_us, *records[i]);
+    headers[i] =
+        EncodeFrameHeader(kProtocolVersion, FrameType::kRequest, id,
+                          static_cast<uint32_t>(payloads[i].size()));
+  }
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t inner_bytes = 0;
+    uint32_t count = 0;
+    size_t j = i;
+    while (j < records.size() && count < kMaxBatchFrames) {
+      const size_t next_bytes =
+          inner_bytes + kFrameHeaderBytes + payloads[j].size();
+      if (kBatchCountBytes + next_bytes > kMaxPayloadBytes) break;
+      inner_bytes = next_bytes;
+      ++count;
+      ++j;
+    }
+    if (count == 0) {
+      // One record too large for any container: send it as a v1 frame.
+      std::vector<iovec> iov(2);
+      iov[0] = {headers[i].data(), headers[i].size()};
+      iov[1] = {payloads[i].data(), payloads[i].size()};
+      QPP_RETURN_NOT_OK(WriteVecAll(&iov));
+      ++i;
+      continue;
+    }
+    std::string batch_header = EncodeBatchHeader(count, inner_bytes);
+    std::vector<iovec> iov;
+    iov.reserve(1 + 2 * (j - i));
+    iov.push_back({batch_header.data(), batch_header.size()});
+    for (size_t k = i; k < j; ++k) {
+      iov.push_back({headers[k].data(), headers[k].size()});
+      if (!payloads[k].empty()) {
+        iov.push_back({payloads[k].data(), payloads[k].size()});
+      }
+    }
+    QPP_RETURN_NOT_OK(WriteVecAll(&iov));
+    i = j;
+  }
+  return ids;
+}
+
 Result<ClientReply> PredictionClient::Receive() {
   if (fd_ < 0) return Status::Internal("client not connected");
   while (true) {
-    if (auto frame = decoder_.Next()) {
+    if (auto frame = decoder_.NextView()) {
       ClientReply reply;
       reply.request_id = frame->request_id;
       if (frame->type == FrameType::kResponse) {
@@ -113,10 +242,15 @@ Result<ClientReply> PredictionClient::Receive() {
           std::string("unexpected ") + FrameTypeName(frame->type) +
           " frame from server");
     }
-    char buf[4096];
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    // Size the read to what the decoder knows is still missing, so a
+    // batched (multi-KiB) response arrives in one or two reads instead of
+    // fixed 4 KiB slices.
+    const size_t hint = std::clamp(decoder_.PendingFrameBytes(),
+                                   kMinReadBytes, kMaxReadBytes);
+    if (rbuf_.size() < hint) rbuf_.resize(hint);
+    const ssize_t n = IoRecv(fd_, rbuf_.data(), hint, 0);
     if (n > 0) {
-      QPP_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(n)));
+      QPP_RETURN_NOT_OK(decoder_.Feed(rbuf_.data(), static_cast<size_t>(n)));
       continue;
     }
     if (n == 0) {
@@ -157,9 +291,9 @@ Result<LoadGenReport> RunLoadGenerator(const std::string& host, uint16_t port,
     return Status::InvalidArgument("load generator needs a non-empty workload");
   }
   if (options.connections < 1 || options.requests_per_connection < 1 ||
-      options.window < 1) {
+      options.window < 1 || options.batch < 1) {
     return Status::InvalidArgument(
-        "connections, requests_per_connection and window must be >= 1");
+        "connections, requests_per_connection, window and batch must be >= 1");
   }
   struct WorkerResult {
     Status status = Status::OK();
@@ -217,18 +351,38 @@ Result<LoadGenReport> RunLoadGenerator(const std::string& host, uint16_t port,
           }
           return true;
         };
+        std::vector<const QueryRecord*> chunk;
         while (received < options.requests_per_connection) {
           while (sent < options.requests_per_connection &&
                  sent - received < options.window) {
-            const QueryRecord& record = workload.queries[next];
-            next = (next + 1) % workload.queries.size();
-            sent_at.push_back(Clock::now());
-            auto id = client.Send(record, options.deadline_us);
-            if (!id.ok()) {
-              res.status = id.status();
+            const int room =
+                std::min(options.requests_per_connection - sent,
+                         options.window - (sent - received));
+            const int take = std::min(options.batch, room);
+            if (take <= 1) {
+              const QueryRecord& record = workload.queries[next];
+              next = (next + 1) % workload.queries.size();
+              sent_at.push_back(Clock::now());
+              auto id = client.Send(record, options.deadline_us);
+              if (!id.ok()) {
+                res.status = id.status();
+                return;
+              }
+              ++sent;
+              continue;
+            }
+            chunk.clear();
+            for (int k = 0; k < take; ++k) {
+              chunk.push_back(&workload.queries[next]);
+              next = (next + 1) % workload.queries.size();
+              sent_at.push_back(Clock::now());
+            }
+            auto ids = client.SendBatch(chunk, options.deadline_us);
+            if (!ids.ok()) {
+              res.status = ids.status();
               return;
             }
-            ++sent;
+            sent += take;
           }
           if (!receive_one()) return;
         }

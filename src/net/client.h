@@ -1,5 +1,7 @@
 #pragma once
 
+#include <sys/socket.h>
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,13 +24,28 @@ struct ClientReply {
   uint64_t model_version = 0;
 };
 
+/// Test-only interposition points for the client's socket calls. Null
+/// members fall through to the real syscall. Set them only while no client
+/// is doing IO (they are read without synchronization); used by the
+/// fault-injection tests to force short writes / EINTR.
+struct ClientIoHooks {
+  ssize_t (*send)(int fd, const void* buf, size_t len, int flags) = nullptr;
+  ssize_t (*sendmsg)(int fd, const msghdr* msg, int flags) = nullptr;
+  ssize_t (*recv)(int fd, void* buf, size_t len, int flags) = nullptr;
+};
+void SetClientIoHooksForTest(ClientIoHooks hooks);
+
 /// \brief Blocking TCP client for PredictionServer.
 ///
-/// Two usage styles over one connection:
+/// Three usage styles over one connection:
 ///   - Sync: Predict() sends one request and waits for its reply.
 ///   - Pipelined: Send() any number of requests, then Receive() replies in
 ///     order; the server preserves per-connection FIFO only for requests in
 ///     the same batch, so match replies to requests by request_id.
+///   - Batched: SendBatch() ships N requests in one v2 container frame
+///     (binary-encoded records, scatter-gather write — one syscall), and
+///     the server answers batch-capable peers with container frames too;
+///     Receive() unpacks them transparently.
 ///
 /// Not thread-safe: one PredictionClient per thread.
 class PredictionClient {
@@ -51,7 +68,15 @@ class PredictionClient {
   /// Sends one request without waiting; returns its request_id.
   Result<uint64_t> Send(const QueryRecord& record, uint32_t deadline_us = 0);
 
-  /// Blocks for the next reply frame (any request_id).
+  /// Sends every record as one (or, past the container caps, a few) v2
+  /// batch container frame(s) without waiting; returns the request_ids in
+  /// record order. Records travel in the compact binary encoding.
+  Result<std::vector<uint64_t>> SendBatch(
+      const std::vector<const QueryRecord*>& records,
+      uint32_t deadline_us = 0);
+
+  /// Blocks for the next reply (any request_id); batched response
+  /// containers are unpacked in order.
   Result<ClientReply> Receive();
 
   /// Half-closes the write side, signalling the server that no more
@@ -60,10 +85,16 @@ class PredictionClient {
 
  private:
   Status WriteAll(const std::string& bytes);
+  /// Writes a scatter list fully, handling EINTR and partial sends; the
+  /// entries are consumed/adjusted in place.
+  Status WriteVecAll(std::vector<iovec>* iov);
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   FrameDecoder decoder_;
+  /// Receive buffer, grown to the decoder's pending-frame hint so batched
+  /// (multi-KiB) responses arrive in a few reads instead of 4 KiB slices.
+  std::vector<char> rbuf_;
 };
 
 /// Connection-pooling load generator: `connections` threads each open one
@@ -74,6 +105,10 @@ struct LoadGenOptions {
   int requests_per_connection = 100;
   /// Max unacknowledged requests per connection before reading a reply.
   int window = 16;
+  /// Requests per send: 1 sends classic v1 frames; > 1 aggregates up to
+  /// this many requests into one v2 container per SendBatch (capped by the
+  /// window).
+  int batch = 1;
   uint32_t deadline_us = 0;
 };
 

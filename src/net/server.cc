@@ -6,10 +6,14 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
+#include <map>
+#include <thread>
 #include <utility>
 
 namespace qpp::net {
@@ -26,20 +30,34 @@ ErrorCode CodeFromStatus(const Status& st) {
                                             : ErrorCode::kInternal;
 }
 
+/// Scatter-gather width per flush call: bounds both the iovec array on the
+/// stack and the bytes one sendmsg can pin.
+constexpr int kMaxFlushIov = 64;
+
+/// Per-reactor read buffer: large enough that a full batch container
+/// usually arrives in one or two reads.
+constexpr size_t kReadBufferBytes = 64 * 1024;
+
 }  // namespace
 
 /// Per-socket reactor-thread-only state. `gen` disambiguates completions
 /// that outlive the connection: the kernel reuses fds immediately, so a
-/// (fd, gen) pair — not the fd alone — names a connection.
+/// (fd, gen) pair — not the fd alone — names a connection (within its
+/// owning reactor; sockets never migrate between reactors).
 struct PredictionServer::Connection {
   int fd = -1;
   uint64_t gen = 0;
   FrameDecoder decoder;
-  /// Unsent response bytes; [outbox_off, size) is the unflushed suffix.
-  std::string outbox;
+  /// Unsent response bytes as separate header/payload chunks, flushed with
+  /// scatter-gather sendmsg. [outbox_off, front.size) is the unflushed part
+  /// of the front chunk; outbox_bytes is the total unsent byte count.
+  std::deque<std::string> outbox;
   size_t outbox_off = 0;
+  size_t outbox_bytes = 0;
   /// Requests admitted from this connection and not yet answered.
   size_t pending = 0;
+  /// This peer has sent a v2 batch container — replies may be batched.
+  bool peer_batch = false;
   /// EPOLLOUT currently registered (outbox hit EAGAIN).
   bool want_write = false;
   /// Reads suspended: outbox over the backpressure bound, protocol
@@ -51,6 +69,31 @@ struct PredictionServer::Connection {
   bool peer_eof = false;
   /// Queued for ReapDead; no further IO.
   bool dead = false;
+};
+
+/// One accept+epoll event loop and everything it exclusively owns. All
+/// fields except the completion queue, outstanding_batches and batch_pub
+/// are touched only by the owning reactor thread.
+struct PredictionServer::Reactor {
+  size_t index = 0;
+  std::thread thread;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::map<int, std::unique_ptr<Connection>> conns;
+  std::vector<int> dead;
+  std::vector<Pending> batch;
+  uint64_t next_conn_gen = 1;
+  std::vector<char> rbuf = std::vector<char>(kReadBufferBytes);
+
+  /// Pool -> reactor completion queue (the only cross-thread mutable state
+  /// besides the shared counters).
+  OrderedMutex completions_mu;
+  std::deque<Completion> completions;
+  std::atomic<uint64_t> outstanding_batches{0};
+  /// Published micro-batch depth; reactors sum all slots into the shared
+  /// queue-depth gauge instead of contending on one atomic.
+  std::atomic<size_t> batch_pub{0};
 };
 
 PredictionServer::PredictionServer(serve::PredictionService* service,
@@ -73,98 +116,141 @@ PredictionServer::PredictionServer(serve::PredictionService* service,
 
 PredictionServer::~PredictionServer() { Shutdown(); }
 
+Status PredictionServer::OpenReactorFds(Reactor& r, bool reuse_port,
+                                        uint16_t* bound_port) {
+  r.listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (r.listen_fd < 0) return Status::IOError(Errno("socket"));
+  const int one = 1;
+  (void)::setsockopt(r.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    // Every reactor binds its own listener to the same port; the kernel
+    // hashes incoming 4-tuples across them.
+    if (::setsockopt(r.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0) {
+      Status st = Status::IOError(Errno("setsockopt(SO_REUSEPORT)"));
+      CloseReactorFds(r);
+      return st;
+    }
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(*bound_port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseReactorFds(r);
+    return Status::InvalidArgument("bad IPv4 host '" + config_.host + "'");
+  }
+  if (::bind(r.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(r.listen_fd, SOMAXCONN) < 0) {
+    Status st = Status::IOError(Errno("bind/listen"));
+    CloseReactorFds(r);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(r.listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    Status st = Status::IOError(Errno("getsockname"));
+    CloseReactorFds(r);
+    return st;
+  }
+  *bound_port = ntohs(bound.sin_port);
+
+  r.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  r.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (r.epoll_fd < 0 || r.wake_fd < 0) {
+    Status st = Status::IOError(Errno("epoll_create1/eventfd"));
+    CloseReactorFds(r);
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = r.listen_fd;
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, r.listen_fd, &ev);
+  ev.data.fd = r.wake_fd;
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, r.wake_fd, &ev);
+  return Status::OK();
+}
+
+void PredictionServer::CloseReactorFds(Reactor& r) {
+  if (r.listen_fd >= 0) ::close(r.listen_fd);
+  if (r.epoll_fd >= 0) ::close(r.epoll_fd);
+  if (r.wake_fd >= 0) ::close(r.wake_fd);
+  r.listen_fd = r.epoll_fd = r.wake_fd = -1;
+}
+
 Status PredictionServer::Start() {
   // One-shot start guard: acq_rel pairs the winning exchange with any
   // later observer; cold path, so no need to shave the fence.
   if (started_.exchange(true, std::memory_order_acq_rel)) {
     return Status::Internal("PredictionServer started twice");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) return Status::IOError(Errno("socket"));
-  const int one = 1;
-  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad IPv4 host '" + config_.host + "'");
+  const size_t n_reactors = config_.reactors > 0 ? config_.reactors : 1;
+  uint16_t bound_port = config_.port;
+  for (size_t i = 0; i < n_reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    // Reactor 0 may bind port 0 (ephemeral); the others rebind whatever it
+    // resolved to, so SO_REUSEPORT spreading works with ephemeral ports.
+    Status st = OpenReactorFds(*r, n_reactors > 1, &bound_port);
+    if (!st.ok()) {
+      for (auto& opened : reactors_) CloseReactorFds(*opened);
+      reactors_.clear();
+      return st;
+    }
+    // qpp-lint: allow(net-unbounded-queue): one entry per config_.reactors
+    reactors_.push_back(std::move(r));
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, SOMAXCONN) < 0) {
-    Status st = Status::IOError(Errno("bind/listen"));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
-      0) {
-    Status st = Status::IOError(Errno("getsockname"));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    Status st = Status::IOError(Errno("epoll_create1/eventfd"));
-    if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
-    return st;
-  }
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLET;
-  ev.data.fd = listen_fd_;
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = wake_fd_;
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
-
-  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  port_.store(bound_port, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  reactor_ = std::thread([this] { ReactorLoop(); });
+  for (auto& r : reactors_) {
+    Reactor* rp = r.get();
+    rp->thread = std::thread([this, rp] { ReactorLoop(*rp); });
+  }
   return Status::OK();
 }
 
 void PredictionServer::Shutdown() {
   std::lock_guard<OrderedMutex> lock(shutdown_mu_);
-  if (!reactor_.joinable()) return;
+  bool any = false;
+  for (auto& r : reactors_) any = any || r->thread.joinable();
+  if (!any) return;
   draining_.store(true, std::memory_order_release);
-  Wake();
-  reactor_.join();
-  // The wake/epoll fds are closed here, after the join, never by the
-  // reactor: Wake() may touch wake_fd_ from this thread (above) and from
+  for (auto& r : reactors_) Wake(*r);
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  // The wake/epoll fds are closed here, after the joins, never by a
+  // reactor: Wake() may touch wake_fd from this thread (above) and from
   // pool workers, and every such write happens-before the join (pool
-  // workers Wake() before the outstanding_batches_ decrement the reactor's
+  // workers Wake() before the outstanding_batches decrement the reactor's
   // exit condition acquires). Closing on the reactor side raced with them.
-  ::close(wake_fd_);
-  ::close(epoll_fd_);
-  wake_fd_ = epoll_fd_ = -1;
+  for (auto& r : reactors_) {
+    if (r->wake_fd >= 0) ::close(r->wake_fd);
+    if (r->epoll_fd >= 0) ::close(r->epoll_fd);
+    r->wake_fd = r->epoll_fd = -1;
+  }
   running_.store(false, std::memory_order_release);
 }
 
-void PredictionServer::Wake() {
+void PredictionServer::Wake(const Reactor& r) {
   const uint64_t one = 1;
   // The eventfd is nonblocking; on overflow (EAGAIN) it is already
   // readable, which is all a wakeup needs.
-  ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  ssize_t n = ::write(r.wake_fd, &one, sizeof(one));
   (void)n;
 }
 
-int PredictionServer::NextTimeoutMs() const {
+int PredictionServer::NextTimeoutMs(const Reactor& r) const {
   // While draining, poll: completion of the last outbox flush has no
   // dedicated wakeup, and 20 ms bounds drain-exit latency without spinning.
   int cap = draining_.load(std::memory_order_acquire) ? 20 : -1;
-  if (batch_.empty()) return cap;
-  const auto oldest = batch_.front().enqueued;
-  const auto flush_at = oldest + std::chrono::microseconds(config_.max_delay_us);
+  if (r.batch.empty()) return cap;
+  const auto oldest = r.batch.front().enqueued;
+  const auto flush_at =
+      oldest + std::chrono::microseconds(config_.max_delay_us);
   const auto now = Clock::now();
   if (flush_at <= now) return 0;
   const auto remaining_ms =
@@ -175,12 +261,11 @@ int PredictionServer::NextTimeoutMs() const {
   return cap < 0 ? ms : std::min(ms, cap);
 }
 
-void PredictionServer::ReactorLoop() {
+void PredictionServer::ReactorLoop(Reactor& r) {
   epoll_event events[64];
   bool accepting = true;
   while (true) {
-    const int n =
-        ::epoll_wait(epoll_fd_, events, 64, NextTimeoutMs());
+    const int n = ::epoll_wait(r.epoll_fd, events, 64, NextTimeoutMs(r));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // unrecoverable epoll failure; drain state below still runs
@@ -188,104 +273,113 @@ void PredictionServer::ReactorLoop() {
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const uint32_t mask = events[i].events;
-      if (fd == listen_fd_) {
-        if (accepting) HandleAccept();
+      if (fd == r.listen_fd) {
+        if (accepting) HandleAccept(r);
         continue;
       }
-      if (fd == wake_fd_) {
+      if (fd == r.wake_fd) {
         uint64_t drained = 0;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        while (::read(r.wake_fd, &drained, sizeof(drained)) > 0) {
         }
         continue;
       }
-      auto it = conns_.find(fd);
-      if (it == conns_.end() || it->second->dead) continue;
+      auto it = r.conns.find(fd);
+      if (it == r.conns.end() || it->second->dead) continue;
       Connection* conn = it->second.get();
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-        MarkDead(conn);
+        MarkDead(r, conn);
         continue;
       }
-      if ((mask & EPOLLOUT) != 0) HandleWritable(conn);
-      if ((mask & EPOLLIN) != 0) HandleReadable(conn);
+      if ((mask & EPOLLOUT) != 0) HandleWritable(r, conn);
+      if ((mask & EPOLLIN) != 0) HandleReadable(r, conn);
     }
-    DrainCompletions();
+    DrainCompletions(r);
     // Flush the micro-batch when full (handled at admit), overdue, or
     // draining (no point holding requests while shutting down).
-    if (!batch_.empty()) {
-      const bool overdue =
-          Clock::now() - batch_.front().enqueued >=
-          std::chrono::microseconds(config_.max_delay_us);
-      if (overdue || batch_.size() >= config_.max_batch ||
+    if (!r.batch.empty()) {
+      const bool overdue = Clock::now() - r.batch.front().enqueued >=
+                           std::chrono::microseconds(config_.max_delay_us);
+      if (overdue || r.batch.size() >= config_.max_batch ||
           draining_.load(std::memory_order_acquire)) {
-        DispatchBatch();
+        DispatchBatch(r);
       }
     }
     // Resume connections paused for outbox backpressure once drained below
     // half the bound (hysteresis). Their read edge already fired, so read
     // now rather than waiting for an edge that will never re-arrive.
-    for (auto& [fd, conn] : conns_) {
+    for (auto& [fd, conn] : r.conns) {
       (void)fd;
       if (conn->read_paused && !conn->closing && !conn->peer_eof &&
           !conn->dead &&
-          conn->outbox.size() - conn->outbox_off <
-              config_.max_outbox_bytes / 2) {
+          conn->outbox_bytes < config_.max_outbox_bytes / 2) {
         conn->read_paused = false;
-        HandleReadable(conn.get());
+        HandleReadable(r, conn.get());
       }
     }
-    ReapDead();
-    in_flight_gauge_->Set(static_cast<double>(pending_global_));
-    queue_depth_gauge_->Set(static_cast<double>(batch_.size()));
-    connections_gauge_->Set(static_cast<double>(conns_.size()));
+    ReapDead(r);
+    r.batch_pub.store(r.batch.size(), std::memory_order_relaxed);
+    size_t depth = 0;
+    for (const auto& other : reactors_) {
+      depth += other->batch_pub.load(std::memory_order_relaxed);
+    }
+    in_flight_gauge_->Set(
+        static_cast<double>(pending_global_.load(std::memory_order_relaxed)));
+    queue_depth_gauge_->Set(static_cast<double>(depth));
+    connections_gauge_->Set(
+        static_cast<double>(open_conns_.load(std::memory_order_relaxed)));
     if (draining_.load(std::memory_order_acquire)) {
       if (accepting) {
         // Stop accepting: close the listening socket (epoll deregisters it
         // automatically). New requests on live connections now get
         // kShuttingDown from HandleFrame.
         accepting = false;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+        ::close(r.listen_fd);
+        r.listen_fd = -1;
       }
       bool outboxes_empty = true;
-      for (const auto& [fd, conn] : conns_) {
+      for (const auto& [fd, conn] : r.conns) {
         (void)fd;
-        if (conn->outbox.size() > conn->outbox_off) outboxes_empty = false;
+        if (conn->outbox_bytes > 0) outboxes_empty = false;
       }
       bool completions_empty;
       {
-        std::lock_guard<OrderedMutex> lock(completions_mu_);
-        completions_empty = completions_.empty();
+        std::lock_guard<OrderedMutex> lock(r.completions_mu);
+        completions_empty = r.completions.empty();
       }
-      // Pool threads Wake() *before* decrementing outstanding_batches_, so
+      // Pool threads Wake() *before* decrementing outstanding_batches, so
       // observing 0 here (acquire) with empty queues means no pool thread
-      // will touch wake_fd_ again — safe to exit and close it.
-      if (batch_.empty() && completions_empty && outboxes_empty &&
-          outstanding_batches_.load(std::memory_order_acquire) == 0) {
+      // will touch this reactor's wake_fd again — safe to exit.
+      if (r.batch.empty() && completions_empty && outboxes_empty &&
+          r.outstanding_batches.load(std::memory_order_acquire) == 0) {
         break;
       }
     }
   }
-  for (auto& [fd, conn] : conns_) {
+  for (auto& [fd, conn] : r.conns) {
     (void)conn;
     ::close(fd);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
   }
-  conns_.clear();
-  dead_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  r.conns.clear();
+  r.dead.clear();
+  if (r.listen_fd >= 0) {
+    ::close(r.listen_fd);
+    r.listen_fd = -1;
   }
-  // wake_fd_/epoll_fd_ are deliberately NOT closed here: Shutdown() closes
+  // wake_fd/epoll_fd are deliberately NOT closed here: Shutdown() closes
   // them after joining this thread, so concurrent Wake() calls can never
   // write to a closed (possibly recycled) descriptor.
 }
 
-void PredictionServer::HandleAccept() {
+void PredictionServer::HandleAccept(Reactor& r) {
   while (true) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = ::accept4(r.listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN (edge drained) or transient accept error
-    if (conns_.size() >= config_.max_connections) {
+    // fetch_add-then-check keeps the global cap race-free across reactors.
+    if (open_conns_.fetch_add(1, std::memory_order_relaxed) >=
+        config_.max_connections) {
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
@@ -294,34 +388,43 @@ void PredictionServer::HandleAccept() {
     (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
-    conn->gen = next_conn_gen_++;
+    conn->gen = r.next_conn_gen++;
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLET;
     ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    conns_.emplace(fd, std::move(conn));
+    r.conns.emplace(fd, std::move(conn));
   }
 }
 
-void PredictionServer::HandleReadable(Connection* conn) {
-  char buf[4096];
+void PredictionServer::HandleReadable(Reactor& r, Connection* conn) {
   while (!conn->read_paused && !conn->dead) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    // Serve frames decoded but not yet handled (left over from a
+    // backpressure pause) before reading more bytes.
+    while (!conn->read_paused && !conn->dead) {
+      auto frame = conn->decoder.NextView();
+      if (!frame) break;
+      HandleFrame(r, conn, *frame);
+    }
+    if (conn->read_paused || conn->dead) break;
+    const ssize_t n = ::recv(conn->fd, r.rbuf.data(), r.rbuf.size(), 0);
     if (n > 0) {
-      Status st = conn->decoder.Feed(buf, static_cast<size_t>(n));
-      while (auto frame = conn->decoder.Next()) {
-        HandleFrame(conn, std::move(*frame));
-        if (conn->dead || conn->read_paused) break;
+      Status st = conn->decoder.Feed(r.rbuf.data(), static_cast<size_t>(n));
+      while (!conn->read_paused && !conn->dead) {
+        auto frame = conn->decoder.NextView();
+        if (!frame) break;
+        HandleFrame(r, conn, *frame);
       }
       if (!st.ok() && !conn->closing && !conn->dead) {
         // Protocol violation: answer with a typed error, stop reading the
         // corrupt stream, close once queued replies flush.
         frame_errors_.fetch_add(1, std::memory_order_relaxed);
-        QueueError(conn, 0, ErrorCode::kBadRequest, st.message());
+        QueueError(r, conn, 0, ErrorCode::kBadRequest, st.message());
         conn->closing = true;
         conn->read_paused = true;
       }
@@ -336,16 +439,21 @@ void PredictionServer::HandleReadable(Connection* conn) {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    MarkDead(conn);
+    MarkDead(r, conn);
     return;
   }
-  MaybeCloseQuiesced(conn);
+  MaybeCloseQuiesced(r, conn);
 }
 
-void PredictionServer::HandleFrame(Connection* conn, Frame frame) {
+void PredictionServer::HandleFrame(Reactor& r, Connection* conn,
+                                   const FrameView& frame) {
+  if (frame.from_batch && !conn->peer_batch) {
+    // The peer speaks v2: batch its replies from now on.
+    conn->peer_batch = true;
+  }
   if (frame.type != FrameType::kRequest) {
     frame_errors_.fetch_add(1, std::memory_order_relaxed);
-    QueueError(conn, frame.request_id, ErrorCode::kBadRequest,
+    QueueError(r, conn, frame.request_id, ErrorCode::kBadRequest,
                std::string("unexpected ") + FrameTypeName(frame.type) +
                    " frame from client");
     conn->closing = true;
@@ -357,23 +465,24 @@ void PredictionServer::HandleFrame(Connection* conn, Frame frame) {
     // Well-framed but unparseable payload: typed error, connection
     // survives (framing is intact, so the stream is still in sync).
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
-    QueueError(conn, frame.request_id, ErrorCode::kBadRequest,
+    QueueError(r, conn, frame.request_id, ErrorCode::kBadRequest,
                req.status().message());
     return;
   }
   if (draining_.load(std::memory_order_acquire)) {
-    QueueError(conn, frame.request_id, ErrorCode::kShuttingDown,
+    QueueError(r, conn, frame.request_id, ErrorCode::kShuttingDown,
                "server is draining");
     return;
   }
+  const size_t global = pending_global_.load(std::memory_order_relaxed);
   if (conn->pending >= config_.max_pending_per_conn ||
-      pending_global_ >= config_.max_queue) {
+      global >= config_.max_queue) {
     shed_overload_.fetch_add(1, std::memory_order_relaxed);
     shed_counter_->Increment();
-    QueueError(conn, frame.request_id, ErrorCode::kOverloaded,
+    QueueError(r, conn, frame.request_id, ErrorCode::kOverloaded,
                "queue full: " + std::to_string(conn->pending) +
-                   " pending on connection, " +
-                   std::to_string(pending_global_) + " global");
+                   " pending on connection, " + std::to_string(global) +
+                   " global");
     return;
   }
   Pending p;
@@ -387,97 +496,172 @@ void PredictionServer::HandleFrame(Connection* conn, Frame frame) {
   p.deadline = deadline_us != 0
                    ? p.enqueued + std::chrono::microseconds(deadline_us)
                    : Clock::time_point::max();
-  // Admission checked right above: batch_ can never exceed max_queue.
-  batch_.push_back(std::move(p));
+  // Admission checked right above: batch can never exceed max_queue.
+  r.batch.push_back(std::move(p));
   ++conn->pending;
-  ++pending_global_;
+  pending_global_.fetch_add(1, std::memory_order_relaxed);
   requests_received_.fetch_add(1, std::memory_order_relaxed);
-  if (batch_.size() >= config_.max_batch) DispatchBatch();
+  if (r.batch.size() >= config_.max_batch) DispatchBatch(r);
 }
 
-void PredictionServer::QueueReply(Connection* conn, uint64_t request_id,
-                                  const std::string& payload, bool is_error) {
-  Frame frame;
-  frame.type = is_error ? FrameType::kError : FrameType::kResponse;
-  frame.request_id = request_id;
-  frame.payload = payload;
-  conn->outbox += EncodeFrame(frame);
+void PredictionServer::AppendChunk(Connection* conn, std::string bytes) {
+  if (bytes.empty()) return;
+  conn->outbox_bytes += bytes.size();
+  // Growth pauses reads at max_outbox_bytes (TCP backpressure), and every
+  // queued byte was admitted under the pending caps.
+  // qpp-lint: allow(net-unbounded-queue): bounded by max_outbox_bytes read pause
+  conn->outbox.push_back(std::move(bytes));
+}
+
+void PredictionServer::QueueReply(Reactor& r, Connection* conn,
+                                  uint64_t request_id, std::string payload,
+                                  bool is_error) {
+  AppendChunk(conn,
+              EncodeFrameHeader(kProtocolVersion,
+                                is_error ? FrameType::kError
+                                         : FrameType::kResponse,
+                                request_id,
+                                static_cast<uint32_t>(payload.size())));
+  AppendChunk(conn, std::move(payload));
   (is_error ? errors_sent_ : responses_sent_)
       .fetch_add(1, std::memory_order_relaxed);
-  FlushOutbox(conn);
-  if (conn->outbox.size() - conn->outbox_off > config_.max_outbox_bytes &&
-      !conn->read_paused) {
+  FlushOutbox(r, conn);
+  if (conn->outbox_bytes > config_.max_outbox_bytes && !conn->read_paused) {
     conn->read_paused = true;  // TCP backpressure: stop reading this peer
   }
 }
 
-void PredictionServer::QueueError(Connection* conn, uint64_t request_id,
-                                  ErrorCode code, const std::string& message) {
-  QueueReply(conn, request_id, EncodeErrorPayload(code, message),
+void PredictionServer::QueueError(Reactor& r, Connection* conn,
+                                  uint64_t request_id, ErrorCode code,
+                                  const std::string& message) {
+  QueueReply(r, conn, request_id, EncodeErrorPayload(code, message),
              /*is_error=*/true);
 }
 
-void PredictionServer::HandleWritable(Connection* conn) {
-  FlushOutbox(conn);
-  MaybeCloseQuiesced(conn);
+void PredictionServer::QueueBatchedReplies(
+    Connection* conn, const std::vector<Completion*>& group) {
+  // Wrap runs of completions into v2 containers, splitting below the
+  // payload/count caps; an inner frame that alone would blow the container
+  // cap goes out as a plain v1 frame (legal interleave).
+  size_t i = 0;
+  while (i < group.size()) {
+    size_t inner_bytes = 0;
+    uint32_t count = 0;
+    size_t j = i;
+    while (j < group.size() && count < kMaxBatchFrames) {
+      const size_t next_bytes =
+          inner_bytes + kFrameHeaderBytes + group[j]->payload.size();
+      if (kBatchCountBytes + next_bytes > kMaxPayloadBytes) break;
+      inner_bytes = next_bytes;
+      ++count;
+      ++j;
+    }
+    if (count <= 1) {
+      // One frame (or one too big for a container): no batching win, send
+      // unwrapped.
+      AppendChunk(conn, std::move(group[i]->header));
+      AppendChunk(conn, std::move(group[i]->payload));
+      ++i;
+      continue;
+    }
+    AppendChunk(conn, EncodeBatchHeader(count, inner_bytes));
+    for (size_t k = i; k < j; ++k) {
+      AppendChunk(conn, std::move(group[k]->header));
+      AppendChunk(conn, std::move(group[k]->payload));
+    }
+    i = j;
+  }
 }
 
-void PredictionServer::FlushOutbox(Connection* conn) {
+void PredictionServer::HandleWritable(Reactor& r, Connection* conn) {
+  FlushOutbox(r, conn);
+  MaybeCloseQuiesced(r, conn);
+}
+
+void PredictionServer::FlushOutbox(Reactor& r, Connection* conn) {
   if (conn->dead) return;
-  while (conn->outbox_off < conn->outbox.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->outbox.data() + conn->outbox_off,
-               conn->outbox.size() - conn->outbox_off, MSG_NOSIGNAL);
+  while (conn->outbox_bytes > 0) {
+    // Gather up to kMaxFlushIov chunks into one sendmsg (the scatter list
+    // is bounded, so the stack array and the per-call pin stay small).
+    iovec iov[kMaxFlushIov];
+    int iovcnt = 0;
+    size_t off = conn->outbox_off;
+    for (auto& chunk : conn->outbox) {
+      if (iovcnt >= kMaxFlushIov) break;
+      iov[iovcnt].iov_base = chunk.data() + off;
+      iov[iovcnt].iov_len = chunk.size() - off;
+      ++iovcnt;
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    // sendmsg == scatter-gather writev, plus MSG_NOSIGNAL (a raw writev to
+    // a closed peer would raise SIGPIPE).
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->outbox_off += static_cast<size_t>(n);
+      size_t advanced = static_cast<size_t>(n);
+      conn->outbox_bytes -= advanced;
+      while (advanced > 0) {
+        std::string& front = conn->outbox.front();
+        const size_t avail = front.size() - conn->outbox_off;
+        if (advanced >= avail) {
+          advanced -= avail;
+          conn->outbox.pop_front();
+          conn->outbox_off = 0;
+        } else {
+          conn->outbox_off += advanced;
+          advanced = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      UpdateWriteInterest(conn, /*want_write=*/true);
+      UpdateWriteInterest(r, conn, /*want_write=*/true);
       return;
     }
-    MarkDead(conn);
+    MarkDead(r, conn);
     return;
   }
-  conn->outbox.clear();
-  conn->outbox_off = 0;
-  UpdateWriteInterest(conn, /*want_write=*/false);
+  UpdateWriteInterest(r, conn, /*want_write=*/false);
 }
 
-void PredictionServer::UpdateWriteInterest(Connection* conn, bool want_write) {
+void PredictionServer::UpdateWriteInterest(Reactor& r, Connection* conn,
+                                           bool want_write) {
   if (conn->want_write == want_write) return;
   conn->want_write = want_write;
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLET | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = conn->fd;
-  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  (void)::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
 }
 
-void PredictionServer::MaybeCloseQuiesced(Connection* conn) {
+void PredictionServer::MaybeCloseQuiesced(Reactor& r, Connection* conn) {
   if (conn->dead || (!conn->closing && !conn->peer_eof)) return;
-  if (conn->pending == 0 && conn->outbox_off >= conn->outbox.size()) {
-    MarkDead(conn);
+  if (conn->pending == 0 && conn->outbox_bytes == 0) {
+    MarkDead(r, conn);
   }
 }
 
-void PredictionServer::DispatchBatch() {
-  if (batch_.empty()) return;
-  auto batch = std::make_shared<std::vector<Pending>>(std::move(batch_));
-  batch_.clear();
+void PredictionServer::DispatchBatch(Reactor& r) {
+  if (r.batch.empty()) return;
+  auto batch = std::make_shared<std::vector<Pending>>(std::move(r.batch));
+  r.batch.clear();
   batches_dispatched_.fetch_add(1, std::memory_order_relaxed);
-  outstanding_batches_.fetch_add(1, std::memory_order_relaxed);
+  r.outstanding_batches.fetch_add(1, std::memory_order_relaxed);
+  Reactor* rp = &r;
   // The future is intentionally dropped: results travel through the
   // completion queue, and RunBatch never returns an error Status.
-  (void)pool_->Submit([this, batch] {
-    RunBatch(std::move(*batch));
+  (void)pool_->Submit([this, rp, batch] {
+    RunBatch(rp, std::move(*batch));
     return Status::OK();
   });
 }
 
-void PredictionServer::RunBatch(std::vector<Pending> batch) {
+void PredictionServer::RunBatch(Reactor* r, std::vector<Pending> batch) {
   // Runs on a ThreadPool worker (or inline on the reactor when the pool is
-  // width-1). Touches no reactor state: results go through completions_.
+  // width-1). Touches no reactor state: results go through r->completions.
   std::vector<Completion> done;
   done.reserve(batch.size());
   const auto now = Clock::now();
@@ -519,24 +703,25 @@ void PredictionServer::RunBatch(std::vector<Pending> batch) {
   const auto finished = Clock::now();
   for (const auto& p : batch) {
     latency_hist_->Observe(
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                finished - p.enqueued)
-                                .count()) /
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                                 p.enqueued)
+                .count()) /
         1e3);
   }
   {
-    std::lock_guard<OrderedMutex> lock(completions_mu_);
+    std::lock_guard<OrderedMutex> lock(r->completions_mu);
     for (auto& c : done) {
       // One entry per admitted request, and admission is capped upstream.
       // qpp-lint: allow(net-unbounded-queue): bounded by config_.max_queue
-      completions_.push_back(std::move(c));
+      r->completions.push_back(std::move(c));
     }
   }
-  // Wake strictly before the decrement: the reactor only exits (and closes
-  // wake_fd_) after seeing outstanding_batches_ == 0 with acquire order,
-  // so this thread never writes a closed eventfd.
-  Wake();
-  outstanding_batches_.fetch_sub(1, std::memory_order_release);
+  // Wake strictly before the decrement: the reactor only exits (and
+  // Shutdown closes wake_fd) after seeing outstanding_batches == 0 with
+  // acquire order, so this thread never writes a closed eventfd.
+  Wake(*r);
+  r->outstanding_batches.fetch_sub(1, std::memory_order_release);
 }
 
 PredictionServer::Completion PredictionServer::MakeResponse(
@@ -545,11 +730,10 @@ PredictionServer::Completion PredictionServer::MakeResponse(
   c.fd = p.fd;
   c.conn_gen = p.conn_gen;
   c.is_error = false;
-  Frame frame;
-  frame.type = FrameType::kResponse;
-  frame.request_id = p.request_id;
-  frame.payload = EncodeResponsePayload(pred.predicted_ms, pred.model_version);
-  c.wire_bytes = EncodeFrame(frame);
+  c.payload = EncodeResponsePayload(pred.predicted_ms, pred.model_version);
+  c.header = EncodeFrameHeader(kProtocolVersion, FrameType::kResponse,
+                               p.request_id,
+                               static_cast<uint32_t>(c.payload.size()));
   return c;
 }
 
@@ -559,61 +743,80 @@ PredictionServer::Completion PredictionServer::MakeError(
   c.fd = p.fd;
   c.conn_gen = p.conn_gen;
   c.is_error = true;
-  Frame frame;
-  frame.type = FrameType::kError;
-  frame.request_id = p.request_id;
-  frame.payload = EncodeErrorPayload(code, message);
-  c.wire_bytes = EncodeFrame(frame);
+  c.payload = EncodeErrorPayload(code, message);
+  c.header = EncodeFrameHeader(kProtocolVersion, FrameType::kError,
+                               p.request_id,
+                               static_cast<uint32_t>(c.payload.size()));
   return c;
 }
 
-void PredictionServer::DrainCompletions() {
+void PredictionServer::DrainCompletions(Reactor& r) {
   std::deque<Completion> local;
   {
-    std::lock_guard<OrderedMutex> lock(completions_mu_);
-    local.swap(completions_);
+    std::lock_guard<OrderedMutex> lock(r.completions_mu);
+    local.swap(r.completions);
   }
+  if (local.empty()) return;
+  // Group completions per connection (preserving arrival order) so a v2
+  // peer gets one container per drain instead of N separate frames.
+  std::map<Connection*, std::vector<Completion*>> grouped;
+  std::vector<Connection*> order;
   for (auto& c : local) {
     // Every completion releases one admission slot, whether or not its
     // connection is still there to receive it.
-    --pending_global_;
-    auto it = conns_.find(c.fd);
-    if (it == conns_.end() || it->second->dead || it->second->gen != c.conn_gen) {
+    pending_global_.fetch_sub(1, std::memory_order_relaxed);
+    auto it = r.conns.find(c.fd);
+    if (it == r.conns.end() || it->second->dead ||
+        it->second->gen != c.conn_gen) {
       dropped_disconnect_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     Connection* conn = it->second.get();
     if (conn->pending > 0) --conn->pending;
-    conn->outbox += c.wire_bytes;
     (c.is_error ? errors_sent_ : responses_sent_)
         .fetch_add(1, std::memory_order_relaxed);
-    FlushOutbox(conn);
-    if (conn->outbox.size() - conn->outbox_off > config_.max_outbox_bytes &&
-        !conn->read_paused) {
+    auto& vec = grouped[conn];
+    if (vec.empty()) order.push_back(conn);
+    // qpp-lint: allow(net-unbounded-queue): bounded by config_.max_queue
+    vec.push_back(&c);
+  }
+  for (Connection* conn : order) {
+    const auto& group = grouped[conn];
+    if (conn->peer_batch) {
+      QueueBatchedReplies(conn, group);
+    } else {
+      for (Completion* c : group) {
+        AppendChunk(conn, std::move(c->header));
+        AppendChunk(conn, std::move(c->payload));
+      }
+    }
+    FlushOutbox(r, conn);
+    if (conn->outbox_bytes > config_.max_outbox_bytes && !conn->read_paused) {
       conn->read_paused = true;
     }
-    MaybeCloseQuiesced(conn);
+    MaybeCloseQuiesced(r, conn);
   }
 }
 
-void PredictionServer::MarkDead(Connection* conn) {
+void PredictionServer::MarkDead(Reactor& r, Connection* conn) {
   if (conn->dead) return;
   conn->dead = true;
   // At most one entry per open connection, capped at max_connections.
   // qpp-lint: allow(net-unbounded-queue): bounded by config_.max_connections
-  dead_.push_back(conn->fd);
+  r.dead.push_back(conn->fd);
 }
 
-void PredictionServer::ReapDead() {
-  for (int fd : dead_) {
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) continue;
+void PredictionServer::ReapDead(Reactor& r) {
+  for (int fd : r.dead) {
+    auto it = r.conns.find(fd);
+    if (it == r.conns.end()) continue;
     // Closing deregisters the fd from epoll; any event already harvested
     // for it this cycle was skipped via the dead flag.
     ::close(fd);
-    conns_.erase(it);
+    r.conns.erase(it);
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
   }
-  dead_.clear();
+  r.dead.clear();
 }
 
 ServerStats PredictionServer::Stats() const {

@@ -3,12 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/ordered_mutex.h"
@@ -26,7 +22,14 @@ struct ServerConfig {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read it back with PredictionServer::port().
   uint16_t port = 0;
-  /// Accepted connections beyond this are rejected (accept-then-close).
+  /// Accept+epoll reactor threads. Each reactor owns its own listen socket
+  /// (SO_REUSEPORT when > 1, so the kernel spreads incoming connections
+  /// across them by 4-tuple hash), epoll set, connections, micro-batch and
+  /// completion queue; the PredictionService, ThreadPool, admission caps
+  /// and stats are shared. 1 reproduces the single-reactor server exactly.
+  size_t reactors = 1;
+  /// Accepted connections beyond this (across all reactors) are rejected
+  /// (accept-then-close).
   size_t max_connections = 64;
   /// Micro-batcher: dispatch when this many requests are pending...
   size_t max_batch = 32;
@@ -77,39 +80,48 @@ struct ServerStats {
 /// admission control / resource managers in other processes can consult the
 /// model (Section 1 use cases).
 ///
-/// One reactor thread owns every socket: it accepts, reads frames
-/// (edge-triggered, non-blocking), admits requests into an adaptive
+/// One or more reactor threads (config.reactors) each own a disjoint set of
+/// sockets: a reactor accepts on its own SO_REUSEPORT listener, reads
+/// frames (edge-triggered, non-blocking), admits requests into its adaptive
 /// micro-batch (flushed at max_batch items or when the oldest entry is
 /// max_delay_us old, whichever first), and writes responses. Prediction
 /// itself runs on the shared ThreadPool via PredictionService::PredictBatch;
-/// completed batches hand encoded response frames back to the reactor
-/// through an eventfd-signalled completion queue, so the reactor never
-/// computes and the pool never touches sockets.
+/// completed batches hand encoded response frames back to the owning
+/// reactor through an eventfd-signalled completion queue, so reactors never
+/// compute and the pool never touches sockets.
+///
+/// The wire path is copy-light end to end: the decoder yields
+/// string_view frames over its own buffer, responses are queued as
+/// separate header/payload chunks, and the outbox flushes with
+/// scatter-gather sendmsg so header and payload bytes are never
+/// concatenated. Peers that send v2 batch containers get their replies
+/// batched the same way — one container frame per completed batch.
 ///
 /// Backpressure is explicit and bounded everywhere: per-connection and
 /// global admission caps shed with typed kOverloaded errors, oversized
 /// outboxes pause reading from that peer, and the frame decoder's buffer is
 /// capped. Shutdown() drains gracefully: stop accepting, fail new requests
 /// with kShuttingDown, flush every in-flight batch and outbox, then close —
-/// an admitted request is never dropped (except by its peer disconnecting).
+/// an admitted request is never dropped (except by its peer disconnecting),
+/// no matter how many reactors are running.
 class PredictionServer {
  public:
   /// `service` must outlive the server. `pool` is where batches run; null
   /// means ThreadPool::Global().
   PredictionServer(serve::PredictionService* service, ServerConfig config,
                    ThreadPool* pool = nullptr);
-  /// Joins the reactor (calls Shutdown if still running).
+  /// Joins the reactors (calls Shutdown if still running).
   ~PredictionServer();
 
   PredictionServer(const PredictionServer&) = delete;
   PredictionServer& operator=(const PredictionServer&) = delete;
 
-  /// Binds, listens and starts the reactor thread. Fails on bind/listen
+  /// Binds, listens and starts the reactor threads. Fails on bind/listen
   /// errors (e.g. port in use) without leaking fds.
   Status Start();
 
-  /// Graceful drain; idempotent; blocks until the reactor has exited.
-  /// Safe from any thread except the reactor itself.
+  /// Graceful drain; idempotent; blocks until every reactor has exited.
+  /// Safe from any thread except a reactor itself.
   void Shutdown();
 
   /// The bound port (resolves ephemeral port 0); 0 before Start.
@@ -123,6 +135,7 @@ class PredictionServer {
 
  private:
   struct Connection;
+  struct Reactor;
   /// One admitted request waiting in the micro-batch.
   struct Pending {
     int fd = -1;
@@ -133,70 +146,74 @@ class PredictionServer {
     /// Absolute expiry; time_point::max() when the request has no deadline.
     std::chrono::steady_clock::time_point deadline;
   };
-  /// One encoded reply travelling pool -> reactor.
+  /// One encoded reply travelling pool -> reactor. Header and payload stay
+  /// separate buffers so the outbox can scatter-gather them (and wrap them
+  /// in a batch container) without re-concatenating.
   struct Completion {
     int fd = -1;
     uint64_t conn_gen = 0;
-    std::string wire_bytes;
+    std::string header;
+    std::string payload;
     bool is_error = false;
   };
 
-  void ReactorLoop();
-  void HandleAccept();
-  void HandleReadable(Connection* conn);
-  void HandleWritable(Connection* conn);
-  void HandleFrame(Connection* conn, Frame frame);
-  void QueueReply(Connection* conn, uint64_t request_id,
-                  const std::string& payload, bool is_error);
-  void QueueError(Connection* conn, uint64_t request_id, ErrorCode code,
-                  const std::string& message);
-  void FlushOutbox(Connection* conn);
-  void UpdateWriteInterest(Connection* conn, bool want_write);
+  /// Opens and binds one reactor's listen/epoll/wake fds. `*bound_port`
+  /// carries the resolved port out (and the port to reuse in).
+  Status OpenReactorFds(Reactor& r, bool reuse_port, uint16_t* bound_port);
+  static void CloseReactorFds(Reactor& r);
+  void ReactorLoop(Reactor& r);
+  void HandleAccept(Reactor& r);
+  void HandleReadable(Reactor& r, Connection* conn);
+  void HandleWritable(Reactor& r, Connection* conn);
+  void HandleFrame(Reactor& r, Connection* conn, const FrameView& frame);
+  /// Appends one chunk of wire bytes to the connection outbox.
+  static void AppendChunk(Connection* conn, std::string bytes);
+  void QueueReply(Reactor& r, Connection* conn, uint64_t request_id,
+                  std::string payload, bool is_error);
+  void QueueError(Reactor& r, Connection* conn, uint64_t request_id,
+                  ErrorCode code, const std::string& message);
+  /// Queues a group of completions for a v2 peer as batch container
+  /// frame(s), splitting at the payload/count caps.
+  void QueueBatchedReplies(Connection* conn,
+                           const std::vector<Completion*>& group);
+  void FlushOutbox(Reactor& r, Connection* conn);
+  void UpdateWriteInterest(Reactor& r, Connection* conn, bool want_write);
   /// Closes a half-dead connection (protocol violation or peer EOF) once
   /// every admitted request is answered and the outbox is flushed.
-  void MaybeCloseQuiesced(Connection* conn);
-  void DispatchBatch();
-  void RunBatch(std::vector<Pending> batch);
+  void MaybeCloseQuiesced(Reactor& r, Connection* conn);
+  void DispatchBatch(Reactor& r);
+  void RunBatch(Reactor* r, std::vector<Pending> batch);
   static Completion MakeResponse(
       const Pending& p, const serve::PredictionService::Prediction& pred);
   static Completion MakeError(const Pending& p, ErrorCode code,
                               const std::string& message);
-  void DrainCompletions();
-  void MarkDead(Connection* conn);
-  void ReapDead();
+  void DrainCompletions(Reactor& r);
+  void MarkDead(Reactor& r, Connection* conn);
+  void ReapDead(Reactor& r);
   /// epoll_wait timeout honouring the oldest batch entry's flush deadline.
-  int NextTimeoutMs() const;
-  void Wake();
+  int NextTimeoutMs(const Reactor& r) const;
+  static void Wake(const Reactor& r);
 
   serve::PredictionService* service_;
   const ServerConfig config_;
   ThreadPool* pool_;
 
-  std::thread reactor_;
+  /// Immutable after Start (threads are spawned only once every reactor is
+  /// bound), so reactor threads may read the vector without a lock.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   /// Serializes Shutdown callers (join is single-shot).
   OrderedMutex shutdown_mu_;
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::atomic<uint16_t> port_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
 
-  /// Reactor-thread-only state.
-  std::map<int, std::unique_ptr<Connection>> conns_;
-  std::vector<int> dead_;
-  std::vector<Pending> batch_;
-  size_t pending_global_ = 0;
-  uint64_t next_conn_gen_ = 1;
+  /// Shared admission state (relaxed atomics: the caps are heuristics, not
+  /// invariants that order memory).
+  std::atomic<size_t> pending_global_{0};
+  std::atomic<size_t> open_conns_{0};
 
-  /// Pool -> reactor completion queue (the only cross-thread mutable state
-  /// besides the counters).
-  OrderedMutex completions_mu_;
-  std::deque<Completion> completions_;
-  std::atomic<uint64_t> outstanding_batches_{0};
-
-  /// Stats counters (relaxed atomics; written by both threads).
+  /// Stats counters (relaxed atomics; written by reactor and pool threads).
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
   std::atomic<uint64_t> requests_received_{0};

@@ -1,7 +1,9 @@
 #include "workload/query_log.h"
 
+#include <bit>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +11,17 @@
 
 namespace qpp {
 namespace {
+
+/// Read-only streambuf over a string_view: lets LoadFromStream parse
+/// wire payloads in place, without first copying them into a string (the
+/// const_cast is safe — a get-area-only streambuf never writes).
+class ViewStreamBuf : public std::streambuf {
+ public:
+  explicit ViewStreamBuf(std::string_view view) {
+    char* begin = const_cast<char*>(view.data());
+    setg(begin, begin, begin + view.size());
+  }
+};
 
 void FlattenPlan(const PlanNode& node, int parent_id,
                  std::vector<OperatorRecord>* out) {
@@ -198,9 +211,10 @@ std::string SerializeQueryRecord(const QueryRecord& record) {
   return out.str();
 }
 
-Result<QueryRecord> ParseQueryRecord(const std::string& text,
+Result<QueryRecord> ParseQueryRecord(std::string_view text,
                                      const std::string& source_name) {
-  std::istringstream in(text);
+  ViewStreamBuf buf(text);
+  std::istream in(&buf);
   auto log = QueryLog::LoadFromStream(in, source_name);
   if (!log.ok()) return log.status();
   if (log->queries.size() != 1) {
@@ -243,6 +257,236 @@ Result<QueryLog> QueryLog::LoadFromFile(const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
   return LoadFromStream(in, path);
+}
+
+namespace {
+
+/// Little-endian scalar append/read for the binary record format. The
+/// encoding is explicitly little-endian regardless of host order
+/// (byte-serialized through shifts), mirroring the net/frame helpers.
+void AppendLeU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendLeU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendLeU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendLeI32(std::string* out, int32_t v) {
+  AppendLeU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendLeF64(std::string* out, double v) {
+  AppendLeU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Bounds-checked cursor over a binary record. Every Read* fails (returns
+/// false) instead of reading past the end, so a truncated or lying payload
+/// can never over-read — the caller turns the first failure into a typed
+/// parse error.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes)
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  bool ReadU8(uint8_t* out) {
+    if (remaining() < 1) return false;
+    *out = static_cast<uint8_t>(*p_++);
+    return true;
+  }
+
+  bool ReadU16(uint16_t* out) {
+    if (remaining() < 2) return false;
+    const auto* b = reinterpret_cast<const unsigned char*>(p_);
+    *out = static_cast<uint16_t>(static_cast<uint16_t>(b[0]) |
+                                 static_cast<uint16_t>(b[1]) << 8);
+    p_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) {
+    if (remaining() < 4) return false;
+    const auto* b = reinterpret_cast<const unsigned char*>(p_);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+    *out = v;
+    p_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (remaining() < 8) return false;
+    const auto* b = reinterpret_cast<const unsigned char*>(p_);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+    *out = v;
+    p_ += 8;
+    return true;
+  }
+
+  bool ReadI32(int* out) {
+    uint32_t v = 0;
+    if (!ReadU32(&v)) return false;
+    *out = static_cast<int>(v);
+    return true;
+  }
+
+  bool ReadF64(double* out) {
+    uint64_t v = 0;
+    if (!ReadU64(&v)) return false;
+    *out = std::bit_cast<double>(v);
+    return true;
+  }
+
+  /// u32 length prefix + that many raw bytes; the length is validated
+  /// against the remaining input before any allocation.
+  bool ReadString(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || remaining() < len) return false;
+    out->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string SerializeQueryRecordBinary(const QueryRecord& record) {
+  std::string out;
+  out.reserve(48 + record.ops.size() * 136 + record.param_desc.size());
+  out.push_back(kBinaryRecordMarker);
+  out.push_back(static_cast<char>(kBinaryRecordVersion));
+  AppendLeU16(&out, 0);  // reserved
+  AppendLeI32(&out, record.template_id);
+  AppendLeF64(&out, record.latency_ms);
+  AppendLeU32(&out, static_cast<uint32_t>(record.param_desc.size()));
+  out += record.param_desc;
+  AppendLeU32(&out, static_cast<uint32_t>(record.ops.size()));
+  for (const OperatorRecord& o : record.ops) {
+    AppendLeI32(&out, o.node_id);
+    AppendLeI32(&out, o.parent_id);
+    AppendLeI32(&out, o.left_child);
+    AppendLeI32(&out, o.right_child);
+    out.push_back(static_cast<char>(o.op));
+    out.push_back(static_cast<char>(o.join_type));
+    out.push_back(o.actual.valid ? 1 : 0);
+    // Card identity rides behind a presence flag for the same reason the
+    // text format uses an optional C line: most records carry none.
+    const bool has_card = o.card_signature != 0;
+    out.push_back(has_card ? 1 : 0);
+    AppendLeU32(&out, static_cast<uint32_t>(o.relation.size()));
+    out += o.relation;
+    AppendLeF64(&out, o.est.startup_cost);
+    AppendLeF64(&out, o.est.total_cost);
+    AppendLeF64(&out, o.est.rows);
+    AppendLeF64(&out, o.est.width);
+    AppendLeF64(&out, o.est.pages);
+    AppendLeF64(&out, o.est.selectivity);
+    AppendLeF64(&out, o.actual.start_time_ms);
+    AppendLeF64(&out, o.actual.run_time_ms);
+    AppendLeF64(&out, o.actual.rows);
+    AppendLeF64(&out, o.actual.pages);
+    if (has_card) {
+      AppendLeU64(&out, o.card_signature);
+      AppendLeU64(&out, o.card_class);
+      for (double f : o.card_features) AppendLeF64(&out, f);
+    }
+  }
+  return out;
+}
+
+Result<QueryRecord> ParseQueryRecordBinary(std::string_view bytes,
+                                           const std::string& source_name) {
+  const auto fail = [&source_name](const std::string& what) -> Status {
+    return Status::InvalidArgument(source_name + ": " + what);
+  };
+  BinaryReader in(bytes);
+  uint8_t marker = 0, version = 0;
+  uint16_t reserved = 0;
+  if (!in.ReadU8(&marker) || marker != kBinaryRecordMarker) {
+    return fail("missing binary record marker");
+  }
+  if (!in.ReadU8(&version) || version != kBinaryRecordVersion) {
+    return fail("unsupported binary record version " + std::to_string(version));
+  }
+  if (!in.ReadU16(&reserved) || reserved != 0) {
+    return fail("nonzero reserved bits in binary record header");
+  }
+  QueryRecord q;
+  uint32_t op_count = 0;
+  if (!in.ReadI32(&q.template_id) || !in.ReadF64(&q.latency_ms) ||
+      !in.ReadString(&q.param_desc) || !in.ReadU32(&op_count)) {
+    return fail("truncated binary record header");
+  }
+  if (op_count == 0) return fail("binary record has no operators");
+  // Reservation is clamped by what the input could possibly hold (>= 98
+  // fixed bytes per operator), so a lying count cannot force a huge
+  // allocation before the truncation check fails.
+  q.ops.reserve(std::min<size_t>(op_count, in.remaining() / 98 + 1));
+  for (uint32_t i = 0; i < op_count; ++i) {
+    OperatorRecord o;
+    uint8_t op = 0, join = 0, valid = 0, has_card = 0;
+    if (!in.ReadI32(&o.node_id) || !in.ReadI32(&o.parent_id) ||
+        !in.ReadI32(&o.left_child) || !in.ReadI32(&o.right_child) ||
+        !in.ReadU8(&op) || !in.ReadU8(&join) || !in.ReadU8(&valid) ||
+        !in.ReadU8(&has_card) || !in.ReadString(&o.relation)) {
+      return fail("truncated operator " + std::to_string(i));
+    }
+    if (op >= kNumPlanOps) {
+      return fail("operator type " + std::to_string(op) + " out of range");
+    }
+    if (join > static_cast<uint8_t>(JoinType::kAnti)) {
+      return fail("join type " + std::to_string(join) + " out of range");
+    }
+    if (valid > 1 || has_card > 1) {
+      return fail("flag byte out of range in operator " + std::to_string(i));
+    }
+    o.op = static_cast<PlanOp>(op);
+    o.join_type = static_cast<JoinType>(join);
+    o.actual.valid = valid == 1;
+    if (!in.ReadF64(&o.est.startup_cost) || !in.ReadF64(&o.est.total_cost) ||
+        !in.ReadF64(&o.est.rows) || !in.ReadF64(&o.est.width) ||
+        !in.ReadF64(&o.est.pages) || !in.ReadF64(&o.est.selectivity) ||
+        !in.ReadF64(&o.actual.start_time_ms) ||
+        !in.ReadF64(&o.actual.run_time_ms) || !in.ReadF64(&o.actual.rows) ||
+        !in.ReadF64(&o.actual.pages)) {
+      return fail("truncated operator " + std::to_string(i));
+    }
+    if (has_card == 1 &&
+        (!in.ReadU64(&o.card_signature) || !in.ReadU64(&o.card_class) ||
+         !in.ReadF64(&o.card_features[0]) || !in.ReadF64(&o.card_features[1]) ||
+         !in.ReadF64(&o.card_features[2]))) {
+      return fail("truncated card block in operator " + std::to_string(i));
+    }
+    q.ops.push_back(std::move(o));
+  }
+  if (in.remaining() != 0) {
+    return fail(std::to_string(in.remaining()) +
+                " trailing bytes after binary record");
+  }
+  RecomputeStructuralKeys(&q);
+  return q;
+}
+
+Result<QueryRecord> ParseQueryRecordAuto(std::string_view bytes,
+                                         const std::string& source_name) {
+  return IsBinaryQueryRecord(bytes) ? ParseQueryRecordBinary(bytes, source_name)
+                                    : ParseQueryRecord(bytes, source_name);
 }
 
 Result<QueryLog> QueryLog::LoadFromStream(std::istream& in,

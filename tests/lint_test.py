@@ -263,6 +263,87 @@ class NetUnboundedQueueTest(unittest.TestCase):
         self.assertEqual([], rules_fired(good, "src/net/server.cc"))
 
 
+class NetUnboundedIovecTest(unittest.TestCase):
+    def test_unbounded_sendmsg_fires(self):
+        bad = "void F() { ::sendmsg(fd, &msg, MSG_NOSIGNAL); }"
+        self.assertIn("net-unbounded-iovec",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_writev_variants_fire(self):
+        for call in ("::writev(fd, iov, iovcnt)",
+                     "writev(fd, iov, iovcnt)",
+                     "::pwritev(fd, iov, iovcnt, off)"):
+            self.assertIn("net-unbounded-iovec",
+                          rules_fired(f"void F() {{ {call}; }}",
+                                      "src/net/server.cc"),
+                          msg=call)
+
+    def test_comparison_bound_dominates_ok(self):
+        good = """
+        void F() {
+          int iovcnt = 0;
+          while (iovcnt < kMaxFlushIov) { Gather(&iov[iovcnt++]); }
+          ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+    def test_min_clamp_bound_ok(self):
+        good = """
+        void F() {
+          msg.msg_iovlen = std::min(iov.size(), kClientMaxIov);
+          ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/net/client.cc"))
+
+    def test_iov_max_bound_ok(self):
+        good = """
+        void F() {
+          const int n = count > IOV_MAX ? IOV_MAX : count;
+          ::writev(fd, iov, n);
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/net/server.cc"))
+
+    def test_unrelated_capacity_token_still_fires(self):
+        # A max_queue admission check is not an iovec bound.
+        bad = """
+        void F() {
+          if (queue.size() >= config_.max_queue) return;
+          ::writev(fd, iov, iovcnt);
+        }
+        """
+        self.assertIn("net-unbounded-iovec",
+                      rules_fired(bad, "src/net/server.cc"))
+
+    def test_bound_outside_window_still_fires(self):
+        filler = "  touch();\n" * (qpp_lint.NET_CAPACITY_WINDOW_LINES + 1)
+        bad = ("void F() {\n"
+               "  msg.msg_iovlen = std::min(iov.size(), kClientMaxIov);\n"
+               f"{filler}"
+               "  ::sendmsg(fd, &msg, MSG_NOSIGNAL);\n"
+               "}\n")
+        self.assertIn("net-unbounded-iovec",
+                      rules_fired(bad, "src/net/client.cc"))
+
+    def test_hook_member_call_not_a_syscall_site(self):
+        ok = "void F() { hooks.sendmsg(fd, &msg, 0); }"
+        self.assertEqual([], rules_fired(ok, "src/net/client.cc"))
+
+    def test_outside_src_net_exempt(self):
+        ok = "void F() { ::writev(fd, iov, iovcnt); }"
+        self.assertEqual([], rules_fired(ok, "src/exec/driver.cc"))
+
+    def test_allow_with_location_suppresses(self):
+        good = ("void F() {\n"
+                "  // qpp-lint: allow(net-unbounded-iovec): wrapper; caller "
+                "clamps msg_iovlen\n"
+                "  ::sendmsg(fd, &msg, MSG_NOSIGNAL);\n"
+                "}\n")
+        self.assertEqual([], rules_fired(good, "src/net/client.cc"))
+
+
 class CardUnboundedCacheTest(unittest.TestCase):
     def test_member_push_without_check_fires(self):
         bad = "void F() { obs_.push_back(std::move(sample)); }"

@@ -15,9 +15,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -124,6 +128,210 @@ TEST(FrameTest, ByteAtATimeFeedDecodesPipelinedFrames) {
   }
   EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, FrontCompactionIsAmortizedLinear) {
+  // Regression: the old decoder erased the consumed prefix on every Feed,
+  // an O(buffered x frames) memmove under byte-at-a-time pipelining. The
+  // offset-windowed decoder must (a) produce identical output and (b) move
+  // at most as many bytes as were fed, total, no matter how reads fragment.
+  constexpr uint64_t kFrames = 10000;
+  std::string wire;
+  for (uint64_t id = 1; id <= kFrames; ++id) {
+    Frame f;
+    f.type = FrameType::kRequest;
+    f.request_id = id;
+    f.payload = "p";  // tiny frame: worst case for per-feed compaction
+    wire += net::EncodeFrame(f);
+  }
+  FrameDecoder decoder;
+  std::vector<uint64_t> ids;
+  ids.reserve(kFrames);
+  for (char byte : wire) {
+    ASSERT_TRUE(decoder.Feed(&byte, 1).ok());
+    while (auto f = decoder.Next()) ids.push_back(f->request_id);
+  }
+  ASSERT_EQ(ids.size(), kFrames);
+  for (uint64_t id = 1; id <= kFrames; ++id) EXPECT_EQ(ids[id - 1], id);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  // The quadratic decoder would have moved ~ frames*buffered/2 bytes
+  // (hundreds of MB here); amortized compaction is capped by total input.
+  EXPECT_LE(decoder.compaction_bytes_moved(), wire.size());
+
+  // Un-drained variant: nothing is ever released, so nothing may move.
+  FrameDecoder hoarder;
+  for (char byte : wire) {
+    ASSERT_TRUE(hoarder.Feed(&byte, 1).ok());
+  }
+  EXPECT_EQ(hoarder.compaction_bytes_moved(), 0u);
+  uint64_t popped = 0;
+  while (auto f = hoarder.Next()) {
+    ++popped;
+    EXPECT_EQ(f->request_id, popped);
+  }
+  EXPECT_EQ(popped, kFrames);
+}
+
+TEST(FrameTest, ErrorMessageTruncationIsMarked) {
+  // At exactly the cap: carried verbatim, no truncation mark.
+  const std::string exact(net::kMaxErrorMessageBytes, 'e');
+  const std::string exact_payload =
+      net::EncodeErrorPayload(ErrorCode::kInternal, exact);
+  ASSERT_EQ(exact_payload.size(), net::kMaxPayloadBytes);
+  auto exact_err = net::DecodeErrorPayload(exact_payload);
+  ASSERT_TRUE(exact_err.ok());
+  EXPECT_EQ(exact_err->message, exact);
+  // The frame stays encodable at the boundary.
+  Frame f;
+  f.type = FrameType::kError;
+  f.payload = exact_payload;
+  EXPECT_FALSE(net::EncodeFrame(f).empty());
+
+  // One byte over: clamped within the cap, with a visible ellipsis so the
+  // cut diagnostic can't be mistaken for a complete one.
+  const std::string over(net::kMaxErrorMessageBytes + 1, 'e');
+  const std::string over_payload =
+      net::EncodeErrorPayload(ErrorCode::kInternal, over);
+  ASSERT_EQ(over_payload.size(), net::kMaxPayloadBytes);
+  auto over_err = net::DecodeErrorPayload(over_payload);
+  ASSERT_TRUE(over_err.ok());
+  EXPECT_EQ(over_err->message.size(), net::kMaxErrorMessageBytes);
+  const std::string mark(net::kErrorTruncationMark);
+  ASSERT_GE(over_err->message.size(), mark.size());
+  EXPECT_EQ(over_err->message.substr(over_err->message.size() - mark.size()),
+            mark);
+  EXPECT_EQ(over_err->message.substr(0, 16), std::string(16, 'e'));
+}
+
+// --------------------------- v2 batch container ------------------------------
+
+std::string MakeInnerRequest(uint64_t id, const std::string& payload) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.request_id = id;
+  f.payload = payload;
+  return net::EncodeFrame(f);
+}
+
+std::string MakeContainer(const std::vector<std::string>& inners) {
+  size_t inner_bytes = 0;
+  for (const auto& s : inners) inner_bytes += s.size();
+  std::string out = net::EncodeBatchHeader(
+      static_cast<uint32_t>(inners.size()), inner_bytes);
+  EXPECT_FALSE(out.empty());
+  for (const auto& s : inners) out += s;
+  return out;
+}
+
+/// Hand-rolled container with an arbitrary (possibly lying) count field,
+/// for adversarial cases EncodeBatchHeader refuses to produce.
+std::string MakeRawContainer(uint32_t count, const std::string& body) {
+  std::string out = net::EncodeFrameHeader(
+      net::kProtocolVersionBatch, FrameType::kBatch, 0,
+      static_cast<uint32_t>(net::kBatchCountBytes + body.size()));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((count >> (8 * i)) & 0xff));
+  }
+  out += body;
+  return out;
+}
+
+TEST(FrameTest, BatchContainerRoundTrip) {
+  const std::vector<std::string> inners = {
+      MakeInnerRequest(1, "alpha"), MakeInnerRequest(2, ""),
+      MakeInnerRequest(3, "gamma")};
+  const std::string wire = MakeContainer(inners);
+
+  FrameDecoder decoder;
+  // Half the container: the decoder reports exactly what is still missing.
+  const size_t half = wire.size() / 2;
+  ASSERT_TRUE(decoder.Feed(wire.data(), half).ok());
+  EXPECT_FALSE(decoder.NextView().has_value());
+  EXPECT_EQ(decoder.PendingFrameBytes(), wire.size() - half);
+  ASSERT_TRUE(decoder.Feed(wire.data() + half, wire.size() - half).ok());
+
+  std::vector<uint64_t> ids;
+  std::vector<std::string> payloads;
+  while (auto v = decoder.NextView()) {
+    EXPECT_TRUE(v->from_batch);
+    EXPECT_EQ(v->version, net::kProtocolVersion);  // inner frames are v1
+    ids.push_back(v->request_id);
+    payloads.push_back(std::string(v->payload));
+  }
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(payloads, (std::vector<std::string>{"alpha", "", "gamma"}));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+
+  // Byte-at-a-time delivery decodes identically.
+  FrameDecoder slow;
+  std::vector<uint64_t> slow_ids;
+  for (char byte : wire) {
+    ASSERT_TRUE(slow.Feed(&byte, 1).ok());
+    while (auto v = slow.Next()) slow_ids.push_back(v->request_id);
+  }
+  EXPECT_EQ(slow_ids, ids);
+}
+
+TEST(FrameTest, BatchContainerAdversarialInputsPoisonTheDecoder) {
+  const std::string one = MakeInnerRequest(1, "x");
+  struct Case {
+    const char* name;
+    std::string wire;
+    const char* needle;
+  };
+  std::string nested_body = MakeContainer({one});
+  const Case cases[] = {
+      {"count 2 but one inner frame", MakeRawContainer(2, one), "truncated"},
+      {"count 1 with trailing bytes", MakeRawContainer(1, one + one),
+       "trailing bytes"},
+      {"count 0", MakeRawContainer(0, ""), "zero inner frames"},
+      {"count over limit",
+       MakeRawContainer(net::kMaxBatchFrames + 1,
+                        std::string(net::kFrameHeaderBytes, '\0')),
+       "exceeds limit"},
+      {"nested container", MakeRawContainer(1, nested_body),
+       "unsupported version"},
+      {"inner frame cut mid-header",
+       MakeRawContainer(1, one.substr(0, net::kFrameHeaderBytes - 4)),
+       "truncated"},
+      {"inner garbage", MakeRawContainer(1, std::string(one.size(), '!')),
+       "magic"},
+  };
+  for (const Case& c : cases) {
+    FrameDecoder decoder;
+    Status st = decoder.Feed(c.wire.data(), c.wire.size());
+    EXPECT_FALSE(st.ok()) << c.name;
+    EXPECT_NE(st.message().find(c.needle), std::string::npos)
+        << c.name << ": " << st.message();
+    EXPECT_TRUE(decoder.poisoned()) << c.name;
+    EXPECT_FALSE(decoder.Next().has_value()) << c.name;
+  }
+
+  // A v2 header whose type is not kBatch is equally fatal.
+  std::string bad_type = net::EncodeFrameHeader(
+      net::kProtocolVersionBatch, FrameType::kRequest, 9, 0);
+  FrameDecoder decoder;
+  Status st = decoder.Feed(bad_type.data(), bad_type.size());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("non-batch"), std::string::npos);
+}
+
+TEST(FrameTest, V1AndV2FramesInterleaveOnOneStream) {
+  std::string wire = MakeInnerRequest(1, "solo");
+  wire += MakeContainer({MakeInnerRequest(2, "in-a"), MakeInnerRequest(3, "in-b")});
+  wire += MakeInnerRequest(4, "tail");
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  std::vector<uint64_t> ids;
+  std::vector<bool> batched;
+  while (auto v = decoder.NextView()) {
+    ids.push_back(v->request_id);
+    batched.push_back(v->from_batch);
+  }
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(batched, (std::vector<bool>{false, true, true, false}));
+  EXPECT_FALSE(decoder.poisoned());
 }
 
 TEST(FrameTest, TruncatedHeaderIsJustIncomplete) {
@@ -692,6 +900,286 @@ TEST_F(NetServerTest, LoadGeneratorDrivesConcurrentConnections) {
       "net.request.latency_us", {});
   ASSERT_NE(hist, nullptr);
   EXPECT_GE(hist->Count(), 200u);
+}
+
+// ------------------------- v2 batching over TCP ------------------------------
+
+TEST_F(NetServerTest, BatchedClientRoundTripMatchesLocalPrediction) {
+  StartServer(ServerConfig{});
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  std::vector<const QueryRecord*> records;
+  for (const QueryRecord& q : workload_.queries) records.push_back(&q);
+  auto ids = client.SendBatch(records);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids->size(), workload_.queries.size());
+
+  std::map<uint64_t, double> predicted;
+  for (size_t i = 0; i < ids->size(); ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->error, ErrorCode::kNone) << reply->error_message;
+    predicted[reply->request_id] = reply->predicted_ms;
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto local = service_->Predict(*records[i]);
+    ASSERT_TRUE(local.ok());
+    // The binary record encoding ships IEEE-754 bit patterns, so the remote
+    // prediction is bit-identical to a local one, same as the text path.
+    ASSERT_TRUE(predicted.count((*ids)[i]));
+    EXPECT_EQ(predicted[(*ids)[i]], local->predicted_ms);
+  }
+  const net::ServerStats stats = server_->Stats();
+  EXPECT_EQ(stats.requests_received, workload_.queries.size());
+  EXPECT_EQ(stats.responses_sent, workload_.queries.size());
+  EXPECT_EQ(stats.frame_errors, 0u);
+  EXPECT_EQ(stats.parse_errors, 0u);
+}
+
+TEST_F(NetServerTest, BatchCapablePeersGetContainerResponses) {
+  ServerConfig config;
+  config.max_batch = 16;
+  StartServer(config);
+
+  // Hand-roll a container of 8 binary-encoded requests so we can inspect
+  // the raw response bytes (PredictionClient would unpack them silently).
+  std::vector<std::string> inners;
+  for (uint64_t id = 1; id <= 8; ++id) {
+    Frame f;
+    f.type = FrameType::kRequest;
+    f.request_id = id;
+    f.payload = net::EncodeRequestPayloadBinary(
+        0, workload_.queries[static_cast<size_t>(id - 1)]);
+    inners.push_back(net::EncodeFrame(f));
+  }
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  ASSERT_TRUE(raw.WriteAll(MakeContainer(inners)));
+  raw.ShutdownWrite();
+  const std::string bytes = raw.ReadToEof();
+
+  // The whole 8-request batch completed together, so the reply stream must
+  // lead with a v2 container frame, not eight bare v1 frames.
+  ASSERT_GE(bytes.size(), net::kFrameHeaderBytes);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), net::kProtocolVersionBatch);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  std::vector<uint64_t> ids;
+  while (auto v = decoder.NextView()) {
+    EXPECT_EQ(v->type, FrameType::kResponse);
+    EXPECT_TRUE(v->from_batch);
+    ids.push_back(v->request_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST_F(NetServerTest, WireFuzzedContainersGetTypedErrorThenClose) {
+  StartServer(ServerConfig{});
+  Frame good;
+  good.type = FrameType::kRequest;
+  good.request_id = 1;
+  good.payload = net::EncodeRequestPayload(0, workload_.queries.front());
+  const std::string inner = net::EncodeFrame(good);
+
+  struct Case {
+    const char* name;
+    std::string wire;
+  };
+  const Case cases[] = {
+      {"container count lies high", MakeRawContainer(3, inner)},
+      {"container count lies low", MakeRawContainer(1, inner + inner)},
+      {"container with zero count", MakeRawContainer(0, "")},
+      {"nested container", MakeRawContainer(1, MakeContainer({inner}))},
+      {"container cut mid-inner-frame",
+       MakeRawContainer(2, inner + inner.substr(0, 7))},
+  };
+  for (const Case& c : cases) {
+    RawConn raw;
+    ASSERT_TRUE(raw.Connect(server_->port())) << c.name;
+    ASSERT_TRUE(raw.WriteAll(c.wire)) << c.name;
+    const std::string bytes = raw.ReadToEof();  // error frame, then close
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok()) << c.name;
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.has_value()) << c.name;
+    EXPECT_EQ(ErrorCodeOf(*frame), ErrorCode::kBadRequest) << c.name;
+  }
+  // Slots and framing state survived the fuzzing.
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  auto reply = client.Predict(workload_.queries.front());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->error, ErrorCode::kNone);
+}
+
+TEST_F(NetServerTest, V1AndV2RequestsInterleaveOnOneConnection) {
+  ServerConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 500;
+  StartServer(config);
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  // v1 single, then a v2 batch, then another v1 single — one connection.
+  auto id1 = client.Send(workload_.queries[0]);
+  ASSERT_TRUE(id1.ok());
+  std::vector<const QueryRecord*> mid = {&workload_.queries[1],
+                                         &workload_.queries[2]};
+  auto ids = client.SendBatch(mid);
+  ASSERT_TRUE(ids.ok());
+  auto id4 = client.Send(workload_.queries[3]);
+  ASSERT_TRUE(id4.ok());
+
+  std::set<uint64_t> want = {*id1, (*ids)[0], (*ids)[1], *id4};
+  std::set<uint64_t> got;
+  for (size_t i = 0; i < want.size(); ++i) {
+    auto reply = client.Receive();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->error, ErrorCode::kNone) << reply->error_message;
+    got.insert(reply->request_id);
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(server_->Stats().parse_errors, 0u);
+}
+
+// ------------------------------ multi-reactor --------------------------------
+
+TEST_F(NetServerTest, MultiReactorServesBatchedLoadAcrossConnections) {
+  ServerConfig config;
+  config.reactors = 2;
+  config.max_batch = 8;
+  config.max_delay_us = 500;
+  StartServer(config);
+
+  LoadGenOptions options;
+  options.connections = 4;
+  options.requests_per_connection = 50;
+  options.window = 16;
+  options.batch = 8;  // v2 container path
+  auto report =
+      net::RunLoadGenerator("127.0.0.1", server_->port(), workload_, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sent, 200u);
+  EXPECT_EQ(report->ok, 200u);
+  EXPECT_EQ(report->overloaded, 0u);
+
+  const net::ServerStats stats = server_->Stats();
+  EXPECT_EQ(stats.requests_received, 200u);
+  EXPECT_EQ(stats.responses_sent, 200u);
+  EXPECT_EQ(stats.frame_errors, 0u);
+  EXPECT_EQ(stats.dropped_disconnect, 0u);
+}
+
+TEST_F(NetServerTest, MultiReactorDrainDeliversEveryInFlightResponse) {
+  ServerConfig config;
+  config.reactors = 2;
+  // All in-flight requests still queued in micro-batches when Shutdown
+  // lands: the drain itself must flush them, on every reactor.
+  config.max_batch = 64;
+  config.max_delay_us = 500000;
+  StartServer(config);
+
+  constexpr uint64_t kPerClient = 8;
+  PredictionClient clients[3];
+  for (auto& c : clients) {
+    ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+    std::vector<const QueryRecord*> records;
+    for (uint64_t i = 0; i < kPerClient; ++i) {
+      records.push_back(&workload_.queries[static_cast<size_t>(i)]);
+    }
+    ASSERT_TRUE(c.SendBatch(records).ok());
+  }
+  const uint64_t total = kPerClient * 3;
+  while (server_->Stats().requests_received < total) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->Shutdown();
+  EXPECT_FALSE(server_->running());
+
+  // Zero-drop drain across reactors: every admitted request is answered.
+  for (auto& c : clients) {
+    for (uint64_t i = 0; i < kPerClient; ++i) {
+      auto reply = c.Receive();
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_EQ(reply->error, ErrorCode::kNone) << reply->error_message;
+    }
+    auto eof = c.Receive();
+    EXPECT_FALSE(eof.ok());
+  }
+  const net::ServerStats stats = server_->Stats();
+  EXPECT_EQ(stats.requests_received, total);
+  EXPECT_EQ(stats.responses_sent, total);
+  EXPECT_EQ(stats.dropped_disconnect, 0u);
+}
+
+// --------------------------- client fault injection --------------------------
+
+std::atomic<int> g_io_call{0};
+
+ssize_t ShortSend(int fd, const void* buf, size_t len, int flags) {
+  if (g_io_call.fetch_add(1, std::memory_order_relaxed) % 3 == 2) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::send(fd, buf, std::min<size_t>(len, 3), flags);
+}
+
+ssize_t ShortSendmsg(int fd, const msghdr* msg, int flags) {
+  if (g_io_call.fetch_add(1, std::memory_order_relaxed) % 3 == 2) {
+    errno = EINTR;
+    return -1;
+  }
+  // At most 3 bytes of the first non-empty iovec entry: forces the client
+  // to re-slice its scatter list across hundreds of partial sends.
+  for (size_t i = 0; i < msg->msg_iovlen; ++i) {
+    if (msg->msg_iov[i].iov_len > 0) {
+      return ::send(fd, msg->msg_iov[i].iov_base,
+                    std::min<size_t>(msg->msg_iov[i].iov_len, 3), flags);
+    }
+  }
+  return 0;
+}
+
+ssize_t ShortRecv(int fd, void* buf, size_t len, int flags) {
+  return ::recv(fd, buf, std::min<size_t>(len, 2), flags);
+}
+
+struct ScopedIoHooks {
+  explicit ScopedIoHooks(net::ClientIoHooks hooks) {
+    net::SetClientIoHooksForTest(hooks);
+  }
+  ~ScopedIoHooks() { net::SetClientIoHooksForTest({}); }
+};
+
+TEST_F(NetServerTest, ClientSurvivesShortWritesAndEintr) {
+  StartServer(ServerConfig{});
+  ScopedIoHooks hooks({ShortSend, ShortSendmsg, ShortRecv});
+
+  PredictionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  // Sync path: WriteAll must survive 3-byte sends and periodic EINTR.
+  auto reply = client.Predict(workload_.queries.front());
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->error, ErrorCode::kNone) << reply->error_message;
+  auto local = service_->Predict(workload_.queries.front());
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(reply->predicted_ms, local->predicted_ms);
+
+  // Batched path: WriteVecAll must re-slice the iovec list across partial
+  // sends without corrupting framing.
+  std::vector<const QueryRecord*> records = {
+      &workload_.queries[0], &workload_.queries[1], &workload_.queries[2]};
+  auto ids = client.SendBatch(records);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto r = client.Receive();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->error, ErrorCode::kNone) << r->error_message;
+  }
+  EXPECT_EQ(server_->Stats().frame_errors, 0u);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <string_view>
 
 #include "catalog/database.h"
 #include "exec/driver.h"
@@ -244,6 +246,123 @@ TEST_F(WorkloadTest, FieldsWithDelimitersSurviveRoundTrip) {
   EXPECT_EQ(restored->queries[0].param_desc, q.param_desc);
   EXPECT_EQ(restored->queries[0].ops[0].relation, op.relation);
   std::remove(path.c_str());
+}
+
+/// A record exercising every binary-codec field, with doubles chosen so any
+/// text round trip would perturb them (bit patterns, not approximations).
+QueryRecord BinaryProbeRecord() {
+  QueryRecord q;
+  q.template_id = 17;
+  q.latency_ms = 0.1 + 0.2;  // 0.30000000000000004, not 0.3
+  q.param_desc = "p|1\nbinary \x01 bytes survive";
+  OperatorRecord scan;
+  scan.node_id = 1;
+  scan.parent_id = 0;
+  scan.op = PlanOp::kSeqScan;
+  scan.relation = "lineitem";
+  scan.est.startup_cost = -0.0;  // sign bit must survive
+  scan.est.total_cost = std::nextafter(1.0, 2.0);
+  scan.est.rows = 1e300;
+  scan.est.selectivity = 5e-324;  // smallest denormal
+  scan.actual.valid = true;
+  scan.actual.run_time_ms = 1.0 / 3.0;
+  scan.card_signature = 0x0123456789abcdefull;
+  scan.card_class = 42;
+  scan.card_features = {0.25, std::nextafter(0.5, 1.0), 7.0};
+  OperatorRecord root;
+  root.node_id = 0;
+  root.parent_id = -1;
+  root.left_child = 1;
+  root.op = PlanOp::kHashAggregate;
+  root.actual.valid = true;
+  root.actual.run_time_ms = 0.5;
+  q.ops = {root, scan};
+  RecomputeStructuralKeys(&q);
+  return q;
+}
+
+TEST_F(WorkloadTest, BinaryRecordRoundTripIsBitIdentical) {
+  const QueryRecord q = BinaryProbeRecord();
+  const std::string bytes = SerializeQueryRecordBinary(q);
+  ASSERT_TRUE(IsBinaryQueryRecord(bytes));
+  auto back = ParseQueryRecordBinary(bytes, "<test>");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Re-serializing the parsed record must reproduce the input byte for
+  // byte — IEEE-754 bit patterns travel verbatim, unlike the text format.
+  EXPECT_EQ(SerializeQueryRecordBinary(*back), bytes);
+  EXPECT_EQ(back->template_id, q.template_id);
+  EXPECT_EQ(back->latency_ms, q.latency_ms);
+  EXPECT_EQ(back->param_desc, q.param_desc);
+  ASSERT_EQ(back->ops.size(), q.ops.size());
+  EXPECT_TRUE(std::signbit(back->ops[1].est.startup_cost));
+  EXPECT_EQ(back->ops[1].est.total_cost, std::nextafter(1.0, 2.0));
+  EXPECT_EQ(back->ops[1].est.selectivity, 5e-324);
+  EXPECT_EQ(back->ops[1].card_signature, q.ops[1].card_signature);
+  EXPECT_EQ(back->ops[1].card_features, q.ops[1].card_features);
+  // Structural keys are recomputed, not shipped.
+  EXPECT_EQ(back->ops[0].structural_key, q.ops[0].structural_key);
+  // Auto dispatch: binary payloads route by marker, text payloads still
+  // parse through the same entry point.
+  EXPECT_TRUE(ParseQueryRecordAuto(bytes, "<test>").ok());
+  EXPECT_TRUE(ParseQueryRecordAuto(SerializeQueryRecord(q), "<test>").ok());
+}
+
+TEST_F(WorkloadTest, BinaryRecordRejectsAdversarialBytes) {
+  const std::string good = SerializeQueryRecordBinary(BinaryProbeRecord());
+
+  // Every strict prefix is a truncation error, never a crash or success.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(
+        ParseQueryRecordBinary(std::string_view(good).substr(0, cut), "<test>")
+            .ok())
+        << "prefix of " << cut << " bytes parsed";
+  }
+  auto trailing = ParseQueryRecordBinary(good + "x", "<test>");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("trailing"), std::string::npos);
+
+  std::string bad = good;
+  bad[0] = '\x02';  // wrong marker
+  EXPECT_FALSE(ParseQueryRecordBinary(bad, "<test>").ok());
+  bad = good;
+  bad[1] = '\x09';  // unknown version
+  auto ver = ParseQueryRecordBinary(bad, "<test>");
+  ASSERT_FALSE(ver.ok());
+  EXPECT_NE(ver.status().message().find("version"), std::string::npos);
+  bad = good;
+  bad[2] = '\x01';  // reserved bits
+  EXPECT_FALSE(ParseQueryRecordBinary(bad, "<test>").ok());
+
+  // Out-of-range enum and flag bytes in the first operator. Layout: 4-byte
+  // header, i32 template, f64 latency, (u32+len) param_desc, u32 op count,
+  // then 4 i32 ids before the op/join/valid/card bytes.
+  const QueryRecord probe = BinaryProbeRecord();
+  const size_t first_op = 4 + 4 + 8 + 4 + probe.param_desc.size() + 4;
+  bad = good;
+  bad[first_op + 16] = '\x7f';  // op enum
+  auto op = ParseQueryRecordBinary(bad, "<test>");
+  ASSERT_FALSE(op.ok());
+  EXPECT_NE(op.status().message().find("out of range"), std::string::npos);
+  bad = good;
+  bad[first_op + 18] = '\x02';  // actual-valid flag
+  EXPECT_FALSE(ParseQueryRecordBinary(bad, "<test>").ok());
+
+  // A lying operator count cannot force a huge allocation: it fails as a
+  // truncated operator once the bytes run out.
+  bad = good;
+  bad[first_op - 4] = '\xff';
+  bad[first_op - 3] = '\xff';
+  bad[first_op - 2] = '\xff';
+  bad[first_op - 1] = '\x7f';
+  auto lying = ParseQueryRecordBinary(bad, "<test>");
+  ASSERT_FALSE(lying.ok());
+  EXPECT_NE(lying.status().message().find("truncated operator"),
+            std::string::npos);
+
+  // Zero operators is malformed, same as the text format.
+  std::string empty_ops(good.substr(0, first_op - 4));
+  empty_ops += std::string(4, '\0');
+  EXPECT_FALSE(ParseQueryRecordBinary(empty_ops, "<test>").ok());
 }
 
 TEST_F(WorkloadTest, AppendRecordToFileBuildsLoadableLog) {
