@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""check_kde_baseline.py -- guard the KDE backend's estimation accuracy.
+
+Compares a freshly measured BENCH_kde_accuracy.json (written by
+bench/micro_kde via bench_json) against the committed baseline
+(bench/kde_accuracy_baseline.json -- BENCH_*.json itself is gitignored as
+machine output) and fails loudly when either gate breaks:
+
+  1. The correlated-workload win: the feedback-warmed KDE backend's p95
+     q-error must stay at least --min-ratio times better than the histogram
+     baseline's on the correlated synthetic workload.  This is the
+     subsystem's reason to exist -- joint evaluation over a sample beats
+     per-column independence exactly when predicates are correlated -- so
+     losing the win is a red build, not a telemetry footnote.
+  2. No accuracy regression: a guarded scenario's fresh p95 q-error must not
+     rise more than the tolerance above the committed baseline.
+
+Only *regressions* fail; a more accurate run passes (and prints the delta so
+the committed baseline can be refreshed in the same PR).  Scenarios present
+in the baseline but missing from the fresh run fail too -- a renamed or
+deleted benchmark silently un-guards the backend.
+
+The bench fixture is fully seeded (dbgen scale, reservoir seeds, template
+parameter bindings), so the q-errors are deterministic across runs and the
+gates hold on shared CI runners without statistical slack.
+
+Usage:
+    check_kde_baseline.py --baseline bench/kde_accuracy_baseline.json \
+                          --fresh telemetry/BENCH_kde_accuracy.json \
+                          [--scenario NAME ...] [--tolerance 0.10] \
+                          [--min-ratio 2.0]
+
+Exit status: 0 within tolerance, 1 on regression/missing data, 2 on usage
+errors.  Stdlib-only on purpose, same as the other scripts/ tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# The warmed KDE scenarios are the guarded surface: the correlated workload
+# is the headline win, the template sweep pins that feedback never makes the
+# backend worse on the bread-and-butter TPC-H scans it also answers.
+DEFAULT_SCENARIOS = ("BM_CorrelatedKdeWarm", "BM_TemplatesKdeWarm")
+
+HIST_SCENARIO = "BM_CorrelatedHistogram"
+KDE_WARM_SCENARIO = "BM_CorrelatedKdeWarm"
+
+
+def load_p95(path: str) -> dict:
+    """Returns {benchmark name: p95 q-error} for every result carrying a
+    p95_qerror counter."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"check_kde_baseline: cannot read {path}: {e}")
+    out = {}
+    for result in doc.get("results", []):
+        counters = result.get("counters", {})
+        if "p95_qerror" in counters:
+            out[result.get("name", "?")] = float(counters["p95_qerror"])
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on KDE accuracy regressions vs the committed "
+                    "baseline and on a lost correlated-workload win (see "
+                    "module docstring)")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_kde_accuracy.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured BENCH_kde_accuracy.json")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="benchmark name to guard against regression "
+                             "(repeatable; default: "
+                             f"{', '.join(DEFAULT_SCENARIOS)})")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional p95 q-error rise "
+                             "(default 0.10)")
+    parser.add_argument("--min-ratio", type=float, default=2.0,
+                        help="required histogram/KDE-warm p95 q-error ratio "
+                             "on the correlated workload (default 2.0)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    if args.min_ratio <= 0.0:
+        parser.error("--min-ratio must be positive")
+
+    baseline = load_p95(args.baseline)
+    fresh = load_p95(args.fresh)
+    scenarios = args.scenario or list(DEFAULT_SCENARIOS)
+
+    failures = []
+
+    # Gate 1: the correlated-workload win, on the fresh run alone.
+    if HIST_SCENARIO not in fresh or KDE_WARM_SCENARIO not in fresh:
+        failures.append(
+            f"fresh run {args.fresh} is missing {HIST_SCENARIO} or "
+            f"{KDE_WARM_SCENARIO} -- cannot check the correlated win")
+    else:
+        hist, kde = fresh[HIST_SCENARIO], fresh[KDE_WARM_SCENARIO]
+        ratio = hist / kde if kde > 0.0 else float("inf")
+        verdict = "ok" if ratio >= args.min_ratio else "LOST"
+        print(f"correlated win: histogram p95 {hist:.3f} vs KDE-warm p95 "
+              f"{kde:.3f} -> {ratio:.2f}x (need >= {args.min_ratio:.1f}x) "
+              f"-> {verdict}")
+        if ratio < args.min_ratio:
+            failures.append(
+                f"correlated-workload win lost: histogram/KDE-warm p95 "
+                f"ratio {ratio:.2f}x < required {args.min_ratio:.1f}x")
+
+    # Gate 2: no regression vs the committed baseline.  Lower is better for
+    # q-error, so the guarded bound is a ceiling, not a floor.
+    for name in scenarios:
+        if name not in baseline:
+            failures.append(f"{name}: not in baseline {args.baseline} -- "
+                            "guarded scenario renamed or baseline stale")
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: not in fresh run {args.fresh} -- "
+                            "a missing benchmark un-guards the backend")
+            continue
+        base, now = baseline[name], fresh[name]
+        ceiling = base * (1.0 + args.tolerance)
+        delta = (now - base) / base * 100.0
+        verdict = "REGRESSED" if now > ceiling else "ok"
+        print(f"{name}: baseline p95 {base:.3f}, fresh p95 {now:.3f} "
+              f"({delta:+.1f}%), ceiling {ceiling:.3f} -> {verdict}")
+        if now > ceiling:
+            failures.append(
+                f"{name}: p95 q-error {now:.3f} is {delta:.1f}% above the "
+                f"committed {base:.3f} (tolerance {args.tolerance:.0%})")
+
+    if failures:
+        for f in failures:
+            print(f"check_kde_baseline: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_kde_baseline: OK ({len(scenarios)} scenario(s) within "
+          f"{args.tolerance:.0%} of baseline, correlated win >= "
+          f"{args.min_ratio:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

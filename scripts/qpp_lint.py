@@ -66,6 +66,16 @@ knowledge rather than language knowledge:
                       container grows with workload lifetime.  Containers
                       bounded elsewhere carry an allow() naming the
                       bound.
+  kde-unbounded-sample
+                      In src/kde/ every push onto a member container
+                      (trailing-underscore name) must be dominated by a
+                      capacity/reservoir-bound check within the preceding
+                      30 lines: the KDE backend's contract is bounded
+                      state (a `capacity`-row reservoir per table), and a
+                      member container growing per sampled row or per
+                      harvested observation silently breaks it.
+                      Containers bounded elsewhere carry an allow()
+                      naming the bound.
 
 Suppression: a finding on line N is suppressed by a comment on line N or
 line N-1 of the form
@@ -369,6 +379,45 @@ def rule_card_unbounded_cache(path, raw, code):
     return out
 
 
+# --- src/kde rules -------------------------------------------------------
+# The KDE backend's whole value proposition is bounded state: a reservoir
+# of `capacity` rows per table, no matter how large the table or how long
+# the feedback loop runs.  A member container that grows without a visible
+# reservoir/capacity bound silently breaks that contract.
+
+KDE_PREFIX = "src/kde/"
+
+
+def rule_kde_unbounded_sample(path, raw, code):
+    """A push onto a long-lived (member) container in src/kde/ grows per
+    sampled row or harvested observation unless a capacity/reservoir-bound
+    comparison dominates it.  Same heuristic and window as
+    card-unbounded-cache: some line in the preceding window must compare
+    against a max/capacity bound.  Containers bounded elsewhere (e.g.
+    snapshot history bounded by publish cadence) carry an allow() naming
+    the bound."""
+    del raw
+    if not path.startswith(KDE_PREFIX):
+        return []
+    lines = code.splitlines()
+    out = []
+    for m in MEMBER_PUSH_RE.finditer(code):
+        line = _line_of(code, m.start())
+        lo = max(0, line - 1 - NET_CAPACITY_WINDOW_LINES)
+        window = lines[lo:line]  # includes the push line itself
+        if any(COMPARISON_RE.search(ln) and CAPACITY_TOKEN_RE.search(ln)
+               for ln in window):
+            continue
+        out.append(Violation(
+            path, line, "kde-unbounded-sample",
+            f"member container '{m.group(1)}' grows with no "
+            "capacity/reservoir-bound check in the preceding "
+            f"{NET_CAPACITY_WINDOW_LINES} lines; the KDE backend promises "
+            "bounded state (reservoir capacity, publish cadence) -- bound "
+            "the push or carry an allow() naming the bound"))
+    return out
+
+
 # Scatter-gather syscalls pin an iovec array per call; the kernel fails
 # iovcnt > IOV_MAX with EINVAL, and an unbounded gather loop discovers that
 # at runtime, under load, on the largest outbox.  Every such call site must
@@ -474,6 +523,7 @@ RULES = {
     "net-blocking-reactor": rule_net_blocking_reactor,
     "net-unbounded-iovec": rule_net_unbounded_iovec,
     "card-unbounded-cache": rule_card_unbounded_cache,
+    "kde-unbounded-sample": rule_kde_unbounded_sample,
 }
 
 

@@ -69,18 +69,21 @@ fi
 # concurrent Predict load, feedback-loop retrains), the obs suite (the
 # lock-free metrics registry under multi-threaded update load), and the net
 # suite (reactor thread vs pool batch workers vs client threads: completion
-# queue handoff, eventfd wakeups, graceful drain), and the card suite (the
-# cardinality feedback loop: concurrent harvesting vs snapshot readers).
-# QPP_THREADS>1 forces real concurrency even on small CI machines.
+# queue handoff, eventfd wakeups, graceful drain), the card suite (the
+# cardinality feedback loop: concurrent harvesting vs snapshot readers), and
+# the kde suite (bandwidth updates and snapshot publishes racing lock-free
+# estimate readers). QPP_THREADS>1 forces real concurrency even on small CI
+# machines.
 if [[ $RUN_TSAN -eq 1 ]]; then
   cmake -B build-tsan -S . -DQPP_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test obs_test net_test card_test
+  cmake --build build-tsan -j"$JOBS" --target concurrency_test ml_test serve_test obs_test net_test card_test kde_test
   QPP_THREADS=4 ./build-tsan/tests/concurrency_test
   QPP_THREADS=4 ./build-tsan/tests/ml_test
   QPP_THREADS=4 ./build-tsan/tests/serve_test
   QPP_THREADS=4 ./build-tsan/tests/obs_test
   QPP_THREADS=4 ./build-tsan/tests/net_test
   QPP_THREADS=4 ./build-tsan/tests/card_test
+  QPP_THREADS=4 ./build-tsan/tests/kde_test
 fi
 
 echo "tier1: OK"

@@ -16,25 +16,6 @@ struct HarvestSample {
   double actual_rows = 0.0;
 };
 
-/// True when the edge from `parent_op` to its `child_index`-th input always
-/// consumes that input fully, regardless of how much of the parent's own
-/// output is pulled: the hash-join build side and the pipeline breakers
-/// (Sort, Materialize, HashAggregate) drain their inputs before emitting
-/// anything, so actual row counts below them are trustworthy even under a
-/// Limit.
-bool ChildResetsTaint(PlanOp parent_op, size_t child_index) {
-  switch (parent_op) {
-    case PlanOp::kHashJoin:
-      return child_index == 1;
-    case PlanOp::kSort:
-    case PlanOp::kMaterialize:
-    case PlanOp::kHashAggregate:
-      return true;
-    default:
-      return false;
-  }
-}
-
 void CollectFromPlan(const PlanNode& node, bool tainted,
                      std::vector<HarvestSample>* out) {
   if (!tainted && node.actual.valid) {
@@ -58,7 +39,7 @@ void CollectFromPlan(const PlanNode& node, bool tainted,
   const bool downstream_taint = tainted || node.op == PlanOp::kLimit;
   for (size_t i = 0; i < node.children.size(); ++i) {
     const bool child_taint =
-        downstream_taint && !ChildResetsTaint(node.op, i);
+        downstream_taint && !HarvestChildResetsTaint(node.op, i);
     CollectFromPlan(*node.children[i], child_taint, out);
   }
 }
@@ -80,13 +61,27 @@ void CollectFromRecord(const QueryRecord& record, int op_index, bool tainted,
   const int children[2] = {op.left_child, op.right_child};
   for (size_t i = 0; i < 2; ++i) {
     if (children[i] < 0) continue;
-    const bool child_taint = downstream_taint && !ChildResetsTaint(op.op, i);
+    const bool child_taint =
+        downstream_taint && !HarvestChildResetsTaint(op.op, i);
     CollectFromRecord(record, record.IndexOfNode(children[i]), child_taint,
                       out);
   }
 }
 
 }  // namespace
+
+bool HarvestChildResetsTaint(PlanOp parent_op, size_t child_index) {
+  switch (parent_op) {
+    case PlanOp::kHashJoin:
+      return child_index == 1;
+    case PlanOp::kSort:
+    case PlanOp::kMaterialize:
+    case PlanOp::kHashAggregate:
+      return true;
+    default:
+      return false;
+  }
+}
 
 CardFeedbackLoop::CardFeedbackLoop(CardFeedbackConfig config)
     : config_(std::move(config)), cache_(config_.cache) {}

@@ -14,6 +14,15 @@
 
 namespace qpp::card {
 
+/// True when the edge from `parent_op` to its `child_index`-th input always
+/// consumes that input fully, regardless of how much of the parent's own
+/// output is pulled: the hash-join build side and the pipeline breakers
+/// (Sort, Materialize, HashAggregate) drain their inputs before emitting
+/// anything, so actual row counts below them are trustworthy even under a
+/// Limit. Shared by every PlanActuals harvester (the card and kde feedback
+/// loops) so the Limit-taint rules cannot drift apart.
+bool HarvestChildResetsTaint(PlanOp parent_op, size_t child_index);
+
 struct CardFeedbackConfig {
   CardCacheConfig cache;
   /// Harvested queries between automatic snapshot publishes

@@ -1,0 +1,393 @@
+#include "kde/feedback.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "card/feedback.h"
+#include "common/checksum.h"
+#include "obs/metrics.h"
+#include "optimizer/selectivity.h"
+
+namespace qpp::kde {
+namespace {
+
+constexpr char kBundleMagic[] = "qpp-kde-bundle v1";
+
+/// One harvested (bounds, actual) observation awaiting a bandwidth step.
+struct KdeObservation {
+  PredicateBounds bounds;
+  double actual_rows = 0.0;
+};
+
+bool UsableBounds(const PredicateBounds& bounds) {
+  return bounds.exhaustive && !bounds.table.empty() && !bounds.columns.empty();
+}
+
+void CollectFromPlan(const PlanNode& node, bool tainted,
+                     std::vector<KdeObservation>* out) {
+  if (!tainted && node.op == PlanOp::kSeqScan && node.actual.valid) {
+    if (node.card_bounds != nullptr) {
+      if (UsableBounds(*node.card_bounds)) {
+        out->push_back({*node.card_bounds, node.actual.rows});
+      }
+    } else if (node.table != nullptr) {
+      // Plans compiled without a KDE-aware optimizer pass (or with the
+      // estimator detached) still harvest: recompute bounds on the fly.
+      PredicateBounds bounds = ExtractPredicateBounds(
+          node.predicate.get(), *node.table, node.label);
+      if (UsableBounds(bounds)) {
+        out->push_back({std::move(bounds), node.actual.rows});
+      }
+    }
+  }
+  const bool downstream_taint = tainted || node.op == PlanOp::kLimit;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const bool child_taint =
+        downstream_taint && !card::HarvestChildResetsTaint(node.op, i);
+    CollectFromPlan(*node.children[i], child_taint, out);
+  }
+}
+
+void CollectFromRecord(const QueryRecord& record, int op_index, bool tainted,
+                       std::vector<KdeObservation>* out) {
+  if (op_index < 0 || op_index >= static_cast<int>(record.ops.size())) return;
+  const OperatorRecord& op = record.ops[static_cast<size_t>(op_index)];
+  if (!tainted && op.op == PlanOp::kSeqScan && op.actual.valid &&
+      UsableBounds(op.bounds)) {
+    out->push_back({op.bounds, op.actual.rows});
+  }
+  const bool downstream_taint = tainted || op.op == PlanOp::kLimit;
+  const int children[2] = {op.left_child, op.right_child};
+  for (size_t i = 0; i < 2; ++i) {
+    if (children[i] < 0) continue;
+    const bool child_taint =
+        downstream_taint && !card::HarvestChildResetsTaint(op.op, i);
+    CollectFromRecord(record, record.IndexOfNode(children[i]), child_taint,
+                      out);
+  }
+}
+
+std::vector<std::string> SplitPipe(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t bar = line.find('|', start);
+    if (bar == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return fields;
+}
+
+Result<double> ParseDouble(const std::string& s, const char* what) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) {
+      return Status::IOError(std::string("trailing garbage in ") + what +
+                             " '" + s + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::IOError(std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+Result<uint64_t> ParseU64(const std::string& s, const char* what) {
+  try {
+    size_t pos = 0;
+    const uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) {
+      return Status::IOError(std::string("trailing garbage in ") + what +
+                             " '" + s + "'");
+    }
+    return v;
+  } catch (const std::exception&) {
+    return Status::IOError(std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+void AppendDouble(std::ostringstream* out, double v) {
+  // precision 17: shortest round-trippable decimal for IEEE double, the
+  // repo-wide convention for persisted floats (see scripts/qpp_lint.py).
+  out->precision(17);
+  *out << v;
+}
+
+}  // namespace
+
+KdeFeedbackLoop::KdeFeedbackLoop(KdeFeedbackConfig config)
+    : config_(std::move(config)) {}
+
+Status KdeFeedbackLoop::BuildFromDatabase(const Database& db) {
+  std::map<std::string, ModelEntry> built;
+  for (const Table* table : db.tables()) {
+    ModelEntry entry;
+    entry.sample = std::make_shared<const TableSample>(
+        BuildTableSample(*table, config_.sample));
+    entry.bandwidths = DefaultBandwidths(*entry.sample);
+    built[table->name()] = std::move(entry);
+  }
+  {
+    std::lock_guard<OrderedMutex> lock(mu_);
+    for (auto& [name, entry] : built) models_[name] = std::move(entry);
+  }
+  (void)PublishSnapshot();
+  return Status::OK();
+}
+
+uint64_t KdeFeedbackLoop::NoteHarvestedQuery(size_t updates) {
+  static obs::Counter* query_counter = obs::MetricsRegistry::Global()
+      ->GetCounter("kde.feedback.harvested_queries");
+  static obs::Counter* update_counter = obs::MetricsRegistry::Global()
+      ->GetCounter("kde.feedback.bandwidth_updates");
+  query_counter->Increment();
+  update_counter->Increment(updates);
+  bandwidth_updates_.fetch_add(updates, std::memory_order_relaxed);
+  return harvested_queries_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+Status KdeFeedbackLoop::HarvestPlan(const PlanNode& root) {
+  std::vector<KdeObservation> observations;
+  CollectFromPlan(root, /*tainted=*/false, &observations);
+  size_t updates = 0;
+  {
+    std::lock_guard<OrderedMutex> lock(mu_);
+    for (const KdeObservation& o : observations) {
+      const auto it = models_.find(o.bounds.table);
+      if (it == models_.end() || it->second.sample == nullptr) continue;
+      if (UpdateBandwidths(*it->second.sample, o.bounds, o.actual_rows,
+                           config_.bandwidth, &it->second.bandwidths)) {
+        ++updates;
+      }
+    }
+  }
+  const uint64_t n = NoteHarvestedQuery(updates);
+  if (config_.publish_interval == 0 || n % config_.publish_interval == 0) {
+    (void)PublishSnapshot();
+  }
+  return Status::OK();
+}
+
+Status KdeFeedbackLoop::HarvestRecord(const QueryRecord& record) {
+  std::vector<KdeObservation> observations;
+  if (!record.ops.empty()) {
+    CollectFromRecord(record, 0, /*tainted=*/false, &observations);
+  }
+  size_t updates = 0;
+  {
+    std::lock_guard<OrderedMutex> lock(mu_);
+    for (const KdeObservation& o : observations) {
+      const auto it = models_.find(o.bounds.table);
+      if (it == models_.end() || it->second.sample == nullptr) continue;
+      if (UpdateBandwidths(*it->second.sample, o.bounds, o.actual_rows,
+                           config_.bandwidth, &it->second.bandwidths)) {
+        ++updates;
+      }
+    }
+  }
+  const uint64_t n = NoteHarvestedQuery(updates);
+  if (config_.publish_interval == 0 || n % config_.publish_interval == 0) {
+    (void)PublishSnapshot();
+  }
+  return Status::OK();
+}
+
+uint64_t KdeFeedbackLoop::PublishSnapshot() {
+  static obs::Gauge* version_gauge = obs::MetricsRegistry::Global()->GetGauge(
+      "kde.feedback.snapshot_version");
+  // Lock order: publish_mu_ before mu_ (matching card::CardFeedbackLoop);
+  // never publish while holding mu_ alone.
+  std::lock_guard<OrderedMutex> publish_lock(publish_mu_);
+  const uint64_t version = snapshots_.load(std::memory_order_relaxed) + 1;
+  std::map<std::string, KdeSnapshot::TableModel> tables;
+  {
+    std::lock_guard<OrderedMutex> lock(mu_);
+    for (const auto& [name, entry] : models_) {
+      tables[name] = KdeSnapshot::TableModel{entry.sample, entry.bandwidths};
+    }
+  }
+  // Non-const make_shared so enable_shared_from_this wiring is guaranteed;
+  // the returned pointer is const, and nothing mutates a snapshot.
+  std::shared_ptr<const KdeSnapshot> snap =
+      std::make_shared<KdeSnapshot>(version, std::move(tables));
+  // One retained snapshot per publish_interval harvested queries: RCU
+  // reclamation history, the same retention discipline (and rationale) as
+  // card::CardFeedbackLoop::history_.
+  // qpp-lint: allow(kde-unbounded-sample): growth bounded by publish cadence
+  history_.push_back(snap);
+  current_.store(snap.get(), std::memory_order_release);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  version_gauge->Set(static_cast<double>(version));
+  return version;
+}
+
+size_t KdeFeedbackLoop::table_count() const {
+  std::lock_guard<OrderedMutex> lock(mu_);
+  return models_.size();
+}
+
+Status KdeFeedbackLoop::SaveToFile(const std::string& path) const {
+  std::ostringstream payload;
+  {
+    std::lock_guard<OrderedMutex> lock(mu_);
+    payload << "tables " << models_.size() << "\n";
+    // std::map iteration is name-sorted, so the payload is deterministic
+    // and Save ∘ Load ∘ Save round-trips byte-identically.
+    for (const auto& [name, entry] : models_) {
+      const TableSample& s = *entry.sample;
+      payload << "T|" << name << "|";
+      AppendDouble(&payload, s.table_rows);
+      payload << "|" << s.capacity << "|" << s.seed << "|" << s.columns.size()
+              << "|" << s.rows() << "\n";
+      payload << "C";
+      for (const std::string& c : s.columns) payload << "|" << c;
+      payload << "\n";
+      payload << "H";
+      for (double h : entry.bandwidths) {
+        payload << "|";
+        AppendDouble(&payload, h);
+      }
+      payload << "\n";
+      for (size_t r = 0; r < s.rows(); ++r) {
+        payload << "R";
+        for (size_t c = 0; c < s.columns.size(); ++c) {
+          payload << "|";
+          AppendDouble(&payload, s.at(r, c));
+        }
+        payload << "\n";
+      }
+    }
+  }
+  const std::string text = payload.str();
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out << kBundleMagic << "\n";
+  out << "bytes " << text.size() << "\n";
+  out << "checksum " << ChecksumHex(Fnv1a64(text)) << "\n";
+  out << text;
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status KdeFeedbackLoop::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kBundleMagic) {
+    return Status::IOError(path + ": not a qpp kde bundle");
+  }
+  if (!std::getline(in, line) || line.rfind("bytes ", 0) != 0) {
+    return Status::IOError(path + ": missing bytes header");
+  }
+  size_t payload_bytes = 0;
+  try {
+    payload_bytes = std::stoul(line.substr(6));
+  } catch (const std::exception&) {
+    return Status::IOError(path + ": bad bytes header '" + line + "'");
+  }
+  if (!std::getline(in, line) || line.rfind("checksum ", 0) != 0) {
+    return Status::IOError(path + ": missing checksum header");
+  }
+  auto checksum = ParseChecksumHex(line.substr(9));
+  if (!checksum.ok()) {
+    return Status::IOError(path + ": " + checksum.status().message());
+  }
+  std::string payload(payload_bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<size_t>(in.gcount()) != payload_bytes) {
+    return Status::IOError(path + ": truncated payload");
+  }
+  const uint64_t actual = Fnv1a64(payload);
+  if (actual != *checksum) {
+    return Status::IOError(path + ": checksum mismatch (header " +
+                           ChecksumHex(*checksum) + ", payload " +
+                           ChecksumHex(actual) + ") — corrupt bundle");
+  }
+
+  std::istringstream body(payload);
+  if (!std::getline(body, line) || line.rfind("tables ", 0) != 0) {
+    return Status::IOError(path + ": missing tables header");
+  }
+  size_t table_count = 0;
+  try {
+    table_count = std::stoul(line.substr(7));
+  } catch (const std::exception&) {
+    return Status::IOError(path + ": bad tables header '" + line + "'");
+  }
+  std::map<std::string, ModelEntry> loaded;
+  for (size_t t = 0; t < table_count; ++t) {
+    if (!std::getline(body, line)) {
+      return Status::IOError(path + ": truncated bundle (missing T line)");
+    }
+    const std::vector<std::string> tf = SplitPipe(line);
+    if (tf.size() != 7 || tf[0] != "T") {
+      return Status::IOError(path + ": malformed T line '" + line + "'");
+    }
+    TableSample sample;
+    sample.table = tf[1];
+    QPP_ASSIGN_OR_RETURN(sample.table_rows, ParseDouble(tf[2], "table_rows"));
+    QPP_ASSIGN_OR_RETURN(const uint64_t capacity,
+                         ParseU64(tf[3], "capacity"));
+    sample.capacity = static_cast<size_t>(capacity);
+    QPP_ASSIGN_OR_RETURN(sample.seed, ParseU64(tf[4], "seed"));
+    QPP_ASSIGN_OR_RETURN(const uint64_t ncols, ParseU64(tf[5], "ncols"));
+    QPP_ASSIGN_OR_RETURN(const uint64_t nrows, ParseU64(tf[6], "nrows"));
+
+    if (!std::getline(body, line)) {
+      return Status::IOError(path + ": truncated bundle (missing C line)");
+    }
+    const std::vector<std::string> cf = SplitPipe(line);
+    if (cf[0] != "C" || cf.size() != static_cast<size_t>(ncols) + 1) {
+      return Status::IOError(path + ": malformed C line '" + line + "'");
+    }
+    sample.columns.assign(cf.begin() + 1, cf.end());
+
+    if (!std::getline(body, line)) {
+      return Status::IOError(path + ": truncated bundle (missing H line)");
+    }
+    const std::vector<std::string> hf = SplitPipe(line);
+    if (hf[0] != "H" || hf.size() != static_cast<size_t>(ncols) + 1) {
+      return Status::IOError(path + ": malformed H line '" + line + "'");
+    }
+    ModelEntry entry;
+    entry.bandwidths.reserve(static_cast<size_t>(ncols));
+    for (size_t i = 1; i < hf.size(); ++i) {
+      QPP_ASSIGN_OR_RETURN(const double h, ParseDouble(hf[i], "bandwidth"));
+      entry.bandwidths.push_back(h);
+    }
+
+    sample.data.reserve(static_cast<size_t>(nrows * ncols));
+    for (size_t r = 0; r < nrows; ++r) {
+      if (!std::getline(body, line)) {
+        return Status::IOError(path + ": truncated bundle (missing R line)");
+      }
+      const std::vector<std::string> rf = SplitPipe(line);
+      if (rf[0] != "R" || rf.size() != static_cast<size_t>(ncols) + 1) {
+        return Status::IOError(path + ": malformed R line '" + line + "'");
+      }
+      for (size_t i = 1; i < rf.size(); ++i) {
+        QPP_ASSIGN_OR_RETURN(const double v, ParseDouble(rf[i], "sample"));
+        sample.data.push_back(v);
+      }
+    }
+    entry.sample = std::make_shared<const TableSample>(std::move(sample));
+    loaded[tf[1]] = std::move(entry);
+  }
+  if (std::getline(body, line) && !line.empty()) {
+    return Status::IOError(path + ": trailing garbage '" + line + "'");
+  }
+  {
+    std::lock_guard<OrderedMutex> lock(mu_);
+    models_ = std::move(loaded);
+  }
+  (void)PublishSnapshot();
+  return Status::OK();
+}
+
+}  // namespace qpp::kde

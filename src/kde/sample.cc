@@ -1,0 +1,54 @@
+#include "kde/sample.h"
+
+#include "catalog/stats.h"
+#include "common/checksum.h"
+#include "common/rng.h"
+
+namespace qpp::kde {
+
+int TableSample::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TableSample BuildTableSample(const Table& table,
+                             const KdeSampleConfig& config) {
+  TableSample out;
+  out.table = table.name();
+  out.table_rows = static_cast<double>(table.num_rows());
+  out.capacity = config.capacity == 0 ? 1 : config.capacity;
+  out.seed = config.seed;
+  for (const auto& c : table.schema().columns()) out.columns.push_back(c.name);
+
+  const size_t ncols = out.columns.size();
+  const int64_t nrows = table.num_rows();
+  if (ncols == 0 || nrows <= 0) return out;
+
+  // Per-table stream: mixing the table name in keeps samples of different
+  // tables independent under one config seed.
+  Rng rng(config.seed ^ Fnv1a64(table.name()));
+  const auto cap = static_cast<int64_t>(out.capacity);
+  // Reservoir of row indices (Algorithm R), then one materialization pass.
+  std::vector<int64_t> reservoir;
+  reservoir.reserve(out.capacity);
+  for (int64_t i = 0; i < nrows; ++i) {
+    if (i < cap) {
+      reservoir.push_back(i);
+      continue;
+    }
+    const int64_t j = rng.UniformInt(0, i);
+    if (j < cap) reservoir[static_cast<size_t>(j)] = i;
+  }
+  out.data.reserve(reservoir.size() * ncols);
+  for (const int64_t row : reservoir) {
+    for (size_t c = 0; c < ncols; ++c) {
+      out.data.push_back(
+          NumericView(table.GetValue(row, static_cast<int>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace qpp::kde

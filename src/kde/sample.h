@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace qpp::kde {
+
+/// Reservoir-sampling knobs. The capacity bounds memory (capacity × columns
+/// doubles per table) and the cost of every estimate (one pass over the
+/// sample); the seed makes sampling reproducible run to run.
+struct KdeSampleConfig {
+  size_t capacity = 512;
+  uint64_t seed = 0x5EEDCAFEF00DULL;
+};
+
+/// \brief Bounded, seeded reservoir sample of one table: every column of up
+/// to `capacity` rows, stored as numeric views (catalog/stats.h — numerics
+/// and dates map naturally, strings pack their first eight bytes) so a
+/// Gaussian product kernel can treat all dimensions uniformly.
+struct TableSample {
+  std::string table;
+  /// Table cardinality at build time (the population the reservoir drew
+  /// from); selectivities learned against it stay meaningful as long as the
+  /// data distribution does, which is the same staleness contract ANALYZE
+  /// histograms live with.
+  double table_rows = 0.0;
+  size_t capacity = 0;
+  uint64_t seed = 0;
+  /// Base column names, in schema order.
+  std::vector<std::string> columns;
+  /// Row-major rows() × columns.size() numeric views.
+  std::vector<double> data;
+
+  size_t rows() const {
+    return columns.empty() ? 0 : data.size() / columns.size();
+  }
+  double at(size_t row, size_t col) const {
+    return data[row * columns.size() + col];
+  }
+  /// Index into columns, -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Algorithm-R reservoir over the table's rows, seeded per table (the
+/// config seed is mixed with the table name) so multi-table builds draw
+/// independent streams yet remain fully deterministic.
+TableSample BuildTableSample(const Table& table,
+                             const KdeSampleConfig& config);
+
+}  // namespace qpp::kde

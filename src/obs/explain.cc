@@ -39,6 +39,11 @@ void ExplainRec(const PlanNode& node, int depth,
     out->append(" pages=");
     AppendF(out, "%.0f", node.est.pages);
   }
+  // Which backend produced est.rows: "hist" (ANALYZE histograms, the
+  // default), "card" (learned cache), or "kde" (sample-backed KDE) — so an
+  // estimate can be traced to its source when reading EXPLAIN ANALYZE.
+  out->append(" src=");
+  out->append(node.est_source);
   out->append(")");
 
   if (node.actual.valid) {

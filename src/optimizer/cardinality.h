@@ -6,6 +6,8 @@
 
 namespace qpp {
 
+struct PredicateBounds;  // plan/plan.h
+
 /// \brief One cardinality question the optimizer asks while costing a plan
 /// node: "how many rows will the sub-plan with this signature produce?"
 ///
@@ -24,6 +26,12 @@ struct CardinalityQuery {
   std::array<double, 3> features{};
   /// The optimizer's own histogram-based estimate for this node.
   double histogram_rows = 0.0;
+  /// Normalized per-column bounds of the scan predicate (see plan/plan.h),
+  /// stamped by the optimizer for base-table scans; null for joins,
+  /// aggregates, and index scans. Borrowed from the plan node — valid only
+  /// for the duration of the EstimateRows call. Sample-backed backends
+  /// (src/kde) evaluate these jointly; signature-keyed backends ignore them.
+  const PredicateBounds* bounds = nullptr;
 };
 
 /// \brief Pluggable cardinality backend consulted by the Optimizer after it
@@ -40,6 +48,11 @@ class CardinalityEstimator {
 
   virtual std::optional<double> EstimateRows(
       const CardinalityQuery& query) const = 0;
+
+  /// Short backend tag stamped onto plan nodes whose estimate this backend
+  /// produced (PlanNode::est_source, rendered by EXPLAIN ANALYZE). Must
+  /// return a string literal (the plan node aliases it, never copies).
+  virtual const char* name() const { return "card"; }
 };
 
 /// The paper's baseline backend: always defers to the histogram estimate.
@@ -51,6 +64,8 @@ class HistogramCardinalityEstimator final : public CardinalityEstimator {
   std::optional<double> EstimateRows(const CardinalityQuery&) const override {
     return std::nullopt;
   }
+
+  const char* name() const override { return "hist"; }
 };
 
 }  // namespace qpp

@@ -119,13 +119,25 @@ std::optional<double> Optimizer::ConsultCardinality(PlanNode* node) {
   // point), never a learned override — otherwise harvested observations
   // would be keyed by their own corrections.
   node->card_features = card::ComputeCardFeatures(*node);
+  // Base-table scans additionally carry the normalized predicate-bounds
+  // descriptor, the input sample-backed backends (src/kde) evaluate jointly.
+  // Index scans are excluded: their probe key filters through index
+  // semantics the descriptor cannot express.
+  if (node->op == PlanOp::kSeqScan && node->table != nullptr &&
+      node->card_bounds == nullptr) {
+    node->card_bounds = std::make_shared<const PredicateBounds>(
+        ExtractPredicateBounds(node->predicate.get(), *node->table,
+                               node->label));
+  }
   CardinalityQuery query;
   query.signature = sig.signature;
   query.class_hash = sig.class_hash;
   query.features = node->card_features;
   query.histogram_rows = node->est.rows;
+  query.bounds = node->card_bounds.get();
   const std::optional<double> learned = card_estimator_->EstimateRows(query);
   if (!learned.has_value()) return std::nullopt;
+  node->est_source = card_estimator_->name();
   return std::max(1.0, std::round(*learned));
 }
 

@@ -201,4 +201,112 @@ double EstimateSelectivity(const Expr& predicate, const StatsResolver& stats,
   }
 }
 
+namespace {
+
+/// Resolves a (possibly alias-qualified) column reference against the
+/// scanned table: "alias.col" and "table.col" strip to "col"; any other
+/// qualifier, or a name absent from the schema, fails.
+bool ResolveBoundColumn(const std::string& name, const Table& table,
+                        const std::string& label, std::string* base) {
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos) {
+    *base = name;
+  } else {
+    const std::string qualifier = name.substr(0, dot);
+    if (qualifier != label && qualifier != table.name()) return false;
+    *base = name.substr(dot + 1);
+  }
+  return table.schema().FindColumn(*base) >= 0;
+}
+
+}  // namespace
+
+PredicateBounds ExtractPredicateBounds(const Expr* predicate,
+                                       const Table& table,
+                                       const std::string& label) {
+  PredicateBounds out;
+  out.table = table.name();
+  out.table_rows = static_cast<double>(table.num_rows());
+  out.exhaustive = true;
+  if (predicate == nullptr) return out;
+
+  // Flatten nested ANDs into a conjunct list, then classify each conjunct.
+  std::vector<const Expr*> stack{predicate};
+  std::map<std::string, ColumnBound> bounds;  // ordered -> deterministic
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (e->kind() == Expr::Kind::kAnd) {
+      for (const Expr* c : e->Children()) stack.push_back(c);
+      continue;
+    }
+    if (e->kind() == Expr::Kind::kLiteral) {
+      const Value& v = static_cast<const LiteralExpr&>(*e).value();
+      // A constant-true conjunct constrains nothing; anything else is a
+      // filter the descriptor cannot express.
+      if (v.type() == TypeId::kBool && v.bool_value()) continue;
+      out.exhaustive = false;
+      continue;
+    }
+    if (e->kind() != Expr::Kind::kComparison) {
+      out.exhaustive = false;
+      continue;
+    }
+    const auto& cmp = static_cast<const ComparisonExpr&>(*e);
+    const Expr* col_side = nullptr;
+    const Value* lit = nullptr;
+    CmpOp op = cmp.op();
+    if ((lit = AsLiteral(*cmp.right())) != nullptr) {
+      col_side = cmp.left();
+    } else if ((lit = AsLiteral(*cmp.left())) != nullptr) {
+      col_side = cmp.right();
+      op = FlipOp(op);
+    }
+    if (col_side == nullptr || col_side->kind() != Expr::Kind::kColumnRef ||
+        op == CmpOp::kNe) {
+      out.exhaustive = false;
+      continue;
+    }
+    std::string base;
+    if (!ResolveBoundColumn(static_cast<const ColumnRefExpr&>(*col_side).name(),
+                            table, label, &base)) {
+      out.exhaustive = false;
+      continue;
+    }
+    const double v = NumericView(*lit);
+    if (!std::isfinite(v)) {
+      out.exhaustive = false;
+      continue;
+    }
+    ColumnBound& b = bounds[base];
+    b.column = base;
+    switch (op) {
+      case CmpOp::kEq:
+        b.lo = b.has_lo ? std::max(b.lo, v) : v;
+        b.hi = b.has_hi ? std::min(b.hi, v) : v;
+        b.has_lo = b.has_hi = true;
+        break;
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+        b.hi = b.has_hi ? std::min(b.hi, v) : v;
+        b.has_hi = true;
+        break;
+      case CmpOp::kGt:
+      case CmpOp::kGe:
+        b.lo = b.has_lo ? std::max(b.lo, v) : v;
+        b.has_lo = true;
+        break;
+      default:
+        out.exhaustive = false;
+        break;
+    }
+  }
+  out.columns.reserve(bounds.size());
+  for (auto& [name, b] : bounds) {
+    b.is_equality = b.has_lo && b.has_hi && b.lo == b.hi;
+    out.columns.push_back(std::move(b));
+  }
+  return out;
+}
+
 }  // namespace qpp

@@ -6,6 +6,7 @@
 #include "catalog/stats.h"
 #include "expr/expr.h"
 #include "optimizer/cost_model.h"
+#include "plan/plan.h"
 
 namespace qpp {
 
@@ -23,5 +24,23 @@ using StatsResolver =
 /// paper's learned models must absorb.
 double EstimateSelectivity(const Expr& predicate, const StatsResolver& stats,
                            const CostModel& cm);
+
+/// \brief Normalizes a scan predicate into per-column [lo, hi] intervals and
+/// equality pins over the numeric view (the same conjunct walk the AND case
+/// of EstimateSelectivity performs for range-pair detection, kept in lock
+/// step with it).
+///
+/// `label` is the scan alias; qualified column references ("alias.col" or
+/// "table.col") are stripped to base names and resolved against the table
+/// schema. Conjuncts that cannot be captured as a single-column interval —
+/// LIKE, OR, IN lists, NULL tests, !=, column-vs-column, expressions over
+/// columns — clear `exhaustive` but do not discard the bounds already
+/// captured. A null predicate yields an exhaustive descriptor with no
+/// columns (the unconstrained scan). Strict and non-strict inequalities map
+/// to the same closed interval (a deliberate approximation: sample-backed
+/// kernels smooth over single-point differences anyway).
+PredicateBounds ExtractPredicateBounds(const Expr* predicate,
+                                       const Table& table,
+                                       const std::string& label);
 
 }  // namespace qpp

@@ -81,6 +81,8 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   n->card_signature = card_signature;
   n->card_class = card_class;
   n->card_features = card_features;
+  n->card_bounds = card_bounds;
+  n->est_source = est_source;
   n->est = est;
   for (const auto& c : children) n->children.push_back(c->Clone());
   return n;

@@ -56,6 +56,40 @@ struct PlanEstimates {
   double selectivity = 1.0;
 };
 
+/// \brief One column's contribution to a normalized conjunctive scan
+/// predicate: an interval over the column's numeric view (catalog/stats.h
+/// NumericView — numerics and dates map naturally, strings pack their first
+/// eight bytes), with absent endpoints marked by the has_* flags. Equality
+/// pins carry lo == hi.
+struct ColumnBound {
+  /// Base (unqualified) column name in the table schema.
+  std::string column;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool has_lo = false;
+  bool has_hi = false;
+  bool is_equality = false;
+};
+
+/// \brief Normalized predicate-bounds descriptor of a base-table scan: the
+/// conjunctive range/equality constraints the scan predicate places on
+/// individual columns, in a form sample-backed estimators (src/kde) can
+/// evaluate jointly. Stamped onto scan nodes by the optimizer when a
+/// CardinalityEstimator is attached, alongside card_signature.
+struct PredicateBounds {
+  /// Base relation name (not the alias).
+  std::string table;
+  /// Table cardinality at planning time; scales selectivity back to rows.
+  double table_rows = 0.0;
+  /// Per-column intervals, ordered by column name (deterministic).
+  std::vector<ColumnBound> columns;
+  /// True when every conjunct of the predicate was captured as a column
+  /// bound — only then does the descriptor fully describe the filtering,
+  /// and only then may a sample-backed estimator answer. LIKE, OR, IN,
+  /// NULL tests, != and column-vs-column conjuncts all clear it.
+  bool exhaustive = false;
+};
+
 /// \brief Observed per-execution values, filled by the instrumented
 /// executor. Times cover the *sub-plan rooted at the operator*, matching the
 /// paper's start-time / run-time semantics (Section 3.2).
@@ -137,6 +171,15 @@ struct PlanNode {
   /// kNN features for learned estimation (log1p-scaled input and baseline
   /// cardinalities); stamped together with card_signature.
   std::array<double, 3> card_features{};
+  /// Normalized per-column bounds of the scan predicate, stamped by the
+  /// optimizer alongside card_signature when an estimator is attached (null
+  /// otherwise, and always null for non-scan operators). Immutable once
+  /// stamped; Clone() aliases the same descriptor instead of copying.
+  std::shared_ptr<const PredicateBounds> card_bounds;
+  /// Which estimator backend produced est.rows: "hist" (the histogram +
+  /// independence baseline) until a learned backend overrides it, then that
+  /// backend's name() ("card", "kde", ...). Points at a string literal.
+  const char* est_source = "hist";
 
   PlanEstimates est;
   PlanActuals actual;

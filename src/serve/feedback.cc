@@ -7,6 +7,7 @@
 
 #include "card/feedback.h"
 #include "common/stats.h"
+#include "kde/feedback.h"
 #include "obs/metrics.h"
 
 namespace qpp::serve {
@@ -115,6 +116,9 @@ Status FeedbackLoop::Observe(const QueryRecord& executed) {
   // every observation for no benefit.
   if (config_.card_feedback != nullptr) {
     QPP_RETURN_NOT_OK(config_.card_feedback->HarvestRecord(executed));
+  }
+  if (config_.kde_feedback != nullptr) {
+    QPP_RETURN_NOT_OK(config_.kde_feedback->HarvestRecord(executed));
   }
   if (!config_.log_path.empty()) {
     return AppendRecordToFile(executed, config_.log_path);

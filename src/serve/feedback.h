@@ -16,6 +16,10 @@ namespace qpp::card {
 class CardFeedbackLoop;
 }  // namespace qpp::card
 
+namespace qpp::kde {
+class KdeFeedbackLoop;
+}  // namespace qpp::kde
+
 namespace qpp::serve {
 
 /// Tuning of the feedback/retrain loop.
@@ -43,6 +47,12 @@ struct FeedbackConfig {
   /// loop's mutex (CardFeedbackLoop has its own locking). Borrowed; must
   /// outlive this loop.
   card::CardFeedbackLoop* card_feedback = nullptr;
+  /// When non-null, every observed record is also harvested into the KDE
+  /// bandwidth-tuning loop (kde/feedback.h) — only records whose operators
+  /// carry predicate-bounds "B" lines contribute. Same contract as
+  /// card_feedback: called outside this loop's mutex, borrowed, must
+  /// outlive this loop.
+  kde::KdeFeedbackLoop* kde_feedback = nullptr;
 };
 
 /// \brief Drift detection and feedback-driven retraining (the loop the

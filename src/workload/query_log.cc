@@ -38,6 +38,7 @@ void FlattenPlan(const PlanNode& node, int parent_id,
   rec.card_signature = node.card_signature;
   rec.card_class = node.card_class;
   rec.card_features = node.card_features;
+  if (node.card_bounds != nullptr) rec.bounds = *node.card_bounds;
   rec.est = node.est;
   rec.actual = node.actual;
   out->push_back(std::move(rec));
@@ -170,6 +171,21 @@ void WriteRecord(std::ostream& out, const QueryRecord& q) {
       out << "C|" << o.node_id << "|" << ChecksumHex(o.card_signature) << "|"
           << ChecksumHex(o.card_class) << "|" << o.card_features[0] << "|"
           << o.card_features[1] << "|" << o.card_features[2] << "\n";
+    }
+    // Predicate bounds ride in another optional line, for the same
+    // round-trip reason. Per column: name, lo, hi, and a flag bitmask
+    // (bit 0 has_lo, bit 1 has_hi, bit 2 is_equality).
+    if (!o.bounds.table.empty()) {
+      out << "B|" << o.node_id << "|" << EscapeField(o.bounds.table) << "|"
+          << o.bounds.table_rows << "|" << (o.bounds.exhaustive ? 1 : 0)
+          << "|" << o.bounds.columns.size();
+      for (const ColumnBound& c : o.bounds.columns) {
+        const int flags = (c.has_lo ? 1 : 0) | (c.has_hi ? 2 : 0) |
+                          (c.is_equality ? 4 : 0);
+        out << "|" << EscapeField(c.column) << "|" << c.lo << "|" << c.hi
+            << "|" << flags;
+      }
+      out << "\n";
     }
   }
 }
@@ -590,6 +606,63 @@ Result<QueryLog> QueryLog::LoadFromStream(std::istream& in,
           !ParseDouble(fields[6], &o.card_features[2])) {
         return ParseError(source_name, line_no,
                           "unparseable feature in C line");
+      }
+    } else if (fields[0] == "B") {
+      if (fields.size() < 6) {
+        return ParseError(source_name, line_no,
+                          "B line needs at least 6 fields, got " +
+                              std::to_string(fields.size()));
+      }
+      if (log.queries.empty() || log.queries.back().ops.empty()) {
+        return ParseError(source_name, line_no, "B line before any O line");
+      }
+      int node_id = 0;
+      if (!ParseInt(fields[1], &node_id)) {
+        return ParseError(source_name, line_no,
+                          "bad node id '" + fields[1] + "'");
+      }
+      QueryRecord& q = log.queries.back();
+      const int idx = q.IndexOfNode(node_id);
+      if (idx < 0) {
+        return ParseError(source_name, line_no,
+                          "B line references unknown node " +
+                              std::to_string(node_id));
+      }
+      OperatorRecord& o = q.ops[static_cast<size_t>(idx)];
+      o.bounds.table = UnescapeField(fields[2]);
+      if (o.bounds.table.empty()) {
+        return ParseError(source_name, line_no, "empty table in B line");
+      }
+      int exhaustive_int = 0, ncols = 0;
+      if (!ParseDouble(fields[3], &o.bounds.table_rows) ||
+          !ParseInt(fields[4], &exhaustive_int) ||
+          !ParseInt(fields[5], &ncols) || exhaustive_int < 0 ||
+          exhaustive_int > 1 || ncols < 0) {
+        return ParseError(source_name, line_no, "bad B line header");
+      }
+      if (fields.size() != static_cast<size_t>(6 + 4 * ncols)) {
+        return ParseError(source_name, line_no,
+                          "B line needs " + std::to_string(6 + 4 * ncols) +
+                              " fields, got " +
+                              std::to_string(fields.size()));
+      }
+      o.bounds.exhaustive = exhaustive_int == 1;
+      o.bounds.columns.clear();
+      for (int c = 0; c < ncols; ++c) {
+        const size_t base = static_cast<size_t>(6 + 4 * c);
+        ColumnBound cb;
+        cb.column = UnescapeField(fields[base]);
+        int flags = 0;
+        if (!ParseDouble(fields[base + 1], &cb.lo) ||
+            !ParseDouble(fields[base + 2], &cb.hi) ||
+            !ParseInt(fields[base + 3], &flags) || flags < 0 || flags > 7) {
+          return ParseError(source_name, line_no,
+                            "bad column bound in B line");
+        }
+        cb.has_lo = (flags & 1) != 0;
+        cb.has_hi = (flags & 2) != 0;
+        cb.is_equality = (flags & 4) != 0;
+        o.bounds.columns.push_back(std::move(cb));
       }
     } else {
       return ParseError(source_name, line_no,

@@ -39,6 +39,12 @@ struct OperatorRecord {
   uint64_t card_signature = 0;
   uint64_t card_class = 0;
   std::array<double, 3> card_features{};
+  /// Normalized predicate bounds of a base-table scan (see
+  /// plan/plan.h::PredicateBounds); an empty `bounds.table` means none were
+  /// stamped. Serialized as an optional "B" line per operator, mirroring
+  /// the "C" convention, so legacy logs round-trip byte-identically. The
+  /// KDE feedback loop harvests these server-side (kde/feedback.h).
+  PredicateBounds bounds;
   PlanEstimates est;
   PlanActuals actual;
 };
@@ -95,7 +101,9 @@ Result<QueryRecord> ParseQueryRecord(std::string_view text,
 ///
 /// Field-for-field equivalent to the text format (the same fields
 /// round-trip; structural keys are recomputed on parse, and the executor's
-/// pool counters are not carried — matching SerializeQueryRecord). All
+/// pool counters and predicate-bounds "B" lines are not carried — the
+/// binary path serves latency prediction, which never consumes bounds;
+/// KDE feedback over the wire requires the text encoding). All
 /// scalars are little-endian; doubles travel as their IEEE-754 bit
 /// patterns, so records round-trip bit-identically with no
 /// format/precision step. ~50x cheaper to encode+parse than the text

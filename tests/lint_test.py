@@ -405,6 +405,68 @@ class CardUnboundedCacheTest(unittest.TestCase):
         self.assertEqual([], rules_fired(good, "src/card/feedback.cc"))
 
 
+class KdeUnboundedSampleTest(unittest.TestCase):
+    def test_member_push_without_check_fires(self):
+        bad = "void F() { data_.push_back(NumericView(v)); }"
+        self.assertIn("kde-unbounded-sample",
+                      rules_fired(bad, "src/kde/sample.cc"))
+
+    def test_deque_and_emplace_variants_fire(self):
+        for call in ("rows_.emplace_back(v)",
+                     "pending_.push_front(obs)",
+                     "history_.push_back(snap)"):
+            self.assertIn("kde-unbounded-sample",
+                          rules_fired(f"void F() {{ {call}; }}",
+                                      "src/kde/feedback.cc"),
+                          msg=call)
+
+    def test_reservoir_bound_dominates_ok(self):
+        good = """
+        void F() {
+          if (reservoir_.size() < config_.capacity) {
+            reservoir_.push_back(row);
+          }
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/kde/sample.cc"))
+
+    def test_named_constant_bound_ok(self):
+        good = """
+        void F() {
+          if (rows_.size() >= kMaxSampleRows) { return; }
+          rows_.push_back(row);
+        }
+        """
+        self.assertEqual([], rules_fired(good, "src/kde/sample.cc"))
+
+    def test_check_outside_window_still_fires(self):
+        filler = "  touch();\n" * (qpp_lint.NET_CAPACITY_WINDOW_LINES + 1)
+        bad = ("void F() {\n"
+               "  if (rows_.size() >= config_.capacity) return;\n"
+               f"{filler}"
+               "  rows_.push_back(row);\n"
+               "}\n")
+        self.assertIn("kde-unbounded-sample",
+                      rules_fired(bad, "src/kde/sample.cc"))
+
+    def test_local_container_ok(self):
+        good = ("void F() { std::vector<int64_t> reservoir; "
+                "reservoir.push_back(1); }")
+        self.assertEqual([], rules_fired(good, "src/kde/sample.cc"))
+
+    def test_outside_src_kde_exempt(self):
+        ok = "void F() { rows_.push_back(row); }"
+        self.assertEqual([], rules_fired(ok, "src/workload/runner.cc"))
+
+    def test_allow_with_bound_suppresses(self):
+        good = ("void F() {\n"
+                "  // qpp-lint: allow(kde-unbounded-sample): growth bounded "
+                "by publish cadence\n"
+                "  history_.push_back(snap);\n"
+                "}\n")
+        self.assertEqual([], rules_fired(good, "src/kde/feedback.cc"))
+
+
 class NetBlockingReactorTest(unittest.TestCase):
     def test_sleep_for_fires(self):
         bad = "std::this_thread::sleep_for(std::chrono::milliseconds(1));"
